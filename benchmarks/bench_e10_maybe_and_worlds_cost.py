@@ -1,0 +1,92 @@
+"""E10 — The practicability claims of Sections 1 and 5, measured.
+
+Two cost shapes are charted:
+
+1. **Selectivity**: the size of TRUE/ni answers versus MAYBE answers as
+   the null density grows (Codd's MAYBE queries return "little additional
+   information" at high cost — here the blow-up in answer size).
+2. **Evaluation cost**: the three-valued lower bound scales with the data,
+   the exact possible-worlds evaluation scales with the number of worlds
+   (exponential in the null count), and Codd's substitution-principle
+   containment shows the same exponential shape.
+"""
+
+import pytest
+
+from repro.codd import select_maybe, select_true
+from repro.core.algebra import select_constant
+from repro.core.query import AttributeRef, Comparison, Constant, Query, evaluate_lower_bound
+from repro.datagen import employee_relation
+from repro.worlds import CompletionSpace, evaluate_bounds
+
+
+class TestPaperRows:
+    def test_maybe_selectivity_blows_up_with_null_density(self, record, benchmark):
+        benchmark.group = "E10 paper rows"
+        rows = []
+        for rate in (0.0, 0.2, 0.4, 0.6, 0.8):
+            emp = employee_relation(80, null_rate=rate, seed=9)
+            true_count = len(select_true(emp, "TEL#", ">", 2500000))
+            maybe_count = len(select_maybe(emp, "TEL#", ">", 2500000))
+            ni_count = len(select_constant(emp, "TEL#", ">", 2500000))
+            rows.append(
+                f"null-rate={rate:.1f}  TRUE={true_count:>3d}  ni={ni_count:>3d}  MAYBE={maybe_count:>3d}"
+            )
+            assert true_count == ni_count
+        record.table("selectivity of TEL# > 2.5M on 80 synthetic employees:", rows)
+        # The MAYBE answer must dominate the TRUE answer at high null density.
+        emp = employee_relation(80, null_rate=0.8, seed=9)
+        assert len(select_maybe(emp, "TEL#", ">", 2500000)) > len(select_true(emp, "TEL#", ">", 2500000))
+        benchmark(lambda: select_maybe(emp, "TEL#", ">", 2500000))
+
+    def test_world_count_grows_exponentially_with_nulls(self, record, benchmark):
+        benchmark.group = "E10 paper rows"
+        rows = []
+        for size in (4, 8, 12, 16):
+            emp = employee_relation(size, null_rate=0.4, seed=3)
+            space = CompletionSpace([emp], domains={"TEL#": [1, 2], "MGR#": [1, 2]})
+            rows.append(f"rows={size:>3d}  null-sites={space.null_site_count():>3d}  "
+                        f"worlds={space.world_count():>8d}")
+        record.table("possible-world counts (domain size 2 per null):", rows)
+        emp = employee_relation(8, null_rate=0.4, seed=3)
+        benchmark(lambda: CompletionSpace([emp], domains={"TEL#": [1, 2], "MGR#": [1, 2]}).world_count())
+
+
+def _query(emp):
+    where = Comparison(AttributeRef("e", "TEL#"), ">", Constant(2500000))
+    return Query({"e": emp}, [AttributeRef("e", "NAME")], where)
+
+
+class TestCost:
+    @pytest.mark.parametrize("size", [25, 100, 400])
+    def test_ni_selection_cost(self, benchmark, size):
+        emp = employee_relation(size, null_rate=0.4, seed=1)
+        benchmark.group = "E10 evaluation cost"
+        benchmark.name = f"ni-selection rows={size}"
+        benchmark(lambda: select_constant(emp, "TEL#", ">", 2500000))
+
+    @pytest.mark.parametrize("size", [25, 100, 400])
+    def test_true_plus_maybe_selection_cost(self, benchmark, size):
+        emp = employee_relation(size, null_rate=0.4, seed=1)
+        benchmark.group = "E10 evaluation cost"
+        benchmark.name = f"codd-true+maybe rows={size}"
+        benchmark(lambda: (select_true(emp, "TEL#", ">", 2500000),
+                           select_maybe(emp, "TEL#", ">", 2500000)))
+
+    @pytest.mark.parametrize("size", [25, 100, 400])
+    def test_lower_bound_query_cost(self, benchmark, size):
+        emp = employee_relation(size, null_rate=0.4, seed=1)
+        query = _query(emp)
+        benchmark.group = "E10 evaluation cost"
+        benchmark.name = f"ni-query rows={size}"
+        benchmark(lambda: evaluate_lower_bound(query))
+
+    @pytest.mark.parametrize("size", [6, 8, 10])
+    def test_worlds_query_cost(self, benchmark, size):
+        emp = employee_relation(size, null_rate=0.4, seed=1)
+        query = _query(emp)
+        benchmark.group = "E10 evaluation cost"
+        benchmark.name = f"possible-worlds-query rows={size}"
+        benchmark(lambda: evaluate_bounds(
+            query, domains={"TEL#": [2400000, 2600000], "MGR#": [1, 2]}, cap=5_000_000
+        ))

@@ -1,0 +1,123 @@
+"""E11 — The Appendix: what correct "unknown"-interpretation evaluation costs.
+
+Three analysis strategies are timed on the same instances:
+
+* truth-table tautology checking (2^n in the number of null comparisons),
+* DPLL tautology checking (fast on easy instances, exponential worst case),
+* brute-force domain substitution (|D|^k in the number of null sites),
+
+and contrasted with the ni evaluation, which does not run any of them.
+The instance families mirror the Appendix's escalation: a propositional
+tautology, the inequality example ``t.A > 3 ∧ (t.B < 12 ∨ t.B > t.A)``,
+and the Figure 2 constraint-dependent case.
+"""
+
+import pytest
+
+from repro import XTuple
+from repro.core.query import And, AttributeRef, Comparison, Constant, Not, Or
+from repro.tautology import (
+    TautologyDetector,
+    abstract_predicate,
+    is_tautology,
+    truth_table_tautology,
+)
+
+
+def _disjunctive_tautology(width):
+    """(p0 ∨ ¬p0) ∧ ... over `width` distinct null comparisons."""
+    clauses = []
+    for i in range(width):
+        atom = Comparison(AttributeRef("t", f"A{i}"), ">", Constant(i))
+        clauses.append(Or(atom, Not(atom)))
+    return And(*clauses)
+
+
+def _binding(width):
+    return {"t": XTuple()}  # every A_i is null
+
+
+class TestPaperRows:
+    def test_three_layers_agree_on_the_appendix_examples(self, record, benchmark):
+        benchmark.group = "E11 paper rows"
+        detector = TautologyDetector(domains={"B": list(range(0, 20))})
+
+        propositional_case = _disjunctive_tautology(3)
+        inequality_case = And(
+            Comparison(AttributeRef("t", "A"), ">", Constant(3)),
+            Or(
+                Comparison(AttributeRef("t", "B"), "<", Constant(12)),
+                Comparison(AttributeRef("t", "B"), ">", AttributeRef("t", "A")),
+            ),
+        )
+        verdict_prop = detector.detect(propositional_case, {"t": XTuple()})
+        verdict_ineq = benchmark(lambda: detector.detect(inequality_case, {"t": XTuple(A=7)}))
+        verdict_ineq_out = detector.detect(inequality_case, {"t": XTuple(A=20)})
+        record.table(
+            "Appendix instances:",
+            [
+                f"propositional (p∨¬p)^3         → {verdict_prop.is_tautology} via {verdict_prop.method}",
+                f"A>3 ∧ (B<12 ∨ B>A), A=7 (null B) → {verdict_ineq.is_tautology} via {verdict_ineq.method}",
+                f"same clause with A=20           → {verdict_ineq_out.is_tautology} via {verdict_ineq_out.method}",
+            ],
+        )
+        assert verdict_prop.is_tautology and verdict_prop.method == "propositional"
+        assert verdict_ineq.is_tautology and verdict_ineq.method == "interval"
+        assert verdict_ineq_out.is_tautology is False
+
+    def test_ni_interpretation_skips_all_of_this(self, record, benchmark):
+        benchmark.group = "E11 paper rows"
+        from repro.core.threevalued import NI_TRUTH
+        predicate = _disjunctive_tautology(3)
+        verdict = benchmark(lambda: predicate.evaluate({"t": XTuple()}))
+        record.line(
+            f"ni evaluation of the same clause: {verdict!r} — the tuple is simply "
+            "discarded from the lower bound, no analysis needed"
+        )
+        assert verdict == NI_TRUTH
+
+
+class TestCost:
+    @pytest.mark.parametrize("width", [4, 8, 12])
+    def test_truth_table_cost(self, benchmark, width):
+        predicate = _disjunctive_tautology(width)
+        abstraction = abstract_predicate(predicate, _binding(width))
+        benchmark.group = "E11 tautology cost"
+        benchmark.name = f"truth-table atoms={width}"
+        result = benchmark(lambda: truth_table_tautology(abstraction.formula))
+        assert result
+
+    @pytest.mark.parametrize("width", [4, 8, 12, 14])
+    def test_dpll_cost(self, benchmark, width):
+        # Note: the naive CNF distribution used before DPLL is itself
+        # exponential on this clause shape, so the width is kept moderate;
+        # the growth from 4 to 16 atoms already exhibits the blow-up.
+        predicate = _disjunctive_tautology(width)
+        abstraction = abstract_predicate(predicate, _binding(width))
+        benchmark.group = "E11 tautology cost"
+        benchmark.name = f"dpll atoms={width}"
+        result = benchmark(lambda: is_tautology(abstraction.formula))
+        assert result
+
+    @pytest.mark.parametrize("domain_size,sites", [(4, 2), (8, 3), (16, 3)])
+    def test_brute_force_cost(self, benchmark, domain_size, sites):
+        attributes = [f"A{i}" for i in range(sites)]
+        predicate = And(*[
+            Or(
+                Comparison(AttributeRef("t", a), "<", Constant(domain_size)),
+                Comparison(AttributeRef("t", a), ">=", Constant(domain_size)),
+            )
+            for a in attributes
+        ])
+        detector = TautologyDetector(domains={a: list(range(domain_size)) for a in attributes})
+        benchmark.group = "E11 tautology cost"
+        benchmark.name = f"brute-force |D|={domain_size} sites={sites}"
+        result = benchmark(lambda: detector.brute_force_check(predicate, {"t": XTuple()}))
+        assert result.is_tautology
+
+    @pytest.mark.parametrize("width", [4, 8, 12])
+    def test_ni_evaluation_cost_for_reference(self, benchmark, width):
+        predicate = _disjunctive_tautology(width)
+        benchmark.group = "E11 tautology cost"
+        benchmark.name = f"ni-evaluation atoms={width}"
+        benchmark(lambda: predicate.evaluate({"t": XTuple()}))

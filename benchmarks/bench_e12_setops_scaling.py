@@ -1,0 +1,100 @@
+"""E12 — The efficiency remarks after (4.6)–(4.8), and the minimal-form ablation.
+
+The paper notes that the naive implementations cost O(|R1| + |R2|) for
+union and O(|R1| · |R2|) for x-intersection/difference, and points at
+"combinatorial hashing" for better behaviour.  This benchmark measures:
+
+* union / x-intersection / difference as the operand sizes grow,
+* naive versus signature-hashed reduction to minimal form (the design
+  ablation called out in DESIGN.md),
+* eager versus lazy minimisation of union results (the second ablation).
+"""
+
+import pytest
+
+from repro.core.minimal import reduce_rows_hashed, reduce_rows_naive
+from repro.core.setops import difference, union, x_intersection
+from repro.datagen import random_partial_relation
+
+
+def _pair(rows, seed=0, null_rate=0.3, domain=12):
+    left = random_partial_relation(["A", "B", "C"], domain, rows, null_rate, seed=seed, name="L")
+    right = random_partial_relation(["A", "B", "C"], domain, rows, null_rate, seed=seed + 1, name="R")
+    return left, right
+
+
+class TestPaperRows:
+    def test_reduction_strategies_agree(self, record, benchmark):
+        benchmark.group = "E12 paper rows"
+        left, _ = _pair(300, seed=3)
+        rows = list(left.tuples())
+        hashed = benchmark(lambda: set(reduce_rows_hashed(rows)))
+        naive = set(reduce_rows_naive(rows))
+        record.line(
+            f"minimal form of a 300-row relation: naive={len(naive)} rows, "
+            f"hashed={len(hashed)} rows, agree={naive == hashed}"
+        )
+        assert naive == hashed
+
+    def test_union_scope_is_union_of_scopes(self, record, benchmark):
+        benchmark.group = "E12 paper rows"
+        left = random_partial_relation(["A", "B"], 6, 40, 0.3, seed=1, name="L")
+        right = random_partial_relation(["B", "C"], 6, 40, 0.3, seed=2, name="R")
+        result = benchmark(lambda: union(left, right))
+        record.line(f"scope(L ∪ R) = {result.scope()} (union of operand scopes, §4)")
+        assert set(result.scope()) <= {"A", "B", "C"}
+
+
+class TestSetOperationScaling:
+    @pytest.mark.parametrize("rows", [100, 400, 1200])
+    def test_union_cost(self, benchmark, rows):
+        left, right = _pair(rows, seed=rows)
+        benchmark.group = "E12 set ops"
+        benchmark.name = f"union rows={rows}"
+        benchmark(lambda: union(left, right))
+
+    @pytest.mark.parametrize("rows", [50, 120, 300])
+    def test_x_intersection_cost(self, benchmark, rows):
+        left, right = _pair(rows, seed=rows)
+        benchmark.group = "E12 set ops"
+        benchmark.name = f"x-intersection rows={rows}"
+        benchmark(lambda: x_intersection(left, right))
+
+    @pytest.mark.parametrize("rows", [100, 300, 900])
+    def test_difference_cost(self, benchmark, rows):
+        left, right = _pair(rows, seed=rows)
+        benchmark.group = "E12 set ops"
+        benchmark.name = f"difference rows={rows}"
+        benchmark(lambda: difference(left, right))
+
+
+class TestMinimalFormAblation:
+    @pytest.mark.parametrize("rows", [100, 400, 1200])
+    def test_naive_reduction(self, benchmark, rows):
+        relation = random_partial_relation(["A", "B", "C"], 10, rows, 0.4, seed=rows, name="R")
+        rows_list = list(relation.tuples())
+        benchmark.group = "E12 minimal form"
+        benchmark.name = f"naive rows={rows}"
+        benchmark(lambda: reduce_rows_naive(rows_list))
+
+    @pytest.mark.parametrize("rows", [100, 400, 1200])
+    def test_hashed_reduction(self, benchmark, rows):
+        relation = random_partial_relation(["A", "B", "C"], 10, rows, 0.4, seed=rows, name="R")
+        rows_list = list(relation.tuples())
+        benchmark.group = "E12 minimal form"
+        benchmark.name = f"hashed rows={rows}"
+        benchmark(lambda: reduce_rows_hashed(rows_list))
+
+    @pytest.mark.parametrize("rows", [200, 800])
+    def test_union_eager_minimisation(self, benchmark, rows):
+        left, right = _pair(rows, seed=rows + 7)
+        benchmark.group = "E12 minimal form"
+        benchmark.name = f"union-eager-minimise rows={rows}"
+        benchmark(lambda: union(left, right, minimize=True))
+
+    @pytest.mark.parametrize("rows", [200, 800])
+    def test_union_lazy_minimisation(self, benchmark, rows):
+        left, right = _pair(rows, seed=rows + 7)
+        benchmark.group = "E12 minimal form"
+        benchmark.name = f"union-lazy rows={rows}"
+        benchmark(lambda: union(left, right, minimize=False))

@@ -1,0 +1,84 @@
+"""E1 — Displays (1.1)/(1.2): set containment under Codd vs x-relations.
+
+Paper claims reproduced:
+
+* ``PS'' ⊇ PS'`` evaluates to MAYBE under the null substitution principle;
+* ``PS' = PS'`` evaluates to MAYBE;
+* ``PS' ∪ PS'' ⊇ PS'`` and ``PS' ∩ PS'' ⊆ PS'`` do not evaluate to TRUE;
+* for x-relations all four judgements are plain facts (True).
+
+Timed: the substitution-principle containment (exponential in the number
+of nulls) versus the x-relation subsumption test, on growing synthetic
+containment pairs.
+"""
+
+import pytest
+
+from repro import XRelation
+from repro.codd import (
+    CODD_TRUE,
+    MAYBE,
+    containment_truth,
+    equality_truth,
+    intersection_contained_truth,
+    union_contains_truth,
+)
+from repro.datagen import containment_pair
+
+
+class TestPaperRows:
+    def test_codd_judgements(self, ps1, ps2, record, benchmark):
+        benchmark.group = "E1 paper rows"
+        containment = benchmark(lambda: containment_truth(ps2, ps1))
+        self_equality = equality_truth(ps1, ps1)
+        union_claim = union_contains_truth(ps1, ps2, ps1)
+        intersection_claim = intersection_contained_truth(ps1, ps2, ps1)
+        record.table(
+            "Codd (null substitution principle):",
+            [
+                f"PS'' ⊇ PS'          → {containment}   (paper: MAYBE)",
+                f"PS'  =  PS'         → {self_equality}   (paper: MAYBE)",
+                f"PS' ∪ PS'' ⊇ PS'    → {union_claim}   (paper: not TRUE)",
+                f"PS' ∩ PS'' ⊆ PS'    → {intersection_claim}   (paper: not TRUE)",
+            ],
+        )
+        assert containment == MAYBE
+        assert self_equality == MAYBE
+        assert union_claim != CODD_TRUE
+
+    def test_xrelation_judgements(self, ps1, ps2, record, benchmark):
+        benchmark.group = "E1 paper rows"
+        x1, x2 = XRelation(ps1), XRelation(ps2)
+        benchmark(lambda: x2 >= x1)
+        record.table(
+            "x-relations (this paper):",
+            [
+                f"PS'' ⊒ PS'          → {x2 >= x1}   (paper: holds)",
+                f"PS'  =  PS'         → {x1 == x1}   (paper: holds)",
+                f"PS' ∪ PS'' ⊒ PS'    → {(x1 | x2) >= x1}   (paper: holds)",
+                f"PS' ∩̂ PS'' ⊑ PS'    → {(x1 & x2) <= x1}   (paper: holds)",
+            ],
+        )
+        assert x2 >= x1 and x1 == x1
+        assert (x1 | x2) >= x1 and (x1 & x2) <= x1
+
+
+class TestCost:
+    @pytest.mark.parametrize("base_rows", [4, 6, 8])
+    def test_substitution_containment_cost(self, benchmark, base_rows):
+        smaller, larger = containment_pair(base_rows, 3, domain_size=3, null_rate=0.3, seed=base_rows)
+        benchmark.group = "E1 containment"
+        benchmark.name = f"codd-substitution rows={base_rows}"
+        try:
+            benchmark(lambda: containment_truth(larger, smaller, domains={"A": ["a0", "a1"], "B": ["b0", "b1"]}))
+        except ValueError:
+            pytest.skip("substitution space above the cap — the blow-up itself is the result")
+
+    @pytest.mark.parametrize("base_rows", [4, 8, 12, 64, 256])
+    def test_xrelation_subsumption_cost(self, benchmark, base_rows):
+        smaller, larger = containment_pair(base_rows, 3, domain_size=3, null_rate=0.3, seed=base_rows)
+        x_small, x_large = XRelation(smaller), XRelation(larger)
+        benchmark.group = "E1 containment"
+        benchmark.name = f"xrelation-subsumption rows={base_rows}"
+        result = benchmark(lambda: x_large >= x_small)
+        assert result is True

@@ -1,0 +1,56 @@
+"""E2 — Tables I/II: schema evolution with ni nulls is information-preserving.
+
+Reproduces the Section 2 claim (Table I ≅ Table II) and times the
+equivalence check and the add-column operation as the relation grows.
+"""
+
+import pytest
+
+from repro import XRelation
+from repro.datagen import employee_relation
+from repro.storage import Table, add_attribute
+
+
+class TestPaperRows:
+    def test_table_one_equivalent_to_table_two(self, emp_table_one, emp_table_two, record, benchmark):
+        benchmark.group = "E2 paper rows"
+        equivalent = benchmark(lambda: XRelation(emp_table_one) == XRelation(emp_table_two))
+        record.line(f"Table I ≅ Table II: {equivalent}   (paper: information-wise equivalent)")
+        assert equivalent
+
+    def test_evolution_report(self, emp_table_one, record, benchmark):
+        benchmark.group = "E2 paper rows"
+
+        def evolve():
+            table = Table(emp_table_one.schema, name="EMP")
+            table.insert_many(list(emp_table_one.tuples()))
+            return add_attribute(table, "TEL#")
+
+        report = benchmark(evolve)
+        record.line(str(report))
+        assert report.information_preserved
+
+
+class TestCost:
+    @pytest.mark.parametrize("size", [10, 50, 250])
+    def test_equivalence_check_cost(self, benchmark, size):
+        original = employee_relation(size, null_rate=0.0, seed=1, name="EMP")
+        widened = original.with_schema(original.schema.extend(["FAX#"]))
+        benchmark.group = "E2 schema evolution"
+        benchmark.name = f"equivalence-check rows={size}"
+        result = benchmark(lambda: XRelation(original) == XRelation(widened))
+        assert result
+
+    @pytest.mark.parametrize("size", [10, 100, 500])
+    def test_add_attribute_cost(self, benchmark, size):
+        original = employee_relation(size, null_rate=0.2, seed=2, name="EMP")
+
+        def evolve_once():
+            table = Table(original.schema, name="EMP")
+            table.relation._rows = set(original.tuples())
+            return add_attribute(table, "FAX#")
+
+        benchmark.group = "E2 schema evolution"
+        benchmark.name = f"add-attribute rows={size}"
+        report = benchmark(evolve_once)
+        assert report.information_preserved

@@ -1,0 +1,86 @@
+"""E3 — Table III: the three-valued truth tables and comparison semantics.
+
+Regenerates the AND/OR/NOT tables exactly as printed, side by side with
+Codd's MAYBE-labelled tables (identical tables, different reading), and
+times truth-table evaluation and null-aware comparisons.
+"""
+
+import pytest
+
+from repro.codd import CODD_TRUTH_VALUES, codd_compare, from_core_truth
+from repro.core.threevalued import FALSE, NI_TRUTH, TRUE, TRUTH_VALUES, compare
+
+
+def _format_table(operation, values, combine):
+    header = f"{operation:>6s} | " + " ".join(f"{v!r:>6}" for v in values)
+    rows = []
+    for left in values:
+        cells = " ".join(f"{combine(left, right)!r:>6}" for right in values)
+        rows.append(f"{left!r:>6} | {cells}")
+    return [header] + rows
+
+
+class TestPaperRows:
+    def test_truth_tables_match_table_iii(self, record, benchmark):
+        benchmark.group = "E3 paper rows"
+        benchmark(lambda: [(a & b, a | b, ~a) for a in TRUTH_VALUES for b in TRUTH_VALUES])
+        record.table("AND (Table III):", _format_table("AND", TRUTH_VALUES, lambda a, b: a & b))
+        record.table("OR (Table III):", _format_table("OR", TRUTH_VALUES, lambda a, b: a | b))
+        record.table("NOT (Table III):", [f"{v!r:>6} → {(~v)!r}" for v in TRUTH_VALUES])
+        # Spot-check the cells the paper's evaluation discipline depends on.
+        assert (TRUE & NI_TRUTH) == NI_TRUTH
+        assert (FALSE & NI_TRUTH) == FALSE
+        assert (TRUE | NI_TRUTH) == TRUE
+        assert (FALSE | NI_TRUTH) == NI_TRUTH
+        assert (~NI_TRUTH) == NI_TRUTH
+
+    def test_codd_tables_coincide_with_ni_tables(self, record, benchmark):
+        """Same truth tables, different interpretation of the third value."""
+        benchmark.group = "E3 paper rows"
+        for a in CODD_TRUTH_VALUES:
+            for b in CODD_TRUTH_VALUES:
+                core_a, core_b = _to_core(a), _to_core(b)
+                assert _to_core(a & b) == (core_a & core_b)
+                assert _to_core(a | b) == (core_a | core_b)
+            assert _to_core(~a) == ~_to_core(a)
+        benchmark(lambda: [(a & b) for a in CODD_TRUTH_VALUES for b in CODD_TRUTH_VALUES])
+        record.line("Codd's TRUE/MAYBE/FALSE tables coincide cell-by-cell with Table III")
+
+    def test_null_comparisons_yield_ni(self, record, benchmark):
+        benchmark.group = "E3 paper rows"
+        verdict = benchmark(lambda: compare(None, ">", 2634000))
+        record.line(f"ni > 2634000 → {verdict!r} (discarded by the lower bound)")
+        record.line(f"ω > 2634000 → {codd_compare(None, '>', 2634000)!r} under Codd (MAYBE)")
+        assert verdict == NI_TRUTH
+
+
+def _to_core(codd_value):
+    from repro.codd import to_core_truth
+    return to_core_truth(codd_value)
+
+
+class TestCost:
+    def test_connective_throughput(self, benchmark):
+        values = TRUTH_VALUES * 100
+        benchmark.group = "E3 logic cost"
+        benchmark.name = "fold-and-or-over-300-values"
+
+        def fold():
+            conjunction = TRUE
+            disjunction = FALSE
+            for value in values:
+                conjunction = conjunction & value
+                disjunction = disjunction | value
+            return conjunction, disjunction
+
+        benchmark(fold)
+
+    @pytest.mark.parametrize("null_fraction", [0.0, 0.5])
+    def test_comparison_throughput(self, benchmark, null_fraction):
+        operands = [
+            (None if (i % 10) < null_fraction * 10 else i, "<", i + 1)
+            for i in range(500)
+        ]
+        benchmark.group = "E3 logic cost"
+        benchmark.name = f"compare-500-pairs null={null_fraction}"
+        benchmark(lambda: [compare(a, op, b) for a, op, b in operands])

@@ -1,0 +1,93 @@
+"""E4 — Figure 1 (query Q_A): the tautology query and its evaluation cost.
+
+Paper claims reproduced:
+
+* under the ni interpretation BROWN (null TEL#) is not in the lower bound,
+  and no tautology detection is needed;
+* under the "unknown" interpretation the ≥-variant of the query makes
+  BROWN a certain answer, which requires tautology analysis (or full
+  possible-worlds enumeration) to discover.
+
+Timed: ni lower-bound evaluation vs unknown-interpretation evaluation
+(with tautology detection) vs exact possible-worlds evaluation, on the
+paper database and on growing synthetic EMP relations.
+"""
+
+import pytest
+
+from repro.core.query import evaluate_lower_bound
+from repro.datagen import FIGURE_1_QUERY, employee_database, scaled_employee_database
+from repro.quel import compile_query, run_query
+from repro.tautology import TautologyDetector, evaluate_unknown_lower_bound
+from repro.worlds import WorldSpaceTooLarge, evaluate_bounds
+
+
+WEAK_VARIANT = FIGURE_1_QUERY.replace("e.TEL# > 2634000", "e.TEL# >= 2634000")
+
+
+class TestPaperRows:
+    def test_ni_lower_bound(self, emp_db, record, benchmark):
+        benchmark.group = "E4 paper rows"
+        result = benchmark(lambda: run_query(FIGURE_1_QUERY, emp_db))
+        names = sorted({t["e_NAME"] for t in result.rows})
+        record.line(f"||Q_A||* under ni interpretation: {names} (BROWN excluded, paper §5)")
+        assert "BROWN" not in names
+
+    def test_unknown_interpretation_needs_tautology_analysis(self, emp_db, record, benchmark):
+        benchmark.group = "E4 paper rows"
+        analyzed = compile_query(WEAK_VARIANT, emp_db)
+        detector = TautologyDetector()
+        result = benchmark(lambda: evaluate_unknown_lower_bound(analyzed.query, detector))
+        names = sorted({t["e_NAME"] for t in result.rows()})
+        record.line(f"||Q_A||* under unknown interpretation (≥ variant): {names} (BROWN included)")
+        assert "BROWN" in names
+
+    def test_possible_worlds_oracle(self, emp_db, record, benchmark):
+        benchmark.group = "E4 paper rows"
+        analyzed = compile_query(WEAK_VARIANT, emp_db)
+        bounds = benchmark(lambda: evaluate_bounds(
+            analyzed.query, domains={"TEL#": [2633999, 2634000, 2634001]}
+        ))
+        record.line(
+            f"possible-worlds certain answers: {sorted(t['e_NAME'] for t in bounds.certain)} "
+            f"over {bounds.world_count} worlds"
+        )
+        assert any(t["e_NAME"] == "BROWN" for t in bounds.certain)
+
+
+class TestCost:
+    @pytest.mark.parametrize("size", [20, 60, 120])
+    def test_ni_evaluation_scales_with_rows(self, benchmark, size):
+        db = scaled_employee_database(size, null_rate=0.4, seed=1)
+        analyzed = compile_query(FIGURE_1_QUERY, db)
+        benchmark.group = "E4 Q_A cost"
+        benchmark.name = f"ni-lower-bound rows={size}"
+        benchmark(lambda: evaluate_lower_bound(analyzed.query))
+
+    @pytest.mark.parametrize("size", [20, 60, 120])
+    def test_unknown_evaluation_pays_for_tautology_checks(self, benchmark, size):
+        db = scaled_employee_database(size, null_rate=0.4, seed=1)
+        analyzed = compile_query(WEAK_VARIANT, db)
+        detector = TautologyDetector()
+        benchmark.group = "E4 Q_A cost"
+        benchmark.name = f"unknown-interpretation rows={size}"
+        benchmark(lambda: evaluate_unknown_lower_bound(analyzed.query, detector))
+
+    @pytest.mark.parametrize("size", [6, 9, 12])
+    def test_worlds_evaluation_explodes_with_nulls(self, benchmark, size):
+        db = scaled_employee_database(size, null_rate=0.4, seed=1)
+        analyzed = compile_query(FIGURE_1_QUERY, db)
+        benchmark.group = "E4 Q_A cost"
+        benchmark.name = f"possible-worlds rows={size}"
+
+        def run():
+            try:
+                return evaluate_bounds(
+                    analyzed.query,
+                    domains={"TEL#": [2633999, 2634001], "MGR#": [1, 2]},
+                    cap=2_000_000,
+                )
+            except WorldSpaceTooLarge as blowup:
+                return blowup
+
+        benchmark(run)

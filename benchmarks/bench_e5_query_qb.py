@@ -1,0 +1,121 @@
+"""E5 — Figure 2 (query Q_B): schema-constraint tautologies.
+
+Paper claims reproduced:
+
+* the ni lower bound of Q_B is computable with plain three-valued
+  evaluation (no constraint reasoning);
+* under the "unknown" interpretation, bindings whose last two conjuncts
+  touch nulls define tautologies *only* given the schema constraints
+  ("an employee cannot manage himself / his own manager"); without the
+  declared constraints the detector cannot include them, with them it can
+  — the Appendix's point about constraint understanding, made executable.
+
+Timed: Q_B evaluation via both strategies, and the unknown-interpretation
+evaluation with and without declared constraints.
+"""
+
+import pytest
+
+from repro import NI, XTuple
+from repro.constraints import BindingConstraint, as_detector_constraints
+from repro.datagen import FIGURE_2_QUERY, employee_database, scaled_employee_database
+from repro.quel import compile_query, run_query
+from repro.tautology import TautologyDetector, evaluate_unknown_lower_bound
+
+
+def _manager_constraints():
+    """The Figure 2 semantic constraints, as binding constraints."""
+    def no_self_management(binding):
+        for row in binding.values():
+            if row["MGR#"] is not NI and row["E#"] is not NI and row["MGR#"] == row["E#"]:
+                return False
+        return True
+
+    def no_mutual_management(binding):
+        e, m = binding.get("e"), binding.get("m")
+        if e is None or m is None:
+            return True
+        if e["MGR#"] is NI or m["E#"] is NI or e["E#"] is NI or m["MGR#"] is NI:
+            return True
+        if e["MGR#"] == m["E#"] and m["MGR#"] == e["E#"]:
+            return False
+        return True
+
+    return as_detector_constraints([
+        BindingConstraint(["e"], no_self_management),
+        BindingConstraint(["e", "m"], no_mutual_management),
+    ])
+
+
+class TestPaperRows:
+    def test_ni_lower_bound(self, emp_db, record, benchmark):
+        benchmark.group = "E5 paper rows"
+        result = benchmark(lambda: run_query(FIGURE_2_QUERY, emp_db))
+        names = sorted({t["e_NAME"] for t in result.rows})
+        record.line(f"||Q_B||* under ni interpretation: {names}")
+        assert names == ["GREEN"]
+
+    def test_strategies_agree(self, emp_db, record, benchmark):
+        benchmark.group = "E5 paper rows"
+        algebra = benchmark(lambda: run_query(FIGURE_2_QUERY, emp_db, strategy="algebra"))
+        assert algebra.answer == run_query(FIGURE_2_QUERY, emp_db).answer
+        record.line("tuple-at-a-time and algebraic plans agree on Q_B")
+
+    def test_constraint_knowledge_changes_the_unknown_answer(self, record, benchmark):
+        """A database where GREEN's manager row has a null MGR#.
+
+        The binding (GREEN, ADAMS) then hinges on ``e.E# ≠ m.MGR#`` with a
+        null m.MGR#: not a tautology propositionally or arithmetically, but
+        a tautology under the no-mutual-management schema constraint.
+        """
+        benchmark.group = "E5 paper rows"
+        db = employee_database()
+        table = db.table("EMP")
+        adams = table.lookup(["E#"], [1255])[0]
+        table.update(adams, {**adams.as_dict(), "MGR#": None})
+        analyzed = compile_query(FIGURE_2_QUERY, db)
+
+        unaware = TautologyDetector(domains={"MGR#": [1120, 4335, 8799, 2235, 1255]})
+        aware = TautologyDetector(
+            domains={"MGR#": [1120, 4335, 8799, 2235, 1255]},
+            constraints=_manager_constraints(),
+        )
+        without = evaluate_unknown_lower_bound(analyzed.query, unaware)
+        with_constraints = benchmark(
+            lambda: evaluate_unknown_lower_bound(analyzed.query, aware)
+        )
+        names_without = sorted({t["e_NAME"] for t in without.rows()})
+        names_with = sorted({t["e_NAME"] for t in with_constraints.rows()})
+        record.line(f"unknown interpretation, constraint-unaware: {names_without}")
+        record.line(f"unknown interpretation, constraint-aware:   {names_with}")
+        assert "GREEN" not in names_without
+        assert "GREEN" in names_with
+
+
+class TestCost:
+    @pytest.mark.parametrize("size", [10, 20, 40])
+    def test_self_join_cost_tuple_strategy(self, benchmark, size):
+        db = scaled_employee_database(size, null_rate=0.3, seed=2)
+        benchmark.group = "E5 Q_B cost"
+        benchmark.name = f"tuple-strategy rows={size}"
+        benchmark(lambda: run_query(FIGURE_2_QUERY, db, strategy="tuple"))
+
+    @pytest.mark.parametrize("size", [10, 20, 40])
+    def test_self_join_cost_algebra_strategy(self, benchmark, size):
+        db = scaled_employee_database(size, null_rate=0.3, seed=2)
+        benchmark.group = "E5 Q_B cost"
+        benchmark.name = f"algebra-strategy rows={size}"
+        benchmark(lambda: run_query(FIGURE_2_QUERY, db, strategy="algebra"))
+
+    @pytest.mark.parametrize("size", [6, 10])
+    def test_constraint_aware_unknown_evaluation_cost(self, benchmark, size):
+        db = scaled_employee_database(size, null_rate=0.3, seed=2)
+        analyzed = compile_query(FIGURE_2_QUERY, db)
+        employee_numbers = [row["E#"] for row in db["EMP"].tuples()]
+        detector = TautologyDetector(
+            domains={"MGR#": employee_numbers, "E#": employee_numbers},
+            constraints=_manager_constraints(),
+        )
+        benchmark.group = "E5 Q_B cost"
+        benchmark.name = f"unknown-with-constraints rows={size}"
+        benchmark(lambda: evaluate_unknown_lower_bound(analyzed.query, detector))

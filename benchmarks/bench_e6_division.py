@@ -1,0 +1,85 @@
+"""E6 — Display (6.6): division with nulls, three ways.
+
+Regenerates the paper's comparison:
+
+* Codd TRUE division  (query Q1) → ∅
+* Codd MAYBE division (query Q2) → {s1, s2, s3}
+* Zaniolo division    (query Q3) → {s1, s2}
+
+and the agreement between the algebraic (6.2) and image-set (6.5)
+formulations of the ni division.  Timed: all three divisions (plus the
+ablation between the two ni formulations) on growing synthetic
+parts-suppliers relations.
+"""
+
+import pytest
+
+from repro import XRelation, divide, divide_by_images, project, select_constant
+from repro.codd import codd_project, divide_maybe, divide_true, select_true
+from repro.datagen import parts_suppliers_relation
+
+
+def _divisors(ps):
+    x = XRelation(ps)
+    ours = project(select_constant(x, "S#", "=", "s2"), ["P#"])
+    codd = codd_project(select_true(ps, "S#", "=", "s2"), ["P#"])
+    return x, ours, codd
+
+
+class TestPaperRows:
+    def test_three_way_comparison(self, ps, record, benchmark):
+        benchmark.group = "E6 paper rows"
+        x, ours_divisor, codd_divisor = _divisors(ps)
+        a1 = {t["S#"] for t in divide_true(ps, codd_divisor, ["S#"]).tuples()}
+        a2 = {t["S#"] for t in divide_maybe(ps, codd_divisor, ["S#"]).tuples()}
+        a3_result = benchmark(lambda: divide(x, ours_divisor, ["S#"]))
+        a3 = {t["S#"] for t in a3_result.rows()}
+        record.table(
+            "Q: suppliers supplying every part supplied by s2",
+            [
+                f"A1 Codd TRUE  division: {sorted(a1) or '∅'}   (paper: ∅)",
+                f"A2 Codd MAYBE division: {sorted(a2)}   (paper: ['s1', 's2', 's3'])",
+                f"A3 Zaniolo    division: {sorted(a3)}   (paper: ['s1', 's2'])",
+            ],
+        )
+        assert a1 == set()
+        assert a2 == {"s1", "s2", "s3"}
+        assert a3 == {"s1", "s2"}
+
+    def test_formulations_agree(self, ps, record, benchmark):
+        benchmark.group = "E6 paper rows"
+        x, ours_divisor, _ = _divisors(ps)
+        by_algebra = divide(x, ours_divisor, ["S#"])
+        by_images = benchmark(lambda: divide_by_images(x, ours_divisor, ["S#"]))
+        record.line("algebraic (6.2) and image-set (6.5) divisions agree: "
+                    f"{by_algebra == by_images}")
+        assert by_algebra == by_images
+
+
+class TestCost:
+    @pytest.mark.parametrize("rows", [50, 150, 400])
+    def test_zaniolo_division_cost(self, benchmark, rows):
+        ps = parts_suppliers_relation(8, 10, rows, null_rate=0.2, seed=rows)
+        x = XRelation(ps)
+        divisor = project(select_constant(x, "S#", "=", "s1"), ["P#"])
+        benchmark.group = "E6 division cost"
+        benchmark.name = f"zaniolo-(6.2) rows={rows}"
+        benchmark(lambda: divide(x, divisor, ["S#"]))
+
+    @pytest.mark.parametrize("rows", [50, 150, 400])
+    def test_image_division_cost(self, benchmark, rows):
+        """Ablation: the image-set formulation recomputes an image per candidate."""
+        ps = parts_suppliers_relation(8, 10, rows, null_rate=0.2, seed=rows)
+        x = XRelation(ps)
+        divisor = project(select_constant(x, "S#", "=", "s1"), ["P#"])
+        benchmark.group = "E6 division cost"
+        benchmark.name = f"zaniolo-(6.5) rows={rows}"
+        benchmark(lambda: divide_by_images(x, divisor, ["S#"]))
+
+    @pytest.mark.parametrize("rows", [50, 150, 400])
+    def test_codd_divisions_cost(self, benchmark, rows):
+        ps = parts_suppliers_relation(8, 10, rows, null_rate=0.2, seed=rows)
+        divisor = codd_project(select_true(ps, "S#", "=", "s1"), ["P#"])
+        benchmark.group = "E6 division cost"
+        benchmark.name = f"codd-true+maybe rows={rows}"
+        benchmark(lambda: (divide_true(ps, divisor, ["S#"]), divide_maybe(ps, divisor, ["S#"])))

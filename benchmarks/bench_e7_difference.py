@@ -1,0 +1,53 @@
+"""E7 — Query Q4: difference carries a "for sure" universal flavour.
+
+Regenerates the paper's answer ({p2}) and measures the generalised
+difference against the classical set difference on total relations (where
+the two coincide), plus its scaling on synthetic data.
+"""
+
+import pytest
+
+from repro import Relation, XRelation, project, select_constant
+from repro.codd import codd_difference
+from repro.core.setops import difference
+from repro.datagen import parts_suppliers_relation
+
+
+class TestPaperRows:
+    def test_q4(self, ps, record, benchmark):
+        benchmark.group = "E7 paper rows"
+        x = XRelation(ps)
+        s1_parts = project(select_constant(x, "S#", "=", "s1"), ["P#"])
+        s2_parts = project(select_constant(x, "S#", "=", "s2"), ["P#"])
+        result = benchmark(lambda: s1_parts - s2_parts)
+        answer = sorted(t["P#"] for t in result.rows())
+        record.line(f"Q4 'parts supplied by s1 but not by s2' = {answer}   (paper: ['p2'])")
+        assert answer == ["p2"]
+
+    def test_difference_reduces_to_classical_on_total_relations(self, record, benchmark):
+        benchmark.group = "E7 paper rows"
+        a = Relation.from_rows(["P#"], [("p1",), ("p2",), ("p3",)], name="A")
+        b = Relation.from_rows(["P#"], [("p1",)], name="B")
+        generalized = benchmark(lambda: difference(a, b))
+        classical = codd_difference(a, b)
+        agree = XRelation(classical) == XRelation(generalized)
+        record.line(f"generalised difference == classical difference on total relations: {agree}")
+        assert agree
+
+
+class TestCost:
+    @pytest.mark.parametrize("rows", [100, 300, 900])
+    def test_difference_cost(self, benchmark, rows):
+        left = parts_suppliers_relation(10, 12, rows, null_rate=0.25, seed=rows)
+        right = parts_suppliers_relation(10, 12, rows // 2, null_rate=0.25, seed=rows + 1)
+        benchmark.group = "E7 difference cost"
+        benchmark.name = f"generalised-difference rows={rows}"
+        benchmark(lambda: difference(left, right))
+
+    @pytest.mark.parametrize("rows", [100, 400, 1600])
+    def test_classical_difference_cost(self, benchmark, rows):
+        left = parts_suppliers_relation(10, 12, rows, null_rate=0.0, seed=rows)
+        right = parts_suppliers_relation(10, 12, rows // 2, null_rate=0.0, seed=rows + 1)
+        benchmark.group = "E7 difference cost"
+        benchmark.name = f"classical-difference rows={rows}"
+        benchmark(lambda: codd_difference(left, right))

@@ -1,0 +1,111 @@
+"""E8 — Section 4/7 structural claims: the lattice of x-relations.
+
+Verifies, on concrete universes, that
+
+* the lattice laws and the distributive laws (4.4)/(4.5) hold,
+* Propositions 4.6/4.7 hold for the difference,
+* the Section 4 complement counter-example behaves as printed,
+* pseudo-complements satisfy (7.1) and the Boolean sublattice has a
+  different meet from the x-intersection (the two-meets phenomenon),
+
+and times the law checks and the pseudo-complement construction as the
+universe grows.
+"""
+
+import pytest
+
+from repro import Relation, XRelation
+from repro.core.lattice import (
+    AttributeUniverse,
+    check_difference_laws,
+    check_distributivity,
+    check_lattice_laws,
+    complement_counterexample,
+    pseudo_complement,
+    set_intersection_of_totals,
+    top,
+)
+from repro.datagen import random_partial_relation
+
+
+def _triple(seed=0):
+    a = XRelation(random_partial_relation(["A", "B"], 4, 12, 0.3, seed=seed, name="a"))
+    b = XRelation(random_partial_relation(["A", "B"], 4, 12, 0.3, seed=seed + 1, name="b"))
+    c = XRelation(random_partial_relation(["A", "B"], 4, 12, 0.3, seed=seed + 2, name="c"))
+    return a, b, c
+
+
+class TestPaperRows:
+    def test_lattice_and_distributive_laws(self, record, benchmark):
+        benchmark.group = "E8 paper rows"
+        a, b, c = _triple()
+        laws = benchmark(lambda: {**check_lattice_laws(a, b, c), **check_distributivity(a, b, c)})
+        failed = [name for name, ok in laws.items() if not ok]
+        record.line(f"lattice + distributivity laws checked: {len(laws)}, failed: {failed or 'none'}")
+        assert not failed
+
+    def test_difference_propositions(self, record, benchmark):
+        benchmark.group = "E8 paper rows"
+        a, b, _ = _triple(seed=5)
+        u = a | b
+        results = benchmark(lambda: check_difference_laws(u, b))
+        record.line(f"Propositions 4.6/4.7 on a random pair: {results}")
+        assert all(results.values())
+
+    def test_complement_counterexample(self, record, benchmark):
+        benchmark.group = "E8 paper rows"
+        example = benchmark(complement_counterexample)
+        record.table(
+            "Section 4 counter-example (U = {A,B}, DOM(A)={a1}, DOM(B)={b1,b2}):",
+            [
+                f"R ∪ R* = TOP_U          : {example['union_is_top']}   (paper: yes)",
+                f"R ∩̂ R* empty            : {example['intersection_empty']}   (paper: no — (a1,-) belongs to both)",
+            ],
+        )
+        assert example["union_is_top"] and not example["intersection_empty"]
+
+    def test_two_meets_differ(self, record, benchmark):
+        benchmark.group = "E8 paper rows"
+        universe = AttributeUniverse.from_values({"A": ["a1"], "B": ["b1", "b2"]})
+        r1 = XRelation.from_rows(["A", "B"], [("a1", "b1")], name="R1")
+        r2 = XRelation.from_rows(["A", "B"], [("a1", "b2")], name="R2")
+        boolean_meet = set_intersection_of_totals(r1, r2, universe)
+        x_meet = benchmark(lambda: r1 & r2)
+        record.line(
+            "meet in the Boolean sublattice (set ∩) is empty: "
+            f"{boolean_meet.is_empty()}; x-intersection is empty: {x_meet.is_empty()}"
+        )
+        assert boolean_meet.is_empty() and not x_meet.is_empty()
+
+    def test_pseudo_complement_definition(self, record, benchmark):
+        benchmark.group = "E8 paper rows"
+        universe = AttributeUniverse.from_values({"A": ["a1", "a2"], "B": ["b1", "b2"]})
+        r = XRelation.from_rows(["A", "B"], [("a1", "b1"), ("a2", None)], name="R")
+        star = benchmark(lambda: pseudo_complement(r, universe))
+        record.line(f"|R*| = {len(star)}; R ∪ R* = TOP_U: {(r | star) == top(universe)}")
+        assert (r | star) == top(universe)
+
+
+class TestCost:
+    @pytest.mark.parametrize("domain_size", [2, 4, 6])
+    def test_pseudo_complement_cost(self, benchmark, domain_size):
+        universe = AttributeUniverse.from_values({
+            "A": [f"a{i}" for i in range(domain_size)],
+            "B": [f"b{i}" for i in range(domain_size)],
+        })
+        r = XRelation(random_partial_relation(
+            ["A", "B"], domain_size, domain_size * 2, 0.3, seed=domain_size, name="R"
+        ))
+        benchmark.group = "E8 lattice cost"
+        benchmark.name = f"pseudo-complement |TOP|={domain_size * domain_size}"
+        benchmark(lambda: pseudo_complement(r, universe))
+
+    @pytest.mark.parametrize("rows", [10, 40, 160])
+    def test_law_check_cost(self, benchmark, rows):
+        a = XRelation(random_partial_relation(["A", "B"], 6, rows, 0.3, seed=1, name="a"))
+        b = XRelation(random_partial_relation(["A", "B"], 6, rows, 0.3, seed=2, name="b"))
+        c = XRelation(random_partial_relation(["A", "B"], 6, rows, 0.3, seed=3, name="c"))
+        benchmark.group = "E8 lattice cost"
+        benchmark.name = f"distributivity-check rows={rows}"
+        result = benchmark(lambda: check_distributivity(a, b, c))
+        assert all(result.values())

@@ -1,0 +1,98 @@
+"""E9 — Section 7 claims (1)–(5): the Codd-relation ↔ total-x-relation homomorphism.
+
+For each of the five primitive operators (union, difference, Cartesian
+product, selection, projection) the benchmark builds random *total*
+relations, applies the classical operator and the generalised operator,
+and asserts the results coincide as x-relations; the timings quantify the
+overhead of working through the x-relation machinery when no nulls are
+present (the price of generality on classical data).
+"""
+
+import pytest
+
+from repro import Relation, XRelation
+from repro.codd import (
+    codd_difference,
+    codd_product,
+    codd_project,
+    codd_union,
+    select_true,
+)
+from repro.core import algebra, setops
+from repro.datagen import RelationGenerator
+
+
+def _total_relation(attributes, rows, seed, name):
+    generator = RelationGenerator(
+        attributes,
+        {a: [f"{a.lower()}{i}" for i in range(8)] for a in attributes},
+        default_null_rate=0.0,
+        seed=seed,
+    )
+    return generator.relation(rows, name=name)
+
+
+class TestPaperRows:
+    def test_all_five_correspondences(self, record, benchmark):
+        benchmark.group = "E9 paper rows"
+        a = _total_relation(["A", "B"], 20, 1, "A")
+        b = _total_relation(["A", "B"], 20, 2, "B")
+        c = _total_relation(["C"], 5, 3, "C")
+
+        def check():
+            results = {
+                "union": XRelation(codd_union(a, b)) == XRelation(setops.union(a, b)),
+                "difference": XRelation(codd_difference(a, b)) == XRelation(setops.difference(a, b)),
+                "product": XRelation(codd_product(a, c)) == algebra.product(a, c),
+                "selection": XRelation(select_true(a, "A", "=", "a1")) == algebra.select_constant(a, "A", "=", "a1"),
+                "projection": XRelation(codd_project(a, ["B"])) == algebra.project(a, ["B"]),
+            }
+            return results
+
+        results = benchmark(check)
+        record.table(
+            "operation-preserving correspondence on total relations:",
+            [f"{name:<11s}: {'preserved' if ok else 'VIOLATED'}" for name, ok in results.items()],
+        )
+        assert all(results.values())
+
+    def test_containment_correspondence(self, record, benchmark):
+        benchmark.group = "E9 paper rows"
+        a = _total_relation(["A", "B"], 20, 4, "A")
+        b = _total_relation(["A", "B"], 8, 5, "B")
+        union_relation = codd_union(a, b)
+        verdict = benchmark(lambda: XRelation(union_relation).contains(XRelation(a)))
+        record.line(f"R1 ⊇ R2 on Codd relations iff R̂1 ⊒ R̂2 on total x-relations: {verdict}")
+        assert verdict
+
+
+class TestCost:
+    @pytest.mark.parametrize("rows", [50, 200, 800])
+    def test_classical_union_cost(self, benchmark, rows):
+        a = _total_relation(["A", "B"], rows, 10, "A")
+        b = _total_relation(["A", "B"], rows, 11, "B")
+        benchmark.group = "E9 correspondence cost"
+        benchmark.name = f"codd-union rows={rows}"
+        benchmark(lambda: codd_union(a, b))
+
+    @pytest.mark.parametrize("rows", [50, 200, 800])
+    def test_generalised_union_cost_on_total_data(self, benchmark, rows):
+        a = _total_relation(["A", "B"], rows, 10, "A")
+        b = _total_relation(["A", "B"], rows, 11, "B")
+        benchmark.group = "E9 correspondence cost"
+        benchmark.name = f"generalised-union rows={rows}"
+        benchmark(lambda: setops.union(a, b))
+
+    @pytest.mark.parametrize("rows", [50, 200, 800])
+    def test_classical_projection_cost(self, benchmark, rows):
+        a = _total_relation(["A", "B", "C"], rows, 12, "A")
+        benchmark.group = "E9 correspondence cost"
+        benchmark.name = f"codd-projection rows={rows}"
+        benchmark(lambda: codd_project(a, ["A", "B"]))
+
+    @pytest.mark.parametrize("rows", [50, 200, 800])
+    def test_generalised_projection_cost_on_total_data(self, benchmark, rows):
+        a = _total_relation(["A", "B", "C"], rows, 12, "A")
+        benchmark.group = "E9 correspondence cost"
+        benchmark.name = f"generalised-projection rows={rows}"
+        benchmark(lambda: algebra.project(a, ["A", "B"]))

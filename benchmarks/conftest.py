@@ -1,0 +1,119 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark module corresponds to one experiment id from DESIGN.md
+(E1–E12) and does two things:
+
+* re-derives the rows / verdicts the paper prints and asserts them, so the
+  harness doubles as a reproduction check;
+* times the relevant operation(s) with pytest-benchmark so the cost-shape
+  claims (selectivity, exponential blow-ups, naive-vs-hashed set
+  operations) are measured rather than asserted.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The ``record`` fixture collects per-experiment result lines; at the end of
+the session they are printed and written to ``benchmarks/results.txt`` so
+EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+from typing import Dict, List
+
+import pytest
+
+from repro.datagen import (
+    employee_database,
+    parts_suppliers,
+    parts_suppliers_database,
+    ps_double_prime,
+    ps_prime,
+    table_one,
+    table_two,
+)
+
+_RESULTS: Dict[str, List[str]] = defaultdict(list)
+
+
+class ExperimentRecorder:
+    """Collects human-readable result lines for one experiment."""
+
+    def __init__(self, experiment: str):
+        self.experiment = experiment
+
+    def line(self, text: str) -> None:
+        _RESULTS[self.experiment].append(text)
+
+    def table(self, header: str, rows) -> None:
+        self.line(header)
+        for row in rows:
+            self.line(f"  {row}")
+
+
+@pytest.fixture
+def record(request) -> ExperimentRecorder:
+    module = request.module.__name__
+    experiment = module.split("bench_")[-1]
+    return ExperimentRecorder(experiment)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RESULTS:
+        return
+    lines: List[str] = []
+    for experiment in sorted(_RESULTS):
+        lines.append("=" * 70)
+        lines.append(f"Experiment {experiment}")
+        lines.append("=" * 70)
+        lines.extend(_RESULTS[experiment])
+        lines.append("")
+    output = "\n".join(lines)
+    print()
+    print(output)
+    path = os.path.join(os.path.dirname(__file__), "results.txt")
+    try:
+        with open(path, "w") as handle:
+            handle.write(output)
+    except OSError:
+        pass
+
+
+# -- shared paper fixtures ---------------------------------------------------
+
+@pytest.fixture
+def ps1():
+    return ps_prime()
+
+
+@pytest.fixture
+def ps2():
+    return ps_double_prime()
+
+
+@pytest.fixture
+def ps():
+    return parts_suppliers()
+
+
+@pytest.fixture
+def emp_table_one():
+    return table_one()
+
+
+@pytest.fixture
+def emp_table_two():
+    return table_two()
+
+
+@pytest.fixture
+def emp_db():
+    return employee_database()
+
+
+@pytest.fixture
+def ps_db():
+    return parts_suppliers_database()

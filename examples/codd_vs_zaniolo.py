@@ -1,0 +1,81 @@
+"""A side-by-side tour of the baselines: Codd, Lien, possible worlds, Zaniolo.
+
+Uses a synthetic employee workload to show the *shape* arguments of the
+paper's practicability discussion:
+
+* MAYBE answers balloon as the null density grows, while TRUE/ni answers
+  shrink — the selectivity argument of Section 1;
+* possible-worlds evaluation cost explodes exponentially in the number of
+  nulls, while the three-valued lower bound scales with the data;
+* Lien's nonexistent-interpretation operators coincide with the TRUE
+  versions, as the paper remarks.
+
+Run with::
+
+    python examples/codd_vs_zaniolo.py
+"""
+
+import time
+
+from repro.codd import select_maybe, select_true
+from repro.core.algebra import select_constant
+from repro.core.query import AttributeRef, Comparison, Constant, Query, evaluate_lower_bound
+from repro.datagen import employee_relation
+from repro.lien import lien_select
+from repro.worlds import CompletionSpace, evaluate_bounds
+
+
+def selectivity_sweep() -> None:
+    print("=" * 72)
+    print("Selectivity of TRUE vs MAYBE selections as the null density grows")
+    print("(query: TEL# > 2500000 on a 60-row synthetic EMP relation)")
+    print("=" * 72)
+    print(f"{'null rate':>10s} {'TRUE rows':>10s} {'MAYBE rows':>11s} {'ni rows':>8s} {'Lien rows':>10s}")
+    for rate in (0.0, 0.1, 0.2, 0.4, 0.6, 0.8):
+        emp = employee_relation(60, null_rate=rate, seed=7)
+        true_rows = len(select_true(emp, "TEL#", ">", 2500000))
+        maybe_rows = len(select_maybe(emp, "TEL#", ">", 2500000))
+        ni_rows = len(select_constant(emp, "TEL#", ">", 2500000))
+        lien_rows = len(lien_select(emp, "TEL#", ">", 2500000))
+        print(f"{rate:>10.1f} {true_rows:>10d} {maybe_rows:>11d} {ni_rows:>8d} {lien_rows:>10d}")
+    print()
+    print("TRUE, ni and Lien agree row for row; MAYBE returns nearly the whole")
+    print("table once nulls are common — the low-selectivity complaint of Sec. 1.")
+    print()
+
+
+def worlds_cost_sweep() -> None:
+    print("=" * 72)
+    print("Cost of exact certain answers (possible worlds) vs the ni lower bound")
+    print("=" * 72)
+    print(f"{'rows':>5s} {'nulls':>6s} {'worlds':>10s} {'worlds time':>12s} {'ni time':>9s}")
+    for size in (4, 6, 8, 10, 12):
+        emp = employee_relation(size, null_rate=0.4, seed=3)
+        where = Comparison(AttributeRef("e", "TEL#"), ">", Constant(2500000))
+        query = Query({"e": emp}, [AttributeRef("e", "NAME")], where)
+
+        space = CompletionSpace([emp], domains={"TEL#": [2400000, 2600000], "MGR#": [1, 2]})
+        started = time.perf_counter()
+        bounds = evaluate_bounds(query, domains={"TEL#": [2400000, 2600000], "MGR#": [1, 2]},
+                                 cap=2_000_000)
+        worlds_time = time.perf_counter() - started
+
+        started = time.perf_counter()
+        evaluate_lower_bound(query)
+        ni_time = time.perf_counter() - started
+
+        print(f"{size:>5d} {space.null_site_count():>6d} {bounds.world_count:>10d} "
+              f"{worlds_time * 1000:>10.1f}ms {ni_time * 1000:>7.2f}ms")
+    print()
+    print("The world count doubles with every additional null; the ni evaluation")
+    print("only grows with the number of rows.")
+    print()
+
+
+def main() -> None:
+    selectivity_sweep()
+    worlds_cost_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""Quickstart: relations with no-information nulls in five minutes.
+
+Walks through the core ideas of Zaniolo's paper on a tiny employee
+database: building relations with nulls, the information ordering,
+x-relation equality and containment, the generalised algebra, and
+lower-bound query evaluation through the QUEL front end.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    NI,
+    Relation,
+    XRelation,
+    XTuple,
+    divide,
+    project,
+    select_constant,
+    union_join,
+)
+from repro.quel import run_query
+from repro.storage import Database
+
+
+def section(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    section("1. Relations with no-information nulls")
+    emp = Relation.from_rows(
+        ["E#", "NAME", "SEX", "MGR#", "TEL#"],
+        [
+            (1120, "SMITH", "M", 2235, None),   # None spells the ni null
+            (4335, "BROWN", "F", 2235, None),
+            (8799, "GREEN", "M", 1255, None),
+            (2235, "JONES", "F", 1255, 2634952),
+            (1255, "ADAMS", "M", 2235, 2639001),
+        ],
+        name="EMP",
+    )
+    print(emp.to_table())
+
+    section("2. The information ordering on tuples")
+    partial = XTuple({"E#": 4335, "NAME": "BROWN"})
+    full = XTuple({"E#": 4335, "NAME": "BROWN", "SEX": "F", "MGR#": 2235})
+    print(f"partial tuple : {partial}")
+    print(f"full tuple    : {full}")
+    print(f"full ≥ partial: {full >= partial}")
+    print(f"meet          : {full.meet(XTuple({'E#': 4335, 'SEX': 'M'}))}")
+
+    section("3. x-relations: information-wise equality and containment")
+    narrow = Relation.from_rows(
+        ["E#", "NAME"], [(1120, "SMITH"), (4335, "BROWN")], name="NARROW"
+    )
+    widened = Relation.from_rows(
+        ["E#", "NAME", "TEL#"], [(1120, "SMITH", None), (4335, "BROWN", None)], name="WIDE"
+    )
+    print(f"narrow == widened (as x-relations): {XRelation(narrow) == XRelation(widened)}")
+    print(f"EMP x-contains (NAME=BROWN)?      : {XRelation(emp).x_contains({'NAME': 'BROWN'})}")
+
+    section("4. The generalised algebra")
+    females = select_constant(emp, "SEX", "=", "F")
+    print("Selection SEX = 'F':")
+    print(females.to_table())
+    print()
+    print("Projection on NAME, TEL# (note the null survives):")
+    print(project(emp, ["NAME", "TEL#"]).to_table())
+
+    section("5. Lower-bound query evaluation (QUEL)")
+    db = Database("quickstart")
+    table = db.create_table("EMP", emp.schema.attributes)
+    table.insert_many(list(emp.tuples()))
+    query = """
+    range of e is EMP
+    retrieve (e.NAME, e.E#)
+    where (e.SEX = "F" and e.TEL# > 2634000)
+       or (e.TEL# < 2634000)
+    """
+    result = db.query(query)
+    print("Figure 1 query — only rows that are TRUE for sure are returned:")
+    print(result.to_table())
+    print()
+    print("BROWN has a null TEL#, so she is not in the certain answer;")
+    print("no tautology detection machinery was needed to decide that.")
+
+    section("6. Division: who supplies every part s2 supplies (for sure)?")
+    ps = XRelation.from_rows(
+        ["S#", "P#"],
+        [
+            ("s1", "p1"), ("s1", "p2"), ("s1", None),
+            ("s2", "p1"), ("s2", None), ("s3", None), ("s4", "p4"),
+        ],
+        name="PS",
+    )
+    parts_of_s2 = project(select_constant(ps, "S#", "=", "s2"), ["P#"])
+    answer = divide(ps, parts_of_s2, ["S#"])
+    print(answer.to_table())
+
+    section("7. The information-preserving union-join (outer join)")
+    phones = XRelation.from_rows(["NAME", "FAX#"], [("SMITH", 111), ("NOBODY", 999)], name="FAX")
+    print(union_join(XRelation(emp), phones, ["NAME"]).to_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim for environments whose pip/setuptools cannot build editable
+installs through PEP 517 (no `wheel` available offline).  All real metadata
+lives in pyproject.toml."""
+from setuptools import setup, find_packages
+
+setup(
+    name="repro-null-relations",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

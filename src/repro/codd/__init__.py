@@ -1,0 +1,64 @@
+"""The Codd (1979) baseline: "unknown" nulls, MAYBE logic, TRUE/MAYBE operators.
+
+This package implements the approach the paper argues against, so the
+comparisons of Sections 1, 5 and 6 can be executed:
+
+* :mod:`repro.codd.threevalued` — TRUE/MAYBE/FALSE truth values and the
+  comparison semantics of the "unknown" interpretation;
+* :mod:`repro.codd.algebra` — TRUE and MAYBE versions of selection and
+  join, Codd's outer join, and the classical operators with their
+  classical union-compatibility preconditions;
+* :mod:`repro.codd.containment` — set containment/equality via the null
+  substitution principle (the PS'/PS'' example of Section 1);
+* :mod:`repro.codd.division` — TRUE and MAYBE division (the Section 6
+  comparison).
+"""
+
+from .threevalued import (
+    CODD_FALSE,
+    CODD_TRUE,
+    CODD_TRUTH_VALUES,
+    MAYBE,
+    CoddTruth,
+    codd_compare,
+    from_core_truth,
+    to_core_truth,
+)
+from .algebra import (
+    codd_difference,
+    codd_intersection,
+    codd_product,
+    codd_project,
+    codd_select,
+    codd_union,
+    join_maybe,
+    join_true,
+    outer_join,
+    select_attrs_maybe,
+    select_attrs_true,
+    select_maybe,
+    select_predicate_maybe,
+    select_predicate_true,
+    select_true,
+)
+from .containment import (
+    containment_truth,
+    equality_truth,
+    intersection_contained_truth,
+    null_sites,
+    substitution_truth,
+    union_contains_truth,
+)
+from .division import divide_maybe, divide_true
+
+__all__ = [
+    "CODD_FALSE", "CODD_TRUE", "CODD_TRUTH_VALUES", "MAYBE", "CoddTruth",
+    "codd_compare", "from_core_truth", "to_core_truth",
+    "codd_difference", "codd_intersection", "codd_product", "codd_project",
+    "codd_select", "codd_union", "join_maybe", "join_true", "outer_join",
+    "select_attrs_maybe", "select_attrs_true", "select_maybe",
+    "select_predicate_maybe", "select_predicate_true", "select_true",
+    "containment_truth", "equality_truth", "intersection_contained_truth",
+    "null_sites", "substitution_truth", "union_contains_truth",
+    "divide_maybe", "divide_true",
+]

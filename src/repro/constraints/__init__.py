@@ -1,0 +1,26 @@
+"""Integrity constraints in the presence of null values (Section 8, Appendix).
+
+Keys and NOT NULL (:mod:`repro.constraints.keys`), foreign keys
+(:mod:`repro.constraints.referential`), functional dependencies with
+strong/weak satisfaction (:mod:`repro.constraints.functional`), and the
+schema-level semantic constraints the Appendix's tautology analysis needs
+(:mod:`repro.constraints.schema_constraints`).
+"""
+
+from .keys import KeyConstraint, NotNullConstraint
+from .functional import (
+    FunctionalDependency,
+    attribute_closure,
+    candidate_keys,
+    implies,
+    is_superkey,
+)
+from .referential import ForeignKeyConstraint
+from .schema_constraints import BindingConstraint, RowConstraint, as_detector_constraints
+
+__all__ = [
+    "KeyConstraint", "NotNullConstraint",
+    "FunctionalDependency", "attribute_closure", "candidate_keys", "implies", "is_superkey",
+    "ForeignKeyConstraint",
+    "BindingConstraint", "RowConstraint", "as_detector_constraints",
+]

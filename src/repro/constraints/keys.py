@@ -1,0 +1,102 @@
+"""Key and NOT NULL constraints in the presence of null values.
+
+Section 8 of the paper notes that "basic constraints, such as uniqueness
+of keys and referential integrity, can be extended and enforced in the
+presence of null values, without major problems".  This module provides
+that extension for keys:
+
+* a :class:`NotNullConstraint` simply forbids ``ni`` in the listed
+  attributes;
+* a :class:`KeyConstraint` requires (a) every key attribute to be non-null
+  in every row — a key value of "no information" cannot identify anything
+  — and (b) no two distinct rows to agree on all key attributes.  This is
+  the *entity integrity* reading standard since Codd (1979).
+
+Constraints expose ``check`` (validate a whole relation) and
+``check_insert`` (validate a candidate row against an existing relation),
+which is what the storage layer calls on updates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.errors import KeyViolation, NotNullViolation
+from ..core.nulls import is_ni
+from ..core.relation import Relation
+from ..core.tuples import XTuple
+
+
+class NotNullConstraint:
+    """Forbids the null value in the given attributes."""
+
+    def __init__(self, attributes: Sequence[str], name: Optional[str] = None):
+        self.attributes: Tuple[str, ...] = tuple(attributes)
+        self.name = name or f"not_null({', '.join(self.attributes)})"
+
+    def check_row(self, row: XTuple) -> None:
+        for attribute in self.attributes:
+            if is_ni(row[attribute]):
+                raise NotNullViolation(
+                    f"{self.name}: attribute {attribute!r} is null in {row!r}"
+                )
+
+    def check_insert(self, relation: Relation, row: XTuple) -> None:
+        self.check_row(row)
+
+    def check(self, relation: Relation) -> None:
+        for row in relation.tuples():
+            self.check_row(row)
+
+    def __repr__(self) -> str:
+        return f"NotNullConstraint({list(self.attributes)})"
+
+
+class KeyConstraint:
+    """A (primary or candidate) key over the given attributes.
+
+    Entity integrity: key attributes must be non-null, and the key values
+    must be unique across the relation.
+    """
+
+    def __init__(self, attributes: Sequence[str], name: Optional[str] = None):
+        self.attributes: Tuple[str, ...] = tuple(attributes)
+        self.name = name or f"key({', '.join(self.attributes)})"
+
+    def _key_of(self, row: XTuple) -> Tuple:
+        values = []
+        for attribute in self.attributes:
+            value = row[attribute]
+            if is_ni(value):
+                raise KeyViolation(
+                    f"{self.name}: key attribute {attribute!r} is null in {row!r}"
+                )
+            values.append(value)
+        return tuple(values)
+
+    def check_insert(self, relation: Relation, row: XTuple) -> None:
+        key = self._key_of(row)
+        for existing in relation.tuples():
+            if existing == row:
+                continue
+            try:
+                existing_key = self._key_of(existing)
+            except KeyViolation:
+                continue  # the full check will flag it; inserts only guard the new row
+            if existing_key == key:
+                raise KeyViolation(
+                    f"{self.name}: duplicate key {key!r} (existing row {existing!r})"
+                )
+
+    def check(self, relation: Relation) -> None:
+        seen: Dict[Tuple, XTuple] = {}
+        for row in relation.tuples():
+            key = self._key_of(row)
+            if key in seen:
+                raise KeyViolation(
+                    f"{self.name}: duplicate key {key!r} in rows {seen[key]!r} and {row!r}"
+                )
+            seen[key] = row
+
+    def __repr__(self) -> str:
+        return f"KeyConstraint({list(self.attributes)})"

@@ -1,0 +1,95 @@
+"""Referential integrity (foreign keys) in the presence of nulls.
+
+The standard extension, which the paper's Section 8 endorses as
+unproblematic: a foreign-key value must either be wholly null (the
+no-information placeholder — nothing is being referenced) or match the key
+of some row in the referenced relation.  Partially-null composite foreign
+keys are rejected, matching the "match simple" rule.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..core.errors import ReferentialViolation
+from ..core.nulls import is_ni
+from ..core.relation import Relation
+from ..core.tuples import XTuple
+
+
+class ForeignKeyConstraint:
+    """``referencing(attrs) → referenced(key_attrs)``."""
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        referenced_relation: str,
+        referenced_attributes: Sequence[str],
+        name: Optional[str] = None,
+    ):
+        self.attributes: Tuple[str, ...] = tuple(attributes)
+        self.referenced_relation = referenced_relation
+        self.referenced_attributes: Tuple[str, ...] = tuple(referenced_attributes)
+        if len(self.attributes) != len(self.referenced_attributes):
+            raise ReferentialViolation(
+                "foreign key and referenced key must have the same number of attributes"
+            )
+        self.name = name or (
+            f"fk({', '.join(self.attributes)}) -> "
+            f"{referenced_relation}({', '.join(self.referenced_attributes)})"
+        )
+
+    # -- row-level checks ------------------------------------------------------
+    def _classify(self, row: XTuple) -> str:
+        null_count = sum(1 for a in self.attributes if is_ni(row[a]))
+        if null_count == 0:
+            return "total"
+        if null_count == len(self.attributes):
+            return "null"
+        return "partial"
+
+    def check_row(self, row: XTuple, referenced: Relation) -> None:
+        kind = self._classify(row)
+        if kind == "null":
+            return
+        if kind == "partial":
+            raise ReferentialViolation(
+                f"{self.name}: composite foreign key is partially null in {row!r}"
+            )
+        wanted = tuple(row[a] for a in self.attributes)
+        for target in referenced.tuples():
+            if all(
+                not is_ni(target[ra]) and target[ra] == value
+                for ra, value in zip(self.referenced_attributes, wanted)
+            ):
+                return
+        raise ReferentialViolation(
+            f"{self.name}: value {wanted!r} has no matching row in {referenced.name}"
+        )
+
+    # -- relation-level checks ----------------------------------------------------
+    def check(self, referencing: Relation, referenced: Relation) -> None:
+        for row in referencing.tuples():
+            self.check_row(row, referenced)
+
+    def check_insert(self, referencing: Relation, row: XTuple, referenced: Relation) -> None:
+        self.check_row(row, referenced)
+
+    def check_delete(self, referencing: Relation, removed: XTuple, referenced: Relation) -> None:
+        """Guard a delete from the *referenced* relation (restrict semantics)."""
+        key = tuple(removed[a] for a in self.referenced_attributes)
+        if any(is_ni(v) for v in key):
+            return
+        for row in referencing.tuples():
+            if self._classify(row) != "total":
+                continue
+            if tuple(row[a] for a in self.attributes) == key:
+                raise ReferentialViolation(
+                    f"{self.name}: cannot delete {removed!r}; still referenced by {row!r}"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"ForeignKeyConstraint({list(self.attributes)} -> "
+            f"{self.referenced_relation}{list(self.referenced_attributes)})"
+        )

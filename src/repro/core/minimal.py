@@ -1,0 +1,123 @@
+"""Minimal-form reduction of relations (Definition 4.6).
+
+A relation is a *minimal representation* of its x-relation when no proper
+subset of its rows represents the same x-relation.  The reduction removes
+
+* the null tuple, and
+* every tuple that is less informative than some other tuple,
+
+which the paper describes as "an extension of the process of removing
+duplicate tuples in tables representing conventional relations".
+
+Two algorithms are provided and benchmarked against each other (experiment
+E12 in DESIGN.md):
+
+* :func:`reduce_rows_naive` — the textbook O(n²) pairwise scan, a direct
+  transliteration of the definition;
+* :func:`reduce_rows_hashed` — a signature-bucketing strategy in the
+  spirit of the paper's pointer to "combinatorial hashing" [Knuth 1973]:
+  a tuple can only be subsumed by a tuple whose non-null attribute set is
+  a superset of its own, so candidate dominators are looked up by hashing
+  on attribute-subset signatures instead of scanning every row.
+
+Both return the same set of rows; property-based tests assert agreement.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from .tuples import XTuple
+
+
+def reduce_rows_naive(rows: Iterable[XTuple]) -> List[XTuple]:
+    """Quadratic reduction to minimal form.
+
+    Keeps a row iff it is not the null tuple and no distinct row is more
+    informative than it.  Equivalent duplicate rows are already collapsed
+    by the canonical :class:`XTuple` representation, so "distinct" here is
+    plain set distinctness.
+    """
+    unique = list(set(rows))
+    result: List[XTuple] = []
+    for candidate in unique:
+        if candidate.is_null_tuple():
+            continue
+        dominated = False
+        for other in unique:
+            if other != candidate and other.more_informative_than(candidate):
+                dominated = True
+                break
+        if not dominated:
+            result.append(candidate)
+    return result
+
+
+def _signature(t: XTuple) -> FrozenSet[str]:
+    return frozenset(t.attributes)
+
+
+def reduce_rows_hashed(rows: Iterable[XTuple], max_subset_width: int = 12) -> List[XTuple]:
+    """Signature-bucketed reduction to minimal form.
+
+    Rows are grouped by the frozenset of their non-null attributes.  A row
+    with attribute set ``S`` can only be dominated by a row whose attribute
+    set is a superset of ``S`` *and* agrees with it on ``S``; we therefore
+    index rows by every subset of their attribute signature up to
+    *max_subset_width* attributes wide, falling back to the naive scan for
+    extremely wide tuples (where the subset lattice would explode).
+
+    For the narrow-schema relations typical of the paper's examples and of
+    our benchmarks this gives near-linear behaviour.
+    """
+    unique = list(set(rows))
+    wide_rows = [t for t in unique if len(t) > max_subset_width]
+    if wide_rows:
+        # Mixed strategy would complicate the invariant; punt to the exact
+        # algorithm for correctness when any tuple is very wide.
+        return reduce_rows_naive(unique)
+
+    # Index: projection-signature -> set of full rows having that projection.
+    projection_index: Dict[Tuple[Tuple[str, object], ...], Set[XTuple]] = {}
+    for t in unique:
+        items = t.items()
+        n = len(items)
+        for width in range(n + 1):
+            for combo in combinations(items, width):
+                projection_index.setdefault(combo, set()).add(t)
+
+    result: List[XTuple] = []
+    for candidate in unique:
+        if candidate.is_null_tuple():
+            continue
+        holders = projection_index.get(candidate.items(), set())
+        # `holders` are exactly the rows whose bindings extend candidate's.
+        dominated = any(other != candidate for other in holders)
+        if not dominated:
+            result.append(candidate)
+    return result
+
+
+def reduce_rows(rows: Iterable[XTuple]) -> List[XTuple]:
+    """Default reduction strategy used by :meth:`Relation.minimal`.
+
+    Chooses the hashed strategy for collections large enough for it to pay
+    off, otherwise the naive scan.
+    """
+    materialised = rows if isinstance(rows, (list, set, tuple)) else list(rows)
+    if len(materialised) > 64:
+        return reduce_rows_hashed(materialised)
+    return reduce_rows_naive(materialised)
+
+
+def is_minimal_rows(rows: Iterable[XTuple]) -> bool:
+    """True when the collection is already in minimal form."""
+    unique = list(set(rows))
+    for candidate in unique:
+        if candidate.is_null_tuple():
+            return False
+        for other in unique:
+            if other != candidate and other.more_informative_than(candidate):
+                return False
+    return True

@@ -1,0 +1,155 @@
+"""Utilities over the information quasi-order on tuples.
+
+Section 3 establishes that "more informative" (Definition 3.1) is a
+reflexive and transitive relation on the universe of tuples ``U*`` — a
+quasi-order — and a partial order (indeed a meet semilattice) once
+equivalent tuples are identified.  This module packages the order-theoretic
+operations that the relation layer and the minimal-form reduction build on:
+
+* finding the maximal / minimal elements of a collection of tuples,
+* testing whether a collection is an antichain (no tuple subsumes another),
+* computing the meet-closure of a set (used when studying the semilattice
+  structure in tests),
+* comparison helpers returning rich results for diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from .tuples import XTuple, more_informative
+
+
+def maximal_tuples(tuples: Iterable[XTuple]) -> List[XTuple]:
+    """Return the maximal elements of *tuples* under the information order.
+
+    Duplicates (equivalent tuples) are collapsed to a single representative.
+    A tuple is kept when no *other* tuple in the input is strictly more
+    informative than it.
+    """
+    unique: List[XTuple] = []
+    seen: Set[XTuple] = set()
+    for t in tuples:
+        if t not in seen:
+            unique.append(t)
+            seen.add(t)
+    result: List[XTuple] = []
+    for candidate in unique:
+        dominated = False
+        for other in unique:
+            if other is candidate or other == candidate:
+                continue
+            if other.more_informative_than(candidate):
+                dominated = True
+                break
+        if not dominated:
+            result.append(candidate)
+    return result
+
+
+def minimal_tuples(tuples: Iterable[XTuple]) -> List[XTuple]:
+    """Return the minimal elements of *tuples* under the information order."""
+    unique: List[XTuple] = []
+    seen: Set[XTuple] = set()
+    for t in tuples:
+        if t not in seen:
+            unique.append(t)
+            seen.add(t)
+    result: List[XTuple] = []
+    for candidate in unique:
+        dominates = False
+        for other in unique:
+            if other is candidate or other == candidate:
+                continue
+            if candidate.more_informative_than(other):
+                dominates = True
+                break
+        if not dominates:
+            result.append(candidate)
+    return result
+
+
+def is_antichain(tuples: Sequence[XTuple]) -> bool:
+    """True when no tuple in the collection strictly subsumes another.
+
+    Minimal representations of x-relations are exactly antichains without
+    the null tuple (Definition 4.6).
+    """
+    items = list(tuples)
+    for i, r in enumerate(items):
+        for j, t in enumerate(items):
+            if i == j:
+                continue
+            if r.more_informative_than(t) and r != t:
+                return False
+    return True
+
+
+def subsumes_any(candidate: XTuple, tuples: Iterable[XTuple]) -> bool:
+    """True when *candidate* is more informative than some tuple in *tuples*."""
+    return any(candidate.more_informative_than(t) for t in tuples)
+
+
+def subsumed_by_any(candidate: XTuple, tuples: Iterable[XTuple]) -> bool:
+    """True when some tuple in *tuples* is more informative than *candidate*.
+
+    This is exactly the membership test ``candidate ∈̂ R`` of
+    Proposition 4.2, phrased on raw tuple collections.
+    """
+    return any(t.more_informative_than(candidate) for t in tuples)
+
+
+def meet_closure(tuples: Sequence[XTuple], max_rounds: int = 32) -> List[XTuple]:
+    """Close a finite set of tuples under pairwise meet.
+
+    Because the meet of two tuples never introduces new attribute/value
+    pairs, the closure is finite and the fixpoint is reached quickly; the
+    *max_rounds* guard is purely defensive.  Used by tests that verify the
+    semilattice structure of footnote 5.
+    """
+    closed: Set[XTuple] = set(tuples)
+    for _ in range(max_rounds):
+        additions: Set[XTuple] = set()
+        items = list(closed)
+        for i, r in enumerate(items):
+            for t in items[i + 1:]:
+                m = r.meet(t)
+                if m not in closed:
+                    additions.add(m)
+        if not additions:
+            break
+        closed |= additions
+    return sorted(closed, key=lambda t: (len(t), t.items()))
+
+
+def compare(r: XTuple, t: XTuple) -> str:
+    """Classify the order relationship between two tuples.
+
+    Returns one of ``"equivalent"``, ``"more"`` (r strictly above t),
+    ``"less"`` (r strictly below t) or ``"incomparable"``.
+    """
+    above = more_informative(r, t)
+    below = more_informative(t, r)
+    if above and below:
+        return "equivalent"
+    if above:
+        return "more"
+    if below:
+        return "less"
+    return "incomparable"
+
+
+def chains(tuples: Sequence[XTuple]) -> List[Tuple[XTuple, XTuple]]:
+    """Return every ordered pair ``(less, more)`` of strictly comparable tuples.
+
+    Useful for diagnostics and for exercising transitivity in property
+    tests.
+    """
+    pairs: List[Tuple[XTuple, XTuple]] = []
+    for r in tuples:
+        for t in tuples:
+            if r == t:
+                continue
+            if t.more_informative_than(r):
+                pairs.append((r, t))
+    return pairs

@@ -1,0 +1,175 @@
+"""Workload builders: the concrete databases the examples and benchmarks use.
+
+Two kinds of fixtures live here:
+
+* **paper fixtures** — the exact relations the paper draws (Table I,
+  Table II, the PS'/PS'' pair of Section 1, the PARTS–SUPPLIERS relation
+  of display (6.6)), so experiments can compare against the printed rows;
+* **scaled workloads** — parameterised families (employee databases with a
+  chosen null density, parts–suppliers databases of a chosen size) used by
+  the cost-shape benchmarks (E10–E12).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..core.domains import EnumeratedDomain, IntegerRangeDomain
+from ..core.nulls import NI
+from ..core.relation import Relation
+from ..storage.database import Database
+from ..constraints.keys import KeyConstraint
+from .generators import employee_relation, parts_suppliers_relation
+
+
+# ---------------------------------------------------------------------------
+# Paper fixtures
+# ---------------------------------------------------------------------------
+
+def table_one() -> Relation:
+    """Table I: EMP(E#, NAME, SEX, MGR#) before the schema change."""
+    return Relation.from_rows(
+        ["E#", "NAME", "SEX", "MGR#"],
+        [
+            (1120, "SMITH", "M", 2235),
+            (4335, "BROWN", "F", 2235),
+            (8799, "GREEN", "M", 1255),
+        ],
+        name="EMP",
+    )
+
+
+def table_two() -> Relation:
+    """Table II: EMP(E#, NAME, SEX, MGR#, TEL#) after adding TEL# (all null)."""
+    return Relation.from_rows(
+        ["E#", "NAME", "SEX", "MGR#", "TEL#"],
+        [
+            (1120, "SMITH", "M", 2235, NI),
+            (4335, "BROWN", "F", 2235, NI),
+            (8799, "GREEN", "M", 1255, NI),
+        ],
+        name="EMP",
+    )
+
+
+def ps_prime() -> Relation:
+    """PS' of display (1.1): {(ω, s1), (p1, s2)}."""
+    return Relation.from_rows(
+        ["P#", "S#"],
+        [(NI, "s1"), ("p1", "s2")],
+        name="PS'",
+    )
+
+
+def ps_double_prime() -> Relation:
+    """PS'' of display (1.2): PS' plus the tuple (p2, s2)."""
+    return Relation.from_rows(
+        ["P#", "S#"],
+        [(NI, "s1"), ("p1", "s2"), ("p2", "s2")],
+        name="PS''",
+    )
+
+
+def parts_suppliers() -> Relation:
+    """The PARTS–SUPPLIERS relation of display (6.6)."""
+    return Relation.from_rows(
+        ["S#", "P#"],
+        [
+            ("s1", "p1"),
+            ("s1", "p2"),
+            ("s1", NI),
+            ("s2", "p1"),
+            ("s2", NI),
+            ("s3", NI),
+            ("s4", "p4"),
+        ],
+        name="PS",
+    )
+
+
+def employee_database(include_managers: bool = True) -> Database:
+    """A Database holding the paper's EMP relation (Table II shape).
+
+    With *include_managers* the managers referenced by MGR# (2235, 1255)
+    are added as employees of their own, so the Figure 2 self-join query
+    has qualifying rows.
+    """
+    database = Database("paper")
+    table = database.create_table(
+        "EMP",
+        ["E#", "NAME", "SEX", "MGR#", "TEL#"],
+        constraints=[KeyConstraint(["E#"])],
+    )
+    rows: List[Tuple] = [
+        (1120, "SMITH", "M", 2235, NI),
+        (4335, "BROWN", "F", 2235, NI),
+        (8799, "GREEN", "M", 1255, NI),
+    ]
+    if include_managers:
+        # JONES manages SMITH and BROWN and is managed by ADAMS; ADAMS manages
+        # GREEN and JONES and is managed by JONES.  The cycle makes Figure 2
+        # interesting: GREEN qualifies (male manager, no self/mutual
+        # management with him), JONES does not (she manages her own manager).
+        rows.extend([
+            (2235, "JONES", "F", 1255, 2634952),
+            (1255, "ADAMS", "M", 2235, 2639001),
+        ])
+    table.insert_many(rows)
+    return database
+
+
+def parts_suppliers_database() -> Database:
+    """A Database holding the display (6.6) PARTS–SUPPLIERS relation."""
+    database = Database("parts-suppliers")
+    table = database.create_table("PS", ["S#", "P#"])
+    table.insert_many(list(parts_suppliers().tuples()))
+    return database
+
+
+# ---------------------------------------------------------------------------
+# Scaled workloads for the cost-shape benchmarks
+# ---------------------------------------------------------------------------
+
+def scaled_employee_database(size: int, null_rate: float, seed: int = 0) -> Database:
+    """A Database with a synthetic EMP relation of the given size and null density."""
+    database = Database(f"emp-{size}-{null_rate}")
+    relation = employee_relation(size, null_rate=null_rate, seed=seed)
+    table = database.create_table("EMP", relation.schema.attributes)
+    table.insert_many(list(relation.tuples()))
+    return database
+
+
+def scaled_parts_suppliers_database(
+    suppliers: int, parts: int, rows: int, null_rate: float, seed: int = 0
+) -> Database:
+    """A Database with a synthetic PS relation of the given shape."""
+    database = Database(f"ps-{suppliers}x{parts}")
+    relation = parts_suppliers_relation(suppliers, parts, rows, null_rate=null_rate, seed=seed)
+    table = database.create_table("PS", relation.schema.attributes)
+    table.insert_many(list(relation.tuples()))
+    return database
+
+
+def null_rate_sweep(rates: Sequence[float] = (0.0, 0.1, 0.2, 0.4, 0.6), size: int = 60, seed: int = 0) -> Dict[float, Database]:
+    """A family of employee databases differing only in null density."""
+    return {rate: scaled_employee_database(size, rate, seed=seed) for rate in rates}
+
+
+#: The query of Figure 1, verbatim (modulo ASCII connectives).
+FIGURE_1_QUERY = """
+range of e is EMP
+retrieve (e.NAME, e.E#)
+where (e.SEX = "F" and e.TEL# > 2634000)
+   or (e.TEL# < 2634000)
+"""
+
+#: The query of Figure 2, verbatim.
+FIGURE_2_QUERY = """
+range of e is EMP
+range of m is EMP
+retrieve (e.NAME)
+where m.SEX = "M"
+  and e.MGR# = m.E#
+  and e.MGR# != e.E#
+  and e.E# != m.MGR#
+"""

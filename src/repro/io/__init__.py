@@ -1,0 +1,17 @@
+"""Flat-file round-trips (CSV, JSON) with explicit null markers."""
+
+from .csvio import from_csv_text, read_csv, to_csv_text, write_csv
+from .jsonio import (
+    database_from_dict,
+    database_to_dict,
+    read_json,
+    relation_from_dict,
+    relation_to_dict,
+    write_json,
+)
+
+__all__ = [
+    "from_csv_text", "read_csv", "to_csv_text", "write_csv",
+    "database_from_dict", "database_to_dict", "read_json",
+    "relation_from_dict", "relation_to_dict", "write_json",
+]

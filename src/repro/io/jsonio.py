@@ -1,0 +1,85 @@
+"""JSON round-trips for relations and whole databases.
+
+JSON has a natural null, so the mapping is direct: ``ni`` ↔ ``null``.
+Rows are serialised as objects keyed by attribute name with null-valued
+attributes omitted (they are information-free), which keeps files compact
+and round-trips exactly through the canonical :class:`XTuple` form.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, TextIO, Union
+
+from ..core.nulls import is_ni
+from ..core.relation import Relation, RelationSchema
+from ..core.tuples import XTuple
+
+
+def relation_to_dict(relation: Relation) -> Dict[str, Any]:
+    """A JSON-ready dict describing the relation."""
+    return {
+        "name": relation.schema.name,
+        "attributes": list(relation.schema.attributes),
+        "rows": [
+            {a: row[a] for a in relation.schema.attributes if not is_ni(row[a])}
+            for row in relation.sorted_rows()
+        ],
+    }
+
+
+def relation_from_dict(payload: Mapping[str, Any]) -> Relation:
+    """Rebuild a relation from :func:`relation_to_dict` output."""
+    try:
+        attributes = tuple(payload["attributes"])
+        rows = payload["rows"]
+    except KeyError as missing:
+        raise ValueError(f"malformed relation payload: missing key {missing}") from None
+    schema = RelationSchema(attributes, name=payload.get("name", "R"))
+    relation = Relation(schema, validate=False)
+    for row in rows:
+        unknown = [a for a in row if a not in schema]
+        if unknown:
+            raise ValueError(f"row mentions attributes {unknown} not in the schema")
+        relation.add(XTuple(row))
+    return relation
+
+
+def write_json(relation: Relation, destination: Union[str, TextIO], indent: int = 2) -> None:
+    """Write a relation to a JSON file or file-like object."""
+    payload = relation_to_dict(relation)
+    if isinstance(destination, str):
+        with open(destination, "w") as handle:
+            json.dump(payload, handle, indent=indent)
+    else:
+        json.dump(payload, destination, indent=indent)
+
+
+def read_json(source: Union[str, TextIO]) -> Relation:
+    """Read a relation from JSON written by :func:`write_json`."""
+    if isinstance(source, str):
+        with open(source) as handle:
+            payload = json.load(handle)
+    else:
+        payload = json.load(source)
+    return relation_from_dict(payload)
+
+
+def database_to_dict(database) -> Dict[str, Any]:
+    """Serialise every table of a :class:`repro.storage.Database`."""
+    return {
+        "name": database.name,
+        "tables": [relation_to_dict(database[name]) for name in database],
+    }
+
+
+def database_from_dict(payload: Mapping[str, Any]):
+    """Rebuild a :class:`repro.storage.Database` from :func:`database_to_dict` output."""
+    from ..storage.database import Database
+
+    database = Database(payload.get("name", "db"))
+    for table_payload in payload.get("tables", []):
+        relation = relation_from_dict(table_payload)
+        table = database.create_table(relation.schema.name, relation.schema.attributes)
+        table.insert_many(list(relation.tuples()))
+    return database

@@ -1,0 +1,19 @@
+"""The Lien (1979) baseline: nonexistent nulls and multivalued dependencies.
+
+Selection/join/projection under the nonexistent interpretation
+(:mod:`repro.lien.operations`) and MVDs with nulls, dependency bases and
+implication (:mod:`repro.lien.mvd`).
+"""
+
+from .operations import lien_join, lien_project, lien_select
+from .mvd import (
+    MultivaluedDependency,
+    complementation,
+    dependency_basis,
+    mvd_implied,
+)
+
+__all__ = [
+    "lien_join", "lien_project", "lien_select",
+    "MultivaluedDependency", "complementation", "dependency_basis", "mvd_implied",
+]

@@ -1,0 +1,31 @@
+"""A QUEL front end able to run the paper's Figure 1 and Figure 2 queries.
+
+The pipeline is lexer → parser → analyzer → (tuple evaluator | algebraic
+planner).  :func:`run_query` is the one-call entry point.
+"""
+
+from .tokens import Token, TokenType
+from .lexer import Lexer, tokenize
+from .ast_nodes import (
+    AndExpr,
+    ColumnRef,
+    ComparisonExpr,
+    Literal,
+    NotExpr,
+    OrExpr,
+    RangeDeclaration,
+    RetrieveStatement,
+    TargetItem,
+)
+from .parser import Parser, parse
+from .analyzer import AnalyzedQuery, analyze
+from .planner import Plan, plan_query
+from .evaluator import QueryResult, compile_query, run_query
+
+__all__ = [
+    "Token", "TokenType", "Lexer", "tokenize",
+    "AndExpr", "ColumnRef", "ComparisonExpr", "Literal", "NotExpr", "OrExpr",
+    "RangeDeclaration", "RetrieveStatement", "TargetItem",
+    "Parser", "parse", "AnalyzedQuery", "analyze",
+    "Plan", "plan_query", "QueryResult", "compile_query", "run_query",
+]

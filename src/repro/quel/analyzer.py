@@ -1,0 +1,124 @@
+"""Semantic analysis: QUEL parse trees → core :class:`~repro.core.query.Query`.
+
+The analyzer resolves relation names against a *database* (any mapping
+from name to :class:`~repro.core.relation.Relation` /
+:class:`~repro.core.xrelation.XRelation`, including
+:class:`repro.storage.Database`), checks that every range variable is
+declared exactly once, that every column reference names a declared
+variable and an existing attribute, and that comparisons do not relate
+two literals.  The output is a ready-to-evaluate core query plus the
+little bits of surface information (``unique``, ``into``) the evaluator
+may care about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from ..core.errors import QuelSemanticError
+from ..core.query import And, AttributeRef, Comparison, Constant, Not, Or, Predicate, Query
+from ..core.relation import Relation
+from ..core.xrelation import XRelation
+from .ast_nodes import (
+    AndExpr,
+    ColumnRef,
+    ComparisonExpr,
+    Expression,
+    Literal,
+    NotExpr,
+    OrExpr,
+    RetrieveStatement,
+)
+
+DatabaseLike = Mapping[str, Union[Relation, XRelation]]
+
+
+class AnalyzedQuery:
+    """The result of analysing a QUEL statement."""
+
+    def __init__(self, query: Query, statement: RetrieveStatement):
+        self.query = query
+        self.statement = statement
+        self.unique = statement.unique
+        self.into = statement.into
+
+    def __repr__(self) -> str:
+        return f"AnalyzedQuery({self.query!r})"
+
+
+def _lookup_relation(database: DatabaseLike, name: str) -> Union[Relation, XRelation]:
+    if name in database:
+        return database[name]
+    # Be forgiving about case: QUEL keywords are case-insensitive and the
+    # paper capitalises relation names.
+    for key in database:
+        if key.lower() == name.lower():
+            return database[key]
+    raise QuelSemanticError(
+        f"unknown relation {name!r}; available: {', '.join(sorted(database))}"
+    )
+
+
+def _relation_schema(relation: Union[Relation, XRelation]):
+    return relation.schema
+
+
+def analyze(statement: RetrieveStatement, database: DatabaseLike, name: str = "Q") -> AnalyzedQuery:
+    """Resolve and validate a parsed QUEL statement against a database."""
+    if not statement.ranges:
+        raise QuelSemanticError("the query declares no range variables")
+    ranges: Dict[str, Union[Relation, XRelation]] = {}
+    for declaration in statement.ranges:
+        if declaration.variable in ranges:
+            raise QuelSemanticError(
+                f"range variable {declaration.variable!r} is declared more than once"
+            )
+        ranges[declaration.variable] = _lookup_relation(database, declaration.relation)
+
+    def resolve_column(reference: ColumnRef) -> AttributeRef:
+        if reference.variable not in ranges:
+            raise QuelSemanticError(
+                f"undeclared range variable {reference.variable!r} "
+                f"(declared: {', '.join(ranges)})"
+            )
+        schema = _relation_schema(ranges[reference.variable])
+        if reference.attribute not in schema:
+            raise QuelSemanticError(
+                f"relation for {reference.variable!r} has no attribute "
+                f"{reference.attribute!r} (attributes: {', '.join(schema.attributes)})"
+            )
+        return AttributeRef(reference.variable, reference.attribute)
+
+    def lower(expression: Expression) -> Predicate:
+        if isinstance(expression, ComparisonExpr):
+            if isinstance(expression.left, Literal) and isinstance(expression.right, Literal):
+                raise QuelSemanticError(
+                    f"comparison {expression} relates two literals; "
+                    f"at least one side must be a column reference"
+                )
+            left = (
+                resolve_column(expression.left)
+                if isinstance(expression.left, ColumnRef)
+                else Constant(expression.left.value)
+            )
+            right = (
+                resolve_column(expression.right)
+                if isinstance(expression.right, ColumnRef)
+                else Constant(expression.right.value)
+            )
+            return Comparison(left, expression.op, right)
+        if isinstance(expression, AndExpr):
+            return And(*[lower(o) for o in expression.operands])
+        if isinstance(expression, OrExpr):
+            return Or(*[lower(o) for o in expression.operands])
+        if isinstance(expression, NotExpr):
+            return Not(lower(expression.operand))
+        raise QuelSemanticError(f"unsupported expression node {expression!r}")
+
+    target = []
+    for item in statement.target:
+        target.append((item.output_name(), resolve_column(item.expression)))
+
+    where: Optional[Predicate] = lower(statement.where) if statement.where is not None else None
+    query = Query(ranges, target, where, name=statement.into or name)
+    return AnalyzedQuery(query, statement)

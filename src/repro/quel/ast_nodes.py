@@ -1,0 +1,151 @@
+"""Abstract syntax trees produced by the QUEL parser.
+
+The parser output is deliberately separate from the core query AST
+(:mod:`repro.core.query`): the parse tree records what the user wrote
+(names, positions, optional result-column labels), while the analyzer
+(:mod:`repro.quel.analyzer`) resolves names against a database and lowers
+the tree to a :class:`repro.core.query.Query` ready for evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# Expressions (the where clause)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """``variable.attribute`` as written in the query text."""
+
+    variable: str
+    attribute: str
+    line: int = 0
+    column: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.variable}.{self.attribute}"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A string or numeric literal."""
+
+    value: Any
+    line: int = 0
+    column: int = 0
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+Operand = Union[ColumnRef, Literal]
+
+
+@dataclass(frozen=True)
+class ComparisonExpr:
+    """``left θ right``."""
+
+    left: Operand
+    op: str
+    right: Operand
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class AndExpr:
+    operands: Tuple["Expression", ...]
+
+    def __str__(self) -> str:
+        return "(" + " and ".join(str(o) for o in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class OrExpr:
+    operands: Tuple["Expression", ...]
+
+    def __str__(self) -> str:
+        return "(" + " or ".join(str(o) for o in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class NotExpr:
+    operand: "Expression"
+
+    def __str__(self) -> str:
+        return f"not {self.operand}"
+
+
+Expression = Union[ComparisonExpr, AndExpr, OrExpr, NotExpr]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RangeDeclaration:
+    """``range of <variable> is <relation>``."""
+
+    variable: str
+    relation: str
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"range of {self.variable} is {self.relation}"
+
+
+@dataclass(frozen=True)
+class TargetItem:
+    """One element of the retrieve target list, optionally labelled.
+
+    QUEL writes ``retrieve (name = e.NAME, e.E#)``: the first item names
+    its output column explicitly, the second defaults.
+    """
+
+    expression: ColumnRef
+    label: Optional[str] = None
+
+    def output_name(self) -> str:
+        if self.label:
+            return self.label
+        return f"{self.expression.variable}_{self.expression.attribute}"
+
+    def __str__(self) -> str:
+        if self.label:
+            return f"{self.label} = {self.expression}"
+        return str(self.expression)
+
+
+@dataclass(frozen=True)
+class RetrieveStatement:
+    """A complete QUEL query: ranges, target list, optional where clause."""
+
+    ranges: Tuple[RangeDeclaration, ...]
+    target: Tuple[TargetItem, ...]
+    where: Optional[Expression] = None
+    unique: bool = False
+    into: Optional[str] = None
+
+    def range_for(self, variable: str) -> Optional[RangeDeclaration]:
+        for declaration in self.ranges:
+            if declaration.variable == variable:
+                return declaration
+        return None
+
+    def __str__(self) -> str:
+        lines = [str(declaration) for declaration in self.ranges]
+        head = "retrieve"
+        if self.unique:
+            head += " unique"
+        if self.into:
+            head += f" into {self.into}"
+        lines.append(f"{head} (" + ", ".join(str(t) for t in self.target) + ")")
+        if self.where is not None:
+            lines.append(f"where {self.where}")
+        return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Running QUEL queries end to end.
+
+:func:`run_query` is the convenience entry point used by the examples and
+benchmarks: parse → analyse against a database → evaluate.  Two execution
+strategies are available, both computing the lower bound ``||Q||_*``:
+
+* ``"tuple"`` — the direct tuple-at-a-time evaluation of Section 5
+  (:func:`repro.core.query.evaluate_lower_bound`);
+* ``"algebra"`` — the calculus-to-algebra translation of
+  :mod:`repro.quel.planner`, demonstrating the correspondence the paper
+  relies on for efficiency.
+
+The two agree information-wise on every query; the integration tests
+assert it and benchmark E10 measures their cost difference on selective
+queries (where the algebraic plan wins by pushing selections down).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Union
+
+from ..core.errors import QuelError
+from ..core.query import evaluate_lower_bound
+from ..core.relation import Relation
+from ..core.xrelation import XRelation
+from .analyzer import AnalyzedQuery, DatabaseLike, analyze
+from .parser import parse
+from .planner import Plan
+
+
+class QueryResult:
+    """The answer to a QUEL query plus provenance information."""
+
+    def __init__(self, answer: XRelation, analyzed: AnalyzedQuery, strategy: str, plan: Optional[Plan] = None):
+        self.answer = answer
+        self.analyzed = analyzed
+        self.strategy = strategy
+        self.plan = plan
+
+    @property
+    def rows(self):
+        return self.answer.rows()
+
+    def to_table(self) -> str:
+        return self.answer.to_table()
+
+    def __len__(self) -> int:
+        return len(self.answer)
+
+    def __repr__(self) -> str:
+        return f"QueryResult(rows={len(self.answer)}, strategy={self.strategy!r})"
+
+
+def compile_query(text: str, database: DatabaseLike, name: str = "Q") -> AnalyzedQuery:
+    """Parse and analyse QUEL text without executing it."""
+    return analyze(parse(text), database, name=name)
+
+
+def run_query(
+    text: str,
+    database: DatabaseLike,
+    strategy: str = "tuple",
+    name: str = "Q",
+) -> QueryResult:
+    """Parse, analyse and execute a QUEL query against *database*.
+
+    Parameters
+    ----------
+    text:
+        The QUEL source, e.g. the paper's Figure 1 query verbatim.
+    database:
+        A mapping from relation name to relation (``repro.storage.Database``
+        satisfies this).
+    strategy:
+        ``"tuple"`` (default) or ``"algebra"``.
+    """
+    analyzed = compile_query(text, database, name=name)
+    if strategy == "tuple":
+        answer = evaluate_lower_bound(analyzed.query)
+        return QueryResult(answer, analyzed, strategy)
+    if strategy == "algebra":
+        plan = Plan(analyzed.query)
+        answer = plan.execute()
+        return QueryResult(answer, analyzed, strategy, plan=plan)
+    raise QuelError(f"unknown execution strategy {strategy!r}; use 'tuple' or 'algebra'")

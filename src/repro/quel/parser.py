@@ -1,0 +1,200 @@
+"""A recursive-descent parser for the QUEL subset used by the paper.
+
+Grammar (EBNF, case-insensitive keywords)::
+
+    query        := range_decl* retrieve_clause [where_clause]
+    range_decl   := "range" "of" IDENT "is" IDENT
+    retrieve     := "retrieve" ["unique"] ["into" IDENT]
+                    "(" target_item ("," target_item)* ")"
+    target_item  := [IDENT "="] column_ref
+    where_clause := "where" expression
+    expression   := disjunction
+    disjunction  := conjunction ("or" conjunction)*
+    conjunction  := negation ("and" negation)*
+    negation     := "not" negation | primary
+    primary      := "(" expression ")" | comparison
+    comparison   := operand comparator operand
+    operand      := column_ref | NUMBER | STRING
+    column_ref   := IDENT "." IDENT
+
+A target item of the form ``IDENT = column_ref`` labels the output column;
+a bare ``column_ref`` keeps the default ``variable_attribute`` name.  The
+ambiguity with a comparison is resolved by context: target items can only
+be labels or column references.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.errors import QuelParseError
+from .ast_nodes import (
+    AndExpr,
+    ColumnRef,
+    ComparisonExpr,
+    Expression,
+    Literal,
+    NotExpr,
+    Operand,
+    OrExpr,
+    RangeDeclaration,
+    RetrieveStatement,
+    TargetItem,
+)
+from .lexer import tokenize
+from .tokens import COMPARISON_SPELLING, Token, TokenType
+
+
+class Parser:
+    """Recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token utilities -------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.type is not TokenType.END:
+            self.position += 1
+        return token
+
+    def _check(self, token_type: TokenType) -> bool:
+        return self._peek().type is token_type
+
+    def _match(self, *token_types: TokenType) -> Optional[Token]:
+        if self._peek().type in token_types:
+            return self._advance()
+        return None
+
+    def _expect(self, token_type: TokenType, description: str) -> Token:
+        token = self._peek()
+        if token.type is not token_type:
+            raise QuelParseError(
+                f"expected {description}, found {token.describe()}",
+                token.line, token.column,
+            )
+        return self._advance()
+
+    # -- grammar ------------------------------------------------------------------
+    def parse_query(self) -> RetrieveStatement:
+        ranges: List[RangeDeclaration] = []
+        while self._check(TokenType.RANGE):
+            ranges.append(self._range_declaration())
+        statement = self._retrieve(tuple(ranges))
+        end = self._peek()
+        if end.type is not TokenType.END:
+            raise QuelParseError(
+                f"unexpected trailing input starting with {end.describe()}",
+                end.line, end.column,
+            )
+        return statement
+
+    def _range_declaration(self) -> RangeDeclaration:
+        keyword = self._expect(TokenType.RANGE, "'range'")
+        self._expect(TokenType.OF, "'of'")
+        variable = self._expect(TokenType.IDENTIFIER, "a range variable name")
+        self._expect(TokenType.IS, "'is'")
+        relation = self._expect(TokenType.IDENTIFIER, "a relation name")
+        return RangeDeclaration(variable.value, relation.value, line=keyword.line)
+
+    def _retrieve(self, ranges: Tuple[RangeDeclaration, ...]) -> RetrieveStatement:
+        self._expect(TokenType.RETRIEVE, "'retrieve'")
+        unique = self._match(TokenType.UNIQUE) is not None
+        into: Optional[str] = None
+        if self._match(TokenType.INTO):
+            into = self._expect(TokenType.IDENTIFIER, "a result relation name").value
+        self._expect(TokenType.LPAREN, "'(' opening the target list")
+        target: List[TargetItem] = [self._target_item()]
+        while self._match(TokenType.COMMA):
+            target.append(self._target_item())
+        self._expect(TokenType.RPAREN, "')' closing the target list")
+        where: Optional[Expression] = None
+        if self._match(TokenType.WHERE):
+            where = self._expression()
+        return RetrieveStatement(ranges, tuple(target), where, unique=unique, into=into)
+
+    def _target_item(self) -> TargetItem:
+        # Either "label = var.attr" or "var.attr".
+        first = self._expect(TokenType.IDENTIFIER, "a target item")
+        if self._check(TokenType.EQUALS):
+            self._advance()
+            reference = self._column_ref()
+            return TargetItem(reference, label=first.value)
+        self._expect(TokenType.DOT, "'.' in a column reference")
+        attribute = self._expect(TokenType.IDENTIFIER, "an attribute name")
+        return TargetItem(ColumnRef(first.value, attribute.value, first.line, first.column))
+
+    def _column_ref(self) -> ColumnRef:
+        variable = self._expect(TokenType.IDENTIFIER, "a range variable")
+        self._expect(TokenType.DOT, "'.' in a column reference")
+        attribute = self._expect(TokenType.IDENTIFIER, "an attribute name")
+        return ColumnRef(variable.value, attribute.value, variable.line, variable.column)
+
+    # -- expressions ---------------------------------------------------------------------
+    def _expression(self) -> Expression:
+        return self._disjunction()
+
+    def _disjunction(self) -> Expression:
+        operands = [self._conjunction()]
+        while self._match(TokenType.OR):
+            operands.append(self._conjunction())
+        if len(operands) == 1:
+            return operands[0]
+        return OrExpr(tuple(operands))
+
+    def _conjunction(self) -> Expression:
+        operands = [self._negation()]
+        while self._match(TokenType.AND):
+            operands.append(self._negation())
+        if len(operands) == 1:
+            return operands[0]
+        return AndExpr(tuple(operands))
+
+    def _negation(self) -> Expression:
+        if self._match(TokenType.NOT):
+            return NotExpr(self._negation())
+        return self._primary()
+
+    def _primary(self) -> Expression:
+        if self._match(TokenType.LPAREN):
+            inner = self._expression()
+            self._expect(TokenType.RPAREN, "')'")
+            return inner
+        return self._comparison()
+
+    def _comparison(self) -> Expression:
+        left = self._operand()
+        operator_token = self._peek()
+        if operator_token.type not in COMPARISON_SPELLING:
+            raise QuelParseError(
+                f"expected a comparison operator, found {operator_token.describe()}",
+                operator_token.line, operator_token.column,
+            )
+        self._advance()
+        right = self._operand()
+        return ComparisonExpr(left, COMPARISON_SPELLING[operator_token.type], right)
+
+    def _operand(self) -> Operand:
+        token = self._peek()
+        if token.type is TokenType.IDENTIFIER:
+            return self._column_ref()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return Literal(token.value, token.line, token.column)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(token.value, token.line, token.column)
+        raise QuelParseError(
+            f"expected a column reference or literal, found {token.describe()}",
+            token.line, token.column,
+        )
+
+
+def parse(text: str) -> RetrieveStatement:
+    """Parse QUEL source text into a :class:`RetrieveStatement`."""
+    return Parser(tokenize(text)).parse_query()

@@ -1,0 +1,168 @@
+"""A small algebraic planner for QUEL queries.
+
+Section 8 of the paper stresses that the generalised model keeps "the
+well-known correspondence between the relational calculus and the
+relational algebra", which is what makes query evaluation efficient.  The
+planner makes that correspondence concrete: it translates an analysed
+query into a plan over the extended algebra operators of
+:mod:`repro.core.algebra` —
+
+* rename every range relation with a ``variable.`` prefix,
+* push single-variable conjunctive selections down onto their relation,
+* combine the ranges with Cartesian products,
+* apply the remaining (multi-variable or disjunctive) qualification as a
+  generalised selection on the product,
+* project onto the target list (renaming to the output column names).
+
+The planner handles every query the front end accepts; the selection
+push-down is only an optimisation, and the produced result is always
+information-wise equal to the tuple-at-a-time evaluation of
+:func:`repro.core.query.evaluate_lower_bound` (asserted by the
+integration tests).  :class:`Plan` retains a human-readable list of steps
+so examples and tests can display the chosen strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core import algebra
+from ..core.query import And, AttributeRef, Comparison, Constant, Not, Or, Predicate, Query
+from ..core.relation import Relation
+from ..core.threevalued import compare
+from ..core.tuples import XTuple
+from ..core.xrelation import XRelation
+
+
+class Plan:
+    """An executable query plan with a readable trace of its steps."""
+
+    def __init__(self, query: Query):
+        self.query = query
+        self.steps: List[str] = []
+
+    def explain(self) -> str:
+        return "\n".join(f"{i + 1}. {step}" for i, step in enumerate(self.steps))
+
+    # -- construction --------------------------------------------------------
+    @staticmethod
+    def _qualify(variable: str, attribute: str) -> str:
+        return f"{variable}.{attribute}"
+
+    def execute(self) -> XRelation:
+        """Build and run the algebraic plan, returning the answer x-relation."""
+        query = self.query
+        self.steps = []
+
+        # Split the qualification into per-variable conjuncts (pushable) and
+        # the rest (applied after the product).
+        pushable, residual = _split_conjuncts(query.where)
+
+        # Step 1: rename each range with a variable prefix so products are
+        # always over disjoint attribute sets (needed for self-joins like
+        # the paper's Figure 2 query).
+        renamed: Dict[str, XRelation] = {}
+        for variable, relation in query.ranges.items():
+            mapping = {a: self._qualify(variable, a) for a in relation.schema.attributes}
+            renamed[variable] = algebra.rename(relation, mapping)
+            self.steps.append(f"rename {relation.name} as {variable}(…)")
+
+        # Step 2: push single-variable selections.
+        for variable, conjuncts in pushable.items():
+            for conjunct in conjuncts:
+                renamed[variable] = _apply_selection(renamed[variable], variable, conjunct)
+                self.steps.append(f"select {conjunct!r} on {variable}")
+
+        # Step 3: product of all ranges.
+        variables = list(query.ranges)
+        combined = renamed[variables[0]]
+        for variable in variables[1:]:
+            combined = algebra.product(combined, renamed[variable])
+            self.steps.append(f"product with {variable}")
+
+        # Step 4: residual qualification as a generalised selection.
+        if residual is not None:
+            predicate = _bind_residual(residual, variables)
+            combined = algebra.select_predicate(combined, predicate)
+            self.steps.append(f"select residual {residual!r}")
+
+        # Step 5: projection onto the target list with output renaming.
+        qualified_targets = [
+            (output, self._qualify(ref.variable, ref.attribute))
+            for output, ref in query.target
+        ]
+        projected = algebra.project(combined, [qualified for _, qualified in qualified_targets])
+        renaming = {qualified: output for output, qualified in qualified_targets}
+        result = algebra.rename(projected, renaming)
+        self.steps.append(f"project onto {[o for o, _ in qualified_targets]}")
+        return result
+
+
+def _split_conjuncts(predicate: Predicate) -> Tuple[Dict[str, List[Comparison]], Optional[Predicate]]:
+    """Separate pushable single-variable conjuncts from the residual predicate."""
+    from ..core.query import TruthConstant
+
+    if isinstance(predicate, TruthConstant):
+        return {}, None
+
+    conjuncts: List[Predicate] = list(predicate.operands) if isinstance(predicate, And) else [predicate]
+    pushable: Dict[str, List[Comparison]] = {}
+    residual: List[Predicate] = []
+    for conjunct in conjuncts:
+        if isinstance(conjunct, Comparison):
+            variables = conjunct.references()
+            constant_side = isinstance(conjunct.left, Constant) or isinstance(conjunct.right, Constant)
+            if len(variables) == 1 and constant_side:
+                pushable.setdefault(variables[0], []).append(conjunct)
+                continue
+        residual.append(conjunct)
+    if not residual:
+        return pushable, None
+    if len(residual) == 1:
+        return pushable, residual[0]
+    return pushable, And(*residual)
+
+
+def _apply_selection(relation: XRelation, variable: str, conjunct: Comparison) -> XRelation:
+    """Apply a pushable single-variable comparison to a renamed range."""
+    if isinstance(conjunct.left, AttributeRef):
+        attribute = f"{conjunct.left.variable}.{conjunct.left.attribute}"
+        constant = conjunct.right.literal  # type: ignore[union-attr]
+        return algebra.select_constant(relation, attribute, conjunct.op, constant)
+    attribute = f"{conjunct.right.variable}.{conjunct.right.attribute}"  # type: ignore[union-attr]
+    constant = conjunct.left.literal  # type: ignore[union-attr]
+    flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}[conjunct.op]
+    return algebra.select_constant(relation, attribute, flipped, constant)
+
+
+def _bind_residual(predicate: Predicate, variables: Sequence[str]):
+    """Turn the residual predicate into a row predicate over the product schema."""
+
+    def row_predicate(row: XTuple):
+        binding = {variable: _RowView(row, variable) for variable in variables}
+        return predicate.evaluate(binding)
+
+    return row_predicate
+
+
+class _RowView:
+    """Presents a product row as if it were a row of a single range variable.
+
+    The planner renames every attribute to ``variable.attribute``; this
+    adapter lets the original predicate (written against bare attribute
+    names) read the prefixed columns.
+    """
+
+    __slots__ = ("_row", "_variable")
+
+    def __init__(self, row: XTuple, variable: str):
+        self._row = row
+        self._variable = variable
+
+    def __getitem__(self, attribute: str):
+        return self._row[f"{self._variable}.{attribute}"]
+
+
+def plan_query(query: Query) -> Plan:
+    """Build a :class:`Plan` for a core query."""
+    return Plan(query)

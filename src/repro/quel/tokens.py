@@ -1,0 +1,92 @@
+"""Token definitions for the QUEL front end.
+
+The paper presents its example queries (Figures 1 and 2) in QUEL, the
+query language of INGRES [Stonebraker et al. 1976].  The reproduction
+implements enough of QUEL to run those queries verbatim: ``range of``
+declarations, a ``retrieve`` clause with an optional parenthesised target
+list (with optional result-column names), and a ``where`` clause built
+from comparisons combined with ``and`` / ``or`` / ``not``.
+
+Identifiers may contain ``#`` so the paper's attribute names (``E#``,
+``TEL#``, ``MGR#``) lex as single tokens.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+from typing import Any, NamedTuple
+
+
+class TokenType(Enum):
+    """The lexical categories recognised by the QUEL lexer."""
+
+    # Keywords
+    RANGE = auto()
+    OF = auto()
+    IS = auto()
+    RETRIEVE = auto()
+    UNIQUE = auto()
+    INTO = auto()
+    WHERE = auto()
+    AND = auto()
+    OR = auto()
+    NOT = auto()
+
+    # Literals and names
+    IDENTIFIER = auto()
+    NUMBER = auto()
+    STRING = auto()
+
+    # Punctuation and operators
+    LPAREN = auto()
+    RPAREN = auto()
+    COMMA = auto()
+    DOT = auto()
+    EQUALS = auto()
+    NOT_EQUALS = auto()
+    LESS = auto()
+    LESS_EQUAL = auto()
+    GREATER = auto()
+    GREATER_EQUAL = auto()
+
+    END = auto()
+
+
+#: Keyword spellings (lower-cased) mapped to their token types.
+KEYWORDS = {
+    "range": TokenType.RANGE,
+    "of": TokenType.OF,
+    "is": TokenType.IS,
+    "retrieve": TokenType.RETRIEVE,
+    "unique": TokenType.UNIQUE,
+    "into": TokenType.INTO,
+    "where": TokenType.WHERE,
+    "and": TokenType.AND,
+    "or": TokenType.OR,
+    "not": TokenType.NOT,
+}
+
+#: Comparison token types mapped onto the operator spellings used by the
+#: core three-valued comparison machinery.
+COMPARISON_SPELLING = {
+    TokenType.EQUALS: "=",
+    TokenType.NOT_EQUALS: "!=",
+    TokenType.LESS: "<",
+    TokenType.LESS_EQUAL: "<=",
+    TokenType.GREATER: ">",
+    TokenType.GREATER_EQUAL: ">=",
+}
+
+
+class Token(NamedTuple):
+    """A single lexical token with its source position (1-based)."""
+
+    type: TokenType
+    value: Any
+    line: int
+    column: int
+
+    def describe(self) -> str:
+        if self.type in (TokenType.IDENTIFIER, TokenType.NUMBER, TokenType.STRING):
+            return f"{self.type.name}({self.value!r})"
+        return self.type.name

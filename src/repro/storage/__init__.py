@@ -1,0 +1,21 @@
+"""An in-memory database substrate built on the extended relational model.
+
+Tables (:mod:`repro.storage.table`) define updates through the extended
+algebra exactly as Section 7 prescribes; the catalog and database facade
+(:mod:`repro.storage.catalog`, :mod:`repro.storage.database`) add naming,
+foreign keys and QUEL querying; hash indexes (:mod:`repro.storage.index`)
+realise the paper's "combinatorial hashing" remark; and
+:mod:`repro.storage.schema_evolution` replays the Table I → Table II
+schema-change story.
+"""
+
+from .index import HashIndex
+from .table import Table
+from .catalog import Catalog
+from .database import Database
+from .schema_evolution import EvolutionReport, add_attribute, drop_attribute, evolve
+
+__all__ = [
+    "HashIndex", "Table", "Catalog", "Database",
+    "EvolutionReport", "add_attribute", "drop_attribute", "evolve",
+]

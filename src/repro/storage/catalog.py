@@ -1,0 +1,116 @@
+"""The catalog: named tables, their constraints and cross-table foreign keys."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..core.errors import StorageError
+from ..core.relation import RelationSchema
+from ..constraints.referential import ForeignKeyConstraint
+from .table import Table, TableConstraint
+
+
+class Catalog:
+    """A registry of tables plus the foreign keys that relate them.
+
+    Foreign keys live at the catalog level because they span two tables;
+    the catalog wires the checks into inserts (referencing side) and
+    deletes (referenced side) performed through :class:`Database`.
+    """
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+        self._foreign_keys: List[Tuple[str, ForeignKeyConstraint]] = []
+
+    # -- table management ---------------------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        schema: Union[RelationSchema, Sequence[str]],
+        constraints: Sequence[TableConstraint] = (),
+    ) -> Table:
+        if name in self._tables:
+            raise StorageError(f"table {name!r} already exists")
+        table = Table(schema, constraints, name=name)
+        self._tables[name] = table
+        return table
+
+    def register_table(self, table: Table) -> Table:
+        if table.name in self._tables:
+            raise StorageError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise StorageError(f"no table named {name!r}")
+        referencing = [
+            fk for owner, fk in self._foreign_keys
+            if fk.referenced_relation == name and owner != name
+        ]
+        if referencing:
+            raise StorageError(
+                f"cannot drop {name!r}: referenced by {[fk.name for fk in referencing]}"
+            )
+        del self._tables[name]
+        self._foreign_keys = [(owner, fk) for owner, fk in self._foreign_keys if owner != name]
+
+    def rename_table(self, old: str, new: str) -> Table:
+        if old not in self._tables:
+            raise StorageError(f"no table named {old!r}")
+        if new in self._tables:
+            raise StorageError(f"table {new!r} already exists")
+        table = self._tables.pop(old)
+        table.relation.schema.name = new
+        self._tables[new] = table
+        self._foreign_keys = [
+            (new if owner == old else owner,
+             ForeignKeyConstraint(fk.attributes, new if fk.referenced_relation == old else fk.referenced_relation,
+                                  fk.referenced_attributes, name=fk.name))
+            for owner, fk in self._foreign_keys
+        ]
+        return table
+
+    # -- lookups --------------------------------------------------------------------
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise StorageError(
+                f"no table named {name!r}; available: {', '.join(sorted(self._tables))}"
+            ) from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    def tables(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    # -- foreign keys ------------------------------------------------------------------
+    def add_foreign_key(self, owner: str, constraint: ForeignKeyConstraint, validate_existing: bool = True) -> None:
+        owner_table = self.table(owner)
+        referenced_table = self.table(constraint.referenced_relation)
+        if validate_existing:
+            constraint.check(owner_table.relation, referenced_table.relation)
+        self._foreign_keys.append((owner, constraint))
+
+    def foreign_keys_of(self, owner: str) -> List[ForeignKeyConstraint]:
+        return [fk for table_name, fk in self._foreign_keys if table_name == owner]
+
+    def foreign_keys_referencing(self, referenced: str) -> List[Tuple[str, ForeignKeyConstraint]]:
+        return [
+            (owner, fk) for owner, fk in self._foreign_keys
+            if fk.referenced_relation == referenced
+        ]
+
+    def __repr__(self) -> str:
+        return f"Catalog(tables={self.table_names()}, foreign_keys={len(self._foreign_keys)})"

@@ -1,0 +1,112 @@
+"""The Database facade: catalog + updates + queries in one object.
+
+:class:`Database` is what the examples, the QUEL evaluator and the
+benchmarks hold on to.  It behaves as a mapping from relation name to
+:class:`~repro.core.relation.Relation` (so it plugs straight into
+:func:`repro.quel.run_query`), enforces foreign keys on inserts and
+deletes, and exposes snapshot/restore so benchmarks can rerun workloads
+from a fixed state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
+
+from ..core.errors import StorageError
+from ..core.relation import Relation, RelationSchema, RowLike
+from ..core.tuples import XTuple
+from ..core.xrelation import XRelation
+from ..constraints.referential import ForeignKeyConstraint
+from .catalog import Catalog
+from .table import Table, TableConstraint
+
+
+class Database(Mapping[str, Relation]):
+    """An in-memory database of relations with null values."""
+
+    def __init__(self, name: str = "db"):
+        self.name = name
+        self.catalog = Catalog()
+
+    # -- Mapping protocol (what the QUEL analyzer consumes) ----------------------------
+    def __getitem__(self, name: str) -> Relation:
+        return self.catalog.table(name).relation
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.catalog.table_names())
+
+    def __len__(self) -> int:
+        return len(self.catalog)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and self.catalog.has_table(name)
+
+    # -- schema manipulation --------------------------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        schema: Union[RelationSchema, Sequence[str]],
+        constraints: Sequence[TableConstraint] = (),
+    ) -> Table:
+        return self.catalog.create_table(name, schema, constraints)
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop_table(name)
+
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+    def add_foreign_key(self, owner: str, constraint: ForeignKeyConstraint) -> None:
+        self.catalog.add_foreign_key(owner, constraint)
+
+    # -- updates with referential enforcement ------------------------------------------------
+    def insert(self, table_name: str, row: RowLike) -> XTuple:
+        table = self.catalog.table(table_name)
+        candidate = table.relation._coerce_row(row)
+        for fk in self.catalog.foreign_keys_of(table_name):
+            referenced = self.catalog.table(fk.referenced_relation).relation
+            fk.check_insert(table.relation, candidate, referenced)
+        return table.insert(candidate)
+
+    def insert_many(self, table_name: str, rows: Sequence[RowLike]) -> List[XTuple]:
+        return [self.insert(table_name, row) for row in rows]
+
+    def delete(self, table_name: str, row: RowLike) -> int:
+        table = self.catalog.table(table_name)
+        target = table.relation._coerce_row(row)
+        for owner, fk in self.catalog.foreign_keys_referencing(table_name):
+            referencing = self.catalog.table(owner).relation
+            fk.check_delete(referencing, target, table.relation)
+        return table.delete(target)
+
+    def update(self, table_name: str, old_row: RowLike, new_row: RowLike) -> XTuple:
+        table = self.catalog.table(table_name)
+        candidate = table.relation._coerce_row(new_row)
+        for fk in self.catalog.foreign_keys_of(table_name):
+            referenced = self.catalog.table(fk.referenced_relation).relation
+            fk.check_insert(table.relation, candidate, referenced)
+        return table.update(old_row, candidate)
+
+    # -- queries --------------------------------------------------------------------------------
+    def query(self, text: str, strategy: str = "tuple"):
+        """Run a QUEL query against this database (see :func:`repro.quel.run_query`)."""
+        from ..quel.evaluator import run_query
+        return run_query(text, self, strategy=strategy)
+
+    def xrelation(self, name: str) -> XRelation:
+        return self.catalog.table(name).as_xrelation()
+
+    # -- snapshots ---------------------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, set]:
+        """A cheap copy of every table's rows, keyed by table name."""
+        return {name: set(self.catalog.table(name).rows()) for name in self.catalog.table_names()}
+
+    def restore(self, snapshot: Mapping[str, set]) -> None:
+        for name, rows in snapshot.items():
+            table = self.catalog.table(name)
+            table.relation._rows = set(rows)
+            for index in table.indexes.values():
+                index.rebuild(table.relation.tuples())
+
+    def __repr__(self) -> str:
+        return f"Database({self.name!r}, tables={self.catalog.table_names()})"

@@ -1,0 +1,99 @@
+"""Hash indexes over relations with null values.
+
+Section 4 of the paper notes that "more sophisticated techniques, such as
+combinatorial hashing, can provide more efficient solutions" for the set
+operations and for reduction to minimal form.  The storage layer keeps the
+simplest useful realisation of that remark: a hash index on a set of
+attributes, mapping each *total* index-key value to the rows carrying it.
+
+Rows that are null on any indexed attribute are kept in a separate
+"unindexed" bucket: an index can accelerate equality probes for known
+values, but the information ordering means a null row can still subsume or
+be subsumed regardless of the probe value, so scans that care about
+x-membership must also visit the unindexed bucket.  The index API makes
+that explicit (:meth:`HashIndex.probe` returns both parts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.nulls import is_ni
+from ..core.tuples import XTuple
+
+
+class HashIndex:
+    """An equality (hash) index over one or more attributes."""
+
+    def __init__(self, attributes: Sequence[str], name: Optional[str] = None):
+        self.attributes: Tuple[str, ...] = tuple(attributes)
+        if not self.attributes:
+            raise ValueError("an index needs at least one attribute")
+        self.name = name or f"idx({', '.join(self.attributes)})"
+        self._buckets: Dict[Tuple, Set[XTuple]] = {}
+        self._unindexed: Set[XTuple] = set()
+
+    # -- keying -------------------------------------------------------------
+    def _key_of(self, row: XTuple) -> Optional[Tuple]:
+        values = []
+        for attribute in self.attributes:
+            value = row[attribute]
+            if is_ni(value):
+                return None
+            values.append(value)
+        return tuple(values)
+
+    # -- maintenance -----------------------------------------------------------
+    def insert(self, row: XTuple) -> None:
+        key = self._key_of(row)
+        if key is None:
+            self._unindexed.add(row)
+        else:
+            self._buckets.setdefault(key, set()).add(row)
+
+    def remove(self, row: XTuple) -> None:
+        key = self._key_of(row)
+        if key is None:
+            self._unindexed.discard(row)
+            return
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            bucket.discard(row)
+            if not bucket:
+                del self._buckets[key]
+
+    def rebuild(self, rows: Iterable[XTuple]) -> None:
+        self._buckets.clear()
+        self._unindexed.clear()
+        for row in rows:
+            self.insert(row)
+
+    def clear(self) -> None:
+        self._buckets.clear()
+        self._unindexed.clear()
+
+    # -- queries ------------------------------------------------------------------
+    def lookup(self, values: Sequence) -> Set[XTuple]:
+        """Rows whose indexed attributes equal *values* exactly (nulls excluded)."""
+        return set(self._buckets.get(tuple(values), set()))
+
+    def probe(self, values: Sequence) -> Tuple[Set[XTuple], Set[XTuple]]:
+        """Exact matches plus the null bucket (candidates for x-membership checks)."""
+        return self.lookup(values), set(self._unindexed)
+
+    def unindexed_rows(self) -> Set[XTuple]:
+        """Rows null on at least one indexed attribute."""
+        return set(self._unindexed)
+
+    # -- statistics ----------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values()) + len(self._unindexed)
+
+    def distinct_keys(self) -> int:
+        return len(self._buckets)
+
+    def __repr__(self) -> str:
+        return (
+            f"HashIndex({list(self.attributes)}, keys={len(self._buckets)}, "
+            f"unindexed={len(self._unindexed)})"
+        )

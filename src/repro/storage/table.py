@@ -1,0 +1,206 @@
+"""Tables: relations plus constraints, indexes and algebra-defined updates.
+
+Section 7 of the paper defines database updates through the extended
+algebra: "the result of adding a set of tuples to a relation is defined as
+the union of the set with the relation; likewise deletion is defined by
+set difference; a modification can be viewed as a deletion followed by an
+addition."  :class:`Table` implements exactly this discipline:
+
+* :meth:`insert` / :meth:`insert_many` — generalised union with the new
+  rows, after constraint checks;
+* :meth:`delete` / :meth:`delete_where` — generalised difference; note
+  that, per (4.8), deleting a row also removes every *less informative*
+  row it subsumes, which is the behaviour the information ordering
+  dictates;
+* :meth:`update` — deletion followed by insertion;
+* the Section 1 user expectation — after an insert, the new table
+  x-contains the old one — holds by construction and is asserted in the
+  tests.
+
+A table may carry key / NOT NULL / FD / row constraints and any number of
+hash indexes, which are maintained incrementally.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from ..core import setops
+from ..core.errors import StorageError
+from ..core.relation import Relation, RelationSchema, RowLike
+from ..core.tuples import XTuple
+from ..core.xrelation import XRelation
+from ..constraints.keys import KeyConstraint, NotNullConstraint
+from ..constraints.functional import FunctionalDependency
+from ..constraints.schema_constraints import RowConstraint
+from .index import HashIndex
+
+
+TableConstraint = Union[KeyConstraint, NotNullConstraint, FunctionalDependency, RowConstraint]
+
+
+class Table:
+    """A named, constrained, indexable relation living in a catalog."""
+
+    def __init__(
+        self,
+        schema: Union[RelationSchema, Sequence[str]],
+        constraints: Sequence[TableConstraint] = (),
+        name: Optional[str] = None,
+    ):
+        if not isinstance(schema, RelationSchema):
+            schema = RelationSchema(tuple(schema), name=name or "T")
+        elif name is not None:
+            schema = RelationSchema(schema.attributes, schema.domains(), name=name)
+        self.relation = Relation(schema)
+        self.constraints: List[TableConstraint] = list(constraints)
+        self.indexes: Dict[str, HashIndex] = {}
+
+    # -- convenience accessors ----------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.relation.schema.name
+
+    @property
+    def schema(self) -> RelationSchema:
+        return self.relation.schema
+
+    @property
+    def attributes(self):
+        return self.relation.schema.attributes
+
+    def rows(self):
+        return self.relation.tuples()
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    def __iter__(self):
+        return iter(self.relation)
+
+    def as_relation(self) -> Relation:
+        return self.relation
+
+    def as_xrelation(self) -> XRelation:
+        return XRelation(self.relation)
+
+    # -- constraints ----------------------------------------------------------------
+    def add_constraint(self, constraint: TableConstraint, validate_existing: bool = True) -> None:
+        if validate_existing:
+            check = getattr(constraint, "check", None)
+            if check is not None:
+                check(self.relation)
+        self.constraints.append(constraint)
+
+    def _check_insert(self, row: XTuple) -> None:
+        for constraint in self.constraints:
+            check_insert = getattr(constraint, "check_insert", None)
+            if check_insert is not None:
+                check_insert(self.relation, row)
+
+    def validate(self) -> None:
+        """Re-check every constraint against the whole table."""
+        for constraint in self.constraints:
+            check = getattr(constraint, "check", None)
+            if check is not None:
+                check(self.relation)
+
+    # -- indexes -----------------------------------------------------------------------
+    def create_index(self, attributes: Sequence[str], name: Optional[str] = None) -> HashIndex:
+        self.schema.require(attributes)
+        index = HashIndex(attributes, name=name)
+        if index.name in self.indexes:
+            raise StorageError(f"index {index.name!r} already exists on table {self.name!r}")
+        index.rebuild(self.relation.tuples())
+        self.indexes[index.name] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        if name not in self.indexes:
+            raise StorageError(f"no index named {name!r} on table {self.name!r}")
+        del self.indexes[name]
+
+    def lookup(self, attributes: Sequence[str], values: Sequence[Any]) -> List[XTuple]:
+        """Equality lookup, via an index when one exists on exactly these attributes."""
+        wanted = tuple(attributes)
+        for index in self.indexes.values():
+            if index.attributes == wanted:
+                return sorted(index.lookup(values), key=lambda r: r.items())
+        matches = [
+            r for r in self.relation.tuples()
+            if all(r[a] == v for a, v in zip(wanted, values))
+        ]
+        return sorted(matches, key=lambda r: r.items())
+
+    # -- updates (algebra-defined) ----------------------------------------------------------
+    def insert(self, row: RowLike) -> XTuple:
+        """Insert one row (generalised union with a singleton relation)."""
+        candidate = self.relation._coerce_row(row)
+        self._check_insert(candidate)
+        self.relation.add(candidate)
+        for index in self.indexes.values():
+            index.insert(candidate)
+        return candidate
+
+    def insert_many(self, rows: Iterable[RowLike]) -> List[XTuple]:
+        return [self.insert(row) for row in rows]
+
+    def delete(self, row: RowLike) -> int:
+        """Delete by generalised difference with a singleton relation.
+
+        Following (4.8), every stored row that the given row subsumes is
+        removed — deleting ``(p1, s2)`` also removes ``(p1, -)`` if present,
+        since the latter carries no information not carried by the former.
+        Returns the number of rows removed.
+        """
+        target = self.relation._coerce_row(row)
+        singleton = Relation(self.schema, validate=False)
+        singleton._rows = {target}
+        remaining = setops.difference(self.relation, singleton, minimize=False)
+        removed = len(self.relation) - len(remaining)
+        if removed:
+            self.relation._rows = set(remaining.tuples())
+            for index in self.indexes.values():
+                index.rebuild(self.relation.tuples())
+        return removed
+
+    def delete_where(self, predicate: Callable[[XTuple], bool]) -> int:
+        """Delete every row satisfying a Python predicate (a convenience form)."""
+        doomed = [r for r in self.relation.tuples() if predicate(r)]
+        removed = 0
+        for row in doomed:
+            self.relation._rows.discard(row)
+            removed += 1
+            for index in self.indexes.values():
+                index.remove(row)
+        return removed
+
+    def update(self, old_row: RowLike, new_row: RowLike) -> XTuple:
+        """Modification = deletion followed by addition (Section 7)."""
+        old = self.relation._coerce_row(old_row)
+        if old not in self.relation.tuples():
+            raise StorageError(f"row {old!r} not present in table {self.name!r}")
+        self.delete(old)
+        try:
+            return self.insert(new_row)
+        except Exception:
+            # Restore the old row so a failed update leaves the table unchanged.
+            self.relation.add(old)
+            for index in self.indexes.values():
+                index.insert(old)
+            raise
+
+    def truncate(self) -> None:
+        self.relation.clear()
+        for index in self.indexes.values():
+            index.clear()
+
+    # -- presentation ------------------------------------------------------------------------------
+    def to_table(self) -> str:
+        return self.relation.to_table()
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, attributes={list(self.attributes)}, rows={len(self.relation)}, "
+            f"constraints={len(self.constraints)}, indexes={list(self.indexes)})"
+        )

@@ -1,0 +1,236 @@
+"""Interval reasoning over inequalities on null attributes (Appendix).
+
+The Appendix points out that the propositional view is not enough: the
+clause ``t.A > 3 ∧ (t.B < 12 ∨ t.B > t.A)`` is a tautology for every tuple
+with a non-null ``A`` in ``3 < A < 12`` regardless of the value of a null
+``B`` — detecting this requires the evaluator to "understand simple
+mathematics".  This module provides that understanding for the common case
+where every comparison involving a given null attribute compares it
+against a *constant* (after partial evaluation against the binding, the
+other side is known).
+
+The technique is exhaustive case analysis over *regions*: the constants
+mentioned in the comparisons split the number line into finitely many
+regions (each constant itself, and the open gaps between consecutive
+constants, plus the two unbounded ends); within a region every comparison
+against a constant has a fixed truth value, so evaluating the clause at
+one representative per region decides it for every possible value of the
+null.  With several null attributes the Cartesian product of their region
+sets is enumerated.
+
+The analysis is exact for integer- or real-valued attributes whose
+comparisons are all against constants.  Comparisons between two nulls (or
+a null and another tuple's null) are outside its scope and make
+:func:`analyse` report ``supported=False``; the detector then falls back
+to brute-force substitution over explicit finite domains.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from numbers import Real
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.errors import TautologyError
+from ..core.nulls import is_null
+from ..core.query import AttributeRef, Comparison, Predicate
+from ..core.threevalued import comparison_function
+from ..core.tuples import XTuple
+
+
+class RegionSample:
+    """A representative value for one region of the number line."""
+
+    __slots__ = ("value", "description")
+
+    def __init__(self, value, description: str):
+        self.value = value
+        self.description = description
+
+    def __repr__(self) -> str:
+        return f"RegionSample({self.value!r}, {self.description})"
+
+
+def _region_samples(constants: Sequence[Real], integer_only: bool) -> List[RegionSample]:
+    """Representative values for every region induced by the given constants."""
+    if not constants:
+        return [RegionSample(0, "anywhere")]
+    ordered = sorted(set(Fraction(c) if not isinstance(c, int) else Fraction(c) for c in constants))
+    samples: List[RegionSample] = []
+    # Below the smallest constant.
+    low = ordered[0] - 1
+    samples.append(RegionSample(_concretise(low, integer_only), f"< {ordered[0]}"))
+    for i, constant in enumerate(ordered):
+        samples.append(RegionSample(_concretise(constant, integer_only), f"= {constant}"))
+        if i + 1 < len(ordered):
+            midpoint = (constant + ordered[i + 1]) / 2
+            if integer_only:
+                gap = ordered[i + 1] - constant
+                if gap > 1:
+                    samples.append(
+                        RegionSample(_concretise(constant + 1, integer_only), f"({constant}, {ordered[i+1]})")
+                    )
+            else:
+                samples.append(RegionSample(_concretise(midpoint, integer_only), f"({constant}, {ordered[i+1]})"))
+    high = ordered[-1] + 1
+    samples.append(RegionSample(_concretise(high, integer_only), f"> {ordered[-1]}"))
+    return samples
+
+
+def _concretise(value: Fraction, integer_only: bool):
+    if integer_only:
+        return int(value)
+    if value.denominator == 1:
+        return int(value)
+    return float(value)
+
+
+class IntervalAnalysis:
+    """Outcome of the interval-based tautology analysis for one binding."""
+
+    def __init__(
+        self,
+        supported: bool,
+        is_tautology: Optional[bool],
+        null_terms: Sequence[str],
+        regions_examined: int,
+        reason: str = "",
+    ):
+        self.supported = supported
+        self.is_tautology = is_tautology
+        self.null_terms = tuple(null_terms)
+        self.regions_examined = regions_examined
+        self.reason = reason
+
+    def __repr__(self) -> str:
+        return (
+            f"IntervalAnalysis(supported={self.supported}, tautology={self.is_tautology}, "
+            f"nulls={list(self.null_terms)}, regions={self.regions_examined})"
+        )
+
+
+def _null_terms_of(predicate: Predicate, binding: Mapping[str, XTuple]) -> Dict[str, AttributeRef]:
+    """The attribute references whose value is null under the binding."""
+    terms: Dict[str, AttributeRef] = {}
+    for comparison in predicate.comparisons():
+        for term in (comparison.left, comparison.right):
+            if isinstance(term, AttributeRef) and is_null(term.value(binding)):
+                terms[f"{term.variable}.{term.attribute}"] = term
+    return terms
+
+
+def analyse(
+    predicate: Predicate,
+    binding: Mapping[str, XTuple],
+    integer_attributes: bool = True,
+    max_regions: int = 4096,
+) -> IntervalAnalysis:
+    """Decide whether *predicate* is a tautology in its null attributes.
+
+    The predicate is considered as a function of the null attribute
+    references only (the non-null ones are fixed by the binding).  Returns
+    ``supported=False`` when some comparison relates two null terms, when a
+    null term is compared with a non-numeric constant under an order
+    operator, or when the region product exceeds *max_regions*.
+    """
+    null_terms = _null_terms_of(predicate, binding)
+    if not null_terms:
+        truth = predicate.evaluate(binding)
+        return IntervalAnalysis(True, truth.is_true(), [], 0, "no nulls: direct evaluation")
+
+    # Collect, per null term, the constants it is compared against.
+    constants: Dict[str, Set] = {key: set() for key in null_terms}
+    equality_only: Dict[str, bool] = {key: True for key in null_terms}
+    for comparison in predicate.comparisons():
+        left_null = isinstance(comparison.left, AttributeRef) and is_null(comparison.left.value(binding))
+        right_null = isinstance(comparison.right, AttributeRef) and is_null(comparison.right.value(binding))
+        if left_null and right_null:
+            return IntervalAnalysis(
+                False, None, null_terms, 0, "comparison between two null terms"
+            )
+        if not (left_null or right_null):
+            continue
+        null_term = comparison.left if left_null else comparison.right
+        other = comparison.right if left_null else comparison.left
+        other_value = other.value(binding)
+        key = f"{null_term.variable}.{null_term.attribute}"
+        if comparison.op in ("=", "==", "!=", "<>", "≠"):
+            constants[key].add(other_value)
+            continue
+        if not isinstance(other_value, Real) or isinstance(other_value, bool):
+            return IntervalAnalysis(
+                False, None, null_terms, 0,
+                f"order comparison of {key} against non-numeric {other_value!r}",
+            )
+        equality_only[key] = False
+        constants[key].add(other_value)
+
+    # Region samples per null term.  Equality-only terms get "each mentioned
+    # value plus one fresh value"; numeric terms get the full region split.
+    samples_per_term: Dict[str, List[RegionSample]] = {}
+    for key in null_terms:
+        values = constants[key]
+        numeric = all(isinstance(v, Real) and not isinstance(v, bool) for v in values)
+        if not values:
+            samples_per_term[key] = [RegionSample("⊥fresh", "anything")]
+        elif equality_only[key] and not numeric:
+            samples_per_term[key] = [RegionSample(v, f"= {v!r}") for v in values] + [
+                RegionSample("⊥fresh", "different from all mentioned values")
+            ]
+        elif numeric:
+            samples_per_term[key] = _region_samples(sorted(values), integer_attributes)
+        else:
+            return IntervalAnalysis(
+                False, None, null_terms, 0,
+                f"mixed numeric / non-numeric comparisons for {key}",
+            )
+
+    total_regions = 1
+    for samples in samples_per_term.values():
+        total_regions *= len(samples)
+    if total_regions > max_regions:
+        return IntervalAnalysis(False, None, null_terms, 0, "region product too large")
+
+    # Evaluate the predicate classically at every region combination.
+    keys = list(samples_per_term)
+    from itertools import product as iter_product
+
+    def evaluate_with(substitution: Mapping[str, object]) -> bool:
+        def term_value(term):
+            if isinstance(term, AttributeRef):
+                key = f"{term.variable}.{term.attribute}"
+                if key in substitution:
+                    return substitution[key]
+            return term.value(binding)
+
+        def recurse(node: Predicate) -> bool:
+            from ..core.query import And, Not, Or, TruthConstant
+            if isinstance(node, Comparison):
+                func = comparison_function(node.op)
+                left = term_value(node.left)
+                right = term_value(node.right)
+                try:
+                    return bool(func(left, right))
+                except TypeError:
+                    # Fresh symbolic value compared by order against a number:
+                    # treat as not satisfying, the conservative choice.
+                    return node.op in ("!=", "<>", "≠")
+            if isinstance(node, And):
+                return all(recurse(o) for o in node.operands)
+            if isinstance(node, Or):
+                return any(recurse(o) for o in node.operands)
+            if isinstance(node, Not):
+                return not recurse(node.operand)
+            if isinstance(node, TruthConstant):
+                return node.truth.is_true()
+            raise TautologyError(f"unsupported predicate node {node!r}")
+
+        return recurse(predicate)
+
+    examined = 0
+    for combo in iter_product(*[samples_per_term[k] for k in keys]):
+        substitution = {k: sample.value for k, sample in zip(keys, combo)}
+        examined += 1
+        if not evaluate_with(substitution):
+            return IntervalAnalysis(True, False, null_terms, examined, "counterexample region found")
+    return IntervalAnalysis(True, True, null_terms, examined, "true in every region")

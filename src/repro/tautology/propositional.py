@@ -1,0 +1,316 @@
+"""Propositional formulas and the abstraction of query predicates.
+
+The Appendix of the paper analyses what it would take to execute queries
+*correctly* under the "unknown" interpretation: a set of tuples must be
+included in the answer when the where clause is true under **every** legal
+substitution for its nulls — i.e. when the clause, partially evaluated on
+the tuples, is a *tautology*.  Even the propositional core of this problem
+is co-NP-hard, and the full problem additionally needs arithmetic over
+inequalities and knowledge of the schema's integrity constraints.
+
+This module provides
+
+* a tiny propositional-formula AST (:class:`Var`, :class:`NotF`,
+  :class:`AndF`, :class:`OrF`, :class:`Const`) with evaluation,
+  negation-normal-form and CNF conversion;
+* :func:`abstract_predicate` — partial evaluation of a query
+  :class:`~repro.core.query.Predicate` against a binding: comparisons whose
+  operands are all known become constants, comparisons touching at least
+  one null become propositional variables (one per distinct comparison).
+
+The propositional abstraction is *sound but incomplete* for tautology
+detection: if the abstraction is a propositional tautology, the original
+clause is certainly true under every substitution; but clauses that are
+tautologies only because of arithmetic relationships between atoms (e.g.
+``A > 3 ∨ A ≤ 3``) are missed.  The interval analysis in
+:mod:`repro.tautology.intervals` and the brute-force substitution in
+:mod:`repro.tautology.detector` close that gap at increasing cost — which
+is the Appendix's argument made executable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.errors import TautologyError
+from ..core.nulls import is_null
+from ..core.query import And, Comparison, Not, Or, Predicate, TruthConstant
+from ..core.tuples import XTuple
+
+
+# ---------------------------------------------------------------------------
+# Formula AST
+# ---------------------------------------------------------------------------
+
+class Formula:
+    """Base class of propositional formulas."""
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        raise NotImplementedError
+
+    def variables(self) -> Set[str]:
+        raise NotImplementedError
+
+    def negate(self) -> "Formula":
+        return NotF(self)
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return AndF(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return OrF(self, other)
+
+    def __invert__(self) -> "Formula":
+        return self.negate()
+
+
+class Const(Formula):
+    """A propositional constant (⊤ or ⊥)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        self.value = bool(value)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.value
+
+    def variables(self) -> Set[str]:
+        return set()
+
+    def __repr__(self) -> str:
+        return "⊤" if self.value else "⊥"
+
+
+TOP = Const(True)
+BOTTOM = Const(False)
+
+
+class Var(Formula):
+    """A propositional variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        try:
+            return bool(assignment[self.name])
+        except KeyError:
+            raise TautologyError(f"no truth value assigned to variable {self.name!r}") from None
+
+    def variables(self) -> Set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class NotF(Formula):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Formula):
+        self.operand = operand
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return not self.operand.evaluate(assignment)
+
+    def variables(self) -> Set[str]:
+        return self.operand.variables()
+
+    def __repr__(self) -> str:
+        return f"¬{self.operand!r}"
+
+
+class AndF(Formula):
+    __slots__ = ("operands",)
+
+    def __init__(self, *operands: Formula):
+        self.operands = tuple(operands)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return all(o.evaluate(assignment) for o in self.operands)
+
+    def variables(self) -> Set[str]:
+        result: Set[str] = set()
+        for o in self.operands:
+            result |= o.variables()
+        return result
+
+    def __repr__(self) -> str:
+        return "(" + " ∧ ".join(repr(o) for o in self.operands) + ")"
+
+
+class OrF(Formula):
+    __slots__ = ("operands",)
+
+    def __init__(self, *operands: Formula):
+        self.operands = tuple(operands)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return any(o.evaluate(assignment) for o in self.operands)
+
+    def variables(self) -> Set[str]:
+        result: Set[str] = set()
+        for o in self.operands:
+            result |= o.variables()
+        return result
+
+    def __repr__(self) -> str:
+        return "(" + " ∨ ".join(repr(o) for o in self.operands) + ")"
+
+
+# ---------------------------------------------------------------------------
+# Normal forms
+# ---------------------------------------------------------------------------
+
+def to_nnf(formula: Formula, negated: bool = False) -> Formula:
+    """Negation normal form: push negations onto variables/constants."""
+    if isinstance(formula, Const):
+        return Const(formula.value ^ negated)
+    if isinstance(formula, Var):
+        return NotF(formula) if negated else formula
+    if isinstance(formula, NotF):
+        return to_nnf(formula.operand, not negated)
+    if isinstance(formula, AndF):
+        children = [to_nnf(o, negated) for o in formula.operands]
+        return OrF(*children) if negated else AndF(*children)
+    if isinstance(formula, OrF):
+        children = [to_nnf(o, negated) for o in formula.operands]
+        return AndF(*children) if negated else OrF(*children)
+    raise TautologyError(f"unknown formula node {formula!r}")
+
+
+#: A literal: (variable name, polarity).  A clause is a frozenset of literals.
+Literal = Tuple[str, bool]
+Clause = FrozenSet[Literal]
+
+
+def to_cnf(formula: Formula) -> List[Clause]:
+    """Convert a formula to CNF clauses by distribution over its NNF.
+
+    Exponential in the worst case, which is fine for where-clause-sized
+    formulas; the DPLL layer consumes the result.  Constant ⊤ conjuncts
+    and clauses containing complementary literals are dropped; a constant
+    ⊥ conjunct yields the single empty clause (unsatisfiable).
+    """
+    nnf = to_nnf(formula)
+
+    def cnf(node: Formula) -> List[Set[Literal]]:
+        if isinstance(node, Const):
+            return [] if node.value else [set()]
+        if isinstance(node, Var):
+            return [{(node.name, True)}]
+        if isinstance(node, NotF):
+            operand = node.operand
+            if not isinstance(operand, Var):
+                raise TautologyError("NNF conversion left a non-literal negation")
+            return [{(operand.name, False)}]
+        if isinstance(node, AndF):
+            clauses: List[Set[Literal]] = []
+            for child in node.operands:
+                clauses.extend(cnf(child))
+            return clauses
+        if isinstance(node, OrF):
+            if not node.operands:
+                return [set()]
+            result: List[Set[Literal]] = [set()]
+            for child in node.operands:
+                child_clauses = cnf(child)
+                if not child_clauses:  # child is ⊤ → whole disjunction is ⊤
+                    return []
+                result = [r | c for r in result for c in child_clauses]
+            return result
+        raise TautologyError(f"unknown formula node {node!r}")
+
+    clauses: List[Clause] = []
+    for clause in cnf(nnf):
+        names = {}
+        tautological = False
+        for name, polarity in clause:
+            if name in names and names[name] != polarity:
+                tautological = True
+                break
+            names[name] = polarity
+        if not tautological:
+            clauses.append(frozenset(clause))
+    return clauses
+
+
+def truth_table_tautology(formula: Formula, max_variables: int = 20) -> bool:
+    """Decide tautology by exhaustive truth-table enumeration (2^n)."""
+    variables = sorted(formula.variables())
+    if len(variables) > max_variables:
+        raise TautologyError(
+            f"{len(variables)} propositional variables exceed the truth-table cap"
+        )
+    for mask in range(2 ** len(variables)):
+        assignment = {v: bool(mask & (1 << i)) for i, v in enumerate(variables)}
+        if not formula.evaluate(assignment):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Abstraction of query predicates
+# ---------------------------------------------------------------------------
+
+class Abstraction:
+    """The result of abstracting a predicate against a binding.
+
+    Attributes
+    ----------
+    formula:
+        The propositional formula; known comparisons appear as constants.
+    atoms:
+        Mapping from propositional variable name to the underlying
+        :class:`Comparison` (with at least one null operand).
+    """
+
+    def __init__(self, formula: Formula, atoms: Dict[str, Comparison]):
+        self.formula = formula
+        self.atoms = atoms
+
+    def __repr__(self) -> str:
+        return f"Abstraction({self.formula!r}, atoms={list(self.atoms)})"
+
+
+def abstract_predicate(predicate: Predicate, binding: Mapping[str, XTuple]) -> Abstraction:
+    """Partially evaluate *predicate* against *binding*.
+
+    Comparisons whose two operands are non-null under the binding are
+    folded to propositional constants; the others become variables, with
+    syntactically identical comparisons sharing a variable.
+    """
+    atoms: Dict[str, Comparison] = {}
+    atom_names: Dict[Tuple[object, str, object], str] = {}
+
+    def recurse(node: Predicate) -> Formula:
+        if isinstance(node, TruthConstant):
+            if node.truth.is_true():
+                return TOP
+            if node.truth.is_false():
+                return BOTTOM
+            raise TautologyError("cannot abstract an ni truth constant")
+        if isinstance(node, Comparison):
+            left = node.left.value(binding)
+            right = node.right.value(binding)
+            if not is_null(left) and not is_null(right):
+                from ..core.threevalued import compare
+                return TOP if compare(left, node.op, right).is_true() else BOTTOM
+            key = (repr(node.left), node.op, repr(node.right))
+            if key not in atom_names:
+                name = f"p{len(atom_names)}"
+                atom_names[key] = name
+                atoms[name] = node
+            return Var(atom_names[key])
+        if isinstance(node, And):
+            return AndF(*[recurse(o) for o in node.operands])
+        if isinstance(node, Or):
+            return OrF(*[recurse(o) for o in node.operands])
+        if isinstance(node, Not):
+            return NotF(recurse(node.operand))
+        raise TautologyError(f"cannot abstract predicate node {node!r}")
+
+    return Abstraction(recurse(predicate), atoms)

@@ -1,0 +1,31 @@
+"""Named views over the generalised algebra (the paper's references [26, 27]).
+
+Expression trees over x-relations (:mod:`repro.views.expressions`) and a
+view catalog with dependency tracking, stacking and materialisation
+(:mod:`repro.views.catalog`), including the union-join-based mapping of
+network set types to relations.
+"""
+
+from .expressions import (
+    Base,
+    Difference,
+    Divide,
+    Expression,
+    Join,
+    Product,
+    Project,
+    Rename,
+    Select,
+    SelectAttributes,
+    Union_,
+    UnionJoin,
+    XIntersection,
+    base,
+)
+from .catalog import View, ViewCatalog, network_to_relational
+
+__all__ = [
+    "Base", "Difference", "Divide", "Expression", "Join", "Product", "Project",
+    "Rename", "Select", "SelectAttributes", "Union_", "UnionJoin", "XIntersection", "base",
+    "View", "ViewCatalog", "network_to_relational",
+]

@@ -1,0 +1,248 @@
+"""Relational-algebra expression trees over x-relations.
+
+The paper closes Section 1 by asking for "a complete and consistent
+framework" into which the new null-based constructs — information-
+preserving (union-)joins, views over network schemas [Zaniolo 1977/1979],
+universal-relation interfaces — can be integrated.  This module provides
+the integration point: a small, composable expression language over the
+generalised algebra, so that views can be *named, stored, analysed and
+re-evaluated* instead of being one-off function calls.
+
+An expression is a tree of nodes (:class:`Base`, :class:`Select`,
+:class:`Project`, :class:`Product`, :class:`Join`, :class:`UnionJoin`,
+:class:`Union`, :class:`Difference`, :class:`XIntersection`,
+:class:`Divide`, :class:`Rename`).  Nodes know how to
+
+* ``evaluate(database)`` — produce the x-relation, resolving base names
+  against any mapping of relation names (``repro.storage.Database`` works);
+* ``references()`` — list the base relations they read (used by the view
+  catalog for dependency tracking and invalidation);
+* ``explain()`` — print themselves as an indented operator tree.
+
+The expression layer is intentionally thin: every operator delegates to
+:mod:`repro.core.algebra` / :mod:`repro.core.setops`, so all null
+semantics stay in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from ..core import algebra, setops
+from ..core.errors import AlgebraError, StorageError
+from ..core.relation import Relation
+from ..core.xrelation import XRelation, as_xrelation
+
+
+DatabaseLike = Mapping[str, Union[Relation, XRelation]]
+
+
+class Expression:
+    """Base class of algebra expression nodes."""
+
+    def evaluate(self, database: DatabaseLike) -> XRelation:
+        raise NotImplementedError
+
+    def references(self) -> Set[str]:
+        """Names of the base relations this expression reads."""
+        raise NotImplementedError
+
+    def children(self) -> Tuple["Expression", ...]:
+        return ()
+
+    def explain(self, indent: int = 0) -> str:
+        lines = [("  " * indent) + self.describe()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    # -- composition sugar -------------------------------------------------------
+    def select(self, attribute: str, op: str, constant: Any) -> "Select":
+        return Select(self, attribute, op, constant)
+
+    def where_attrs(self, left: str, op: str, right: str) -> "SelectAttributes":
+        return SelectAttributes(self, left, op, right)
+
+    def project(self, attributes: Sequence[str]) -> "Project":
+        return Project(self, attributes)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Rename":
+        return Rename(self, mapping)
+
+    def product(self, other: "Expression") -> "Product":
+        return Product(self, other)
+
+    def join(self, other: "Expression", on: Sequence[str]) -> "Join":
+        return Join(self, other, on)
+
+    def union_join(self, other: "Expression", on: Sequence[str]) -> "UnionJoin":
+        return UnionJoin(self, other, on)
+
+    def union(self, other: "Expression") -> "Union_":
+        return Union_(self, other)
+
+    def difference(self, other: "Expression") -> "Difference":
+        return Difference(self, other)
+
+    def x_intersection(self, other: "Expression") -> "XIntersection":
+        return XIntersection(self, other)
+
+    def divide(self, other: "Expression", by: Sequence[str]) -> "Divide":
+        return Divide(self, other, by)
+
+
+class Base(Expression):
+    """A reference to a named base relation (or another view's name)."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def evaluate(self, database: DatabaseLike) -> XRelation:
+        if self.name not in database:
+            raise StorageError(f"unknown relation {self.name!r} while evaluating a view")
+        return as_xrelation(database[self.name])
+
+    def references(self) -> Set[str]:
+        return {self.name}
+
+    def describe(self) -> str:
+        return f"Base({self.name})"
+
+
+class _Unary(Expression):
+    def __init__(self, child: Expression):
+        self.child = child
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.child,)
+
+    def references(self) -> Set[str]:
+        return self.child.references()
+
+
+class _Binary(Expression):
+    def __init__(self, left: Expression, right: Expression):
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def references(self) -> Set[str]:
+        return self.left.references() | self.right.references()
+
+
+class Select(_Unary):
+    def __init__(self, child: Expression, attribute: str, op: str, constant: Any):
+        super().__init__(child)
+        self.attribute, self.op, self.constant = attribute, op, constant
+
+    def evaluate(self, database: DatabaseLike) -> XRelation:
+        return algebra.select_constant(self.child.evaluate(database), self.attribute, self.op, self.constant)
+
+    def describe(self) -> str:
+        return f"Select({self.attribute} {self.op} {self.constant!r})"
+
+
+class SelectAttributes(_Unary):
+    def __init__(self, child: Expression, left: str, op: str, right: str):
+        super().__init__(child)
+        self.left_attr, self.op, self.right_attr = left, op, right
+
+    def evaluate(self, database: DatabaseLike) -> XRelation:
+        return algebra.select_attributes(self.child.evaluate(database), self.left_attr, self.op, self.right_attr)
+
+    def describe(self) -> str:
+        return f"Select({self.left_attr} {self.op} {self.right_attr})"
+
+
+class Project(_Unary):
+    def __init__(self, child: Expression, attributes: Sequence[str]):
+        super().__init__(child)
+        self.attributes = tuple(attributes)
+
+    def evaluate(self, database: DatabaseLike) -> XRelation:
+        return algebra.project(self.child.evaluate(database), self.attributes)
+
+    def describe(self) -> str:
+        return f"Project({', '.join(self.attributes)})"
+
+
+class Rename(_Unary):
+    def __init__(self, child: Expression, mapping: Mapping[str, str]):
+        super().__init__(child)
+        self.mapping = dict(mapping)
+
+    def evaluate(self, database: DatabaseLike) -> XRelation:
+        return algebra.rename(self.child.evaluate(database), self.mapping)
+
+    def describe(self) -> str:
+        inner = ", ".join(f"{a}→{b}" for a, b in sorted(self.mapping.items()))
+        return f"Rename({inner})"
+
+
+class Product(_Binary):
+    def evaluate(self, database: DatabaseLike) -> XRelation:
+        return algebra.product(self.left.evaluate(database), self.right.evaluate(database))
+
+
+class Join(_Binary):
+    def __init__(self, left: Expression, right: Expression, on: Sequence[str]):
+        super().__init__(left, right)
+        self.on = tuple(on)
+
+    def evaluate(self, database: DatabaseLike) -> XRelation:
+        return algebra.join_on(self.left.evaluate(database), self.right.evaluate(database), self.on)
+
+    def describe(self) -> str:
+        return f"Join(on={list(self.on)})"
+
+
+class UnionJoin(_Binary):
+    def __init__(self, left: Expression, right: Expression, on: Sequence[str]):
+        super().__init__(left, right)
+        self.on = tuple(on)
+
+    def evaluate(self, database: DatabaseLike) -> XRelation:
+        return algebra.union_join(self.left.evaluate(database), self.right.evaluate(database), self.on)
+
+    def describe(self) -> str:
+        return f"UnionJoin(on={list(self.on)})"
+
+
+class Union_(_Binary):
+    def evaluate(self, database: DatabaseLike) -> XRelation:
+        return self.left.evaluate(database) | self.right.evaluate(database)
+
+    def describe(self) -> str:
+        return "Union"
+
+
+class Difference(_Binary):
+    def evaluate(self, database: DatabaseLike) -> XRelation:
+        return self.left.evaluate(database) - self.right.evaluate(database)
+
+
+class XIntersection(_Binary):
+    def evaluate(self, database: DatabaseLike) -> XRelation:
+        return self.left.evaluate(database) & self.right.evaluate(database)
+
+
+class Divide(_Binary):
+    def __init__(self, left: Expression, right: Expression, by: Sequence[str]):
+        super().__init__(left, right)
+        self.by = tuple(by)
+
+    def evaluate(self, database: DatabaseLike) -> XRelation:
+        return algebra.divide(self.left.evaluate(database), self.right.evaluate(database), self.by)
+
+    def describe(self) -> str:
+        return f"Divide(by={list(self.by)})"
+
+
+def base(name: str) -> Base:
+    """Convenience constructor: ``base("EMP").select(...).project(...)``."""
+    return Base(name)

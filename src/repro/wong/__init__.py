@@ -1,0 +1,20 @@
+"""The Wong (1982) statistical baseline: probability-qualified answers.
+
+Implements the "more informative interpretation" end of the design space
+the paper discusses in Sections 2 and 6: unknown values carry probability
+distributions (given, or estimated from the database), and queries are
+answered "with probability ≥ p".
+"""
+
+from .model import (
+    Distribution,
+    ProbabilisticValue,
+    column_distribution,
+    probabilistic_relation,
+)
+from .queries import answer_spectrum, divide_with_threshold, select_with_threshold
+
+__all__ = [
+    "Distribution", "ProbabilisticValue", "column_distribution", "probabilistic_relation",
+    "answer_spectrum", "divide_with_threshold", "select_with_threshold",
+]

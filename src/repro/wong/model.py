@@ -1,0 +1,172 @@
+"""A statistical treatment of incomplete information (Wong 1982), as a baseline.
+
+Section 2 and Section 6 of Zaniolo's paper point at Wong's approach [24]
+as the "more informative interpretation" end of the design space: instead
+of a bare null, an unknown value carries a **probability distribution**
+over its domain (either given, or derived from the current database), and
+queries such as "find every supplier who supplies red parts" are answered
+with a qualifier like "with more than 50% probability".
+
+This package implements a compact version of that model so the trade-off
+the paper describes — better approximation of the real world versus extra
+complexity — can be exercised and measured:
+
+* :class:`Distribution` — a finite probability distribution over a
+  domain, with the usual normalisation and support accessors;
+* :class:`ProbabilisticValue` — a cell value that is either known or
+  distributed; plain ``ni`` corresponds to "distributed, but nothing known
+  about the distribution", which this model refines;
+* :func:`column_distribution` — the empirical distribution of a column,
+  the "computable from the current database" default the paper mentions;
+* :func:`probabilistic_relation` — lift a relation with nulls to a
+  probabilistic relation by assigning a distribution to every null cell.
+
+Query answering on top of these values lives in
+:mod:`repro.wong.queries`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import DomainError
+from ..core.nulls import is_ni
+from ..core.relation import Relation
+from ..core.tuples import XTuple
+
+
+class Distribution:
+    """A finite probability distribution over nonnull domain values."""
+
+    __slots__ = ("_probabilities",)
+
+    def __init__(self, probabilities: Mapping[Any, float]):
+        cleaned: Dict[Any, float] = {}
+        total = 0.0
+        for value, weight in probabilities.items():
+            if is_ni(value) or value is None:
+                raise DomainError("distributions range over nonnull domain values only")
+            if weight < 0:
+                raise DomainError(f"negative probability {weight} for value {value!r}")
+            if weight > 0:
+                cleaned[value] = cleaned.get(value, 0.0) + float(weight)
+                total += float(weight)
+        if not cleaned or total <= 0:
+            raise DomainError("a distribution needs at least one value with positive weight")
+        self._probabilities = {value: weight / total for value, weight in cleaned.items()}
+
+    @classmethod
+    def uniform(cls, values: Iterable[Any]) -> "Distribution":
+        values = list(values)
+        if not values:
+            raise DomainError("cannot build a uniform distribution over no values")
+        return cls({value: 1.0 for value in values})
+
+    @classmethod
+    def point(cls, value: Any) -> "Distribution":
+        return cls({value: 1.0})
+
+    # -- accessors ------------------------------------------------------------
+    def probability(self, value: Any) -> float:
+        return self._probabilities.get(value, 0.0)
+
+    def probability_that(self, predicate) -> float:
+        """Total probability of the values satisfying a Python predicate."""
+        return sum(weight for value, weight in self._probabilities.items() if predicate(value))
+
+    def support(self) -> Tuple[Any, ...]:
+        return tuple(sorted(self._probabilities, key=repr))
+
+    def items(self) -> Tuple[Tuple[Any, float], ...]:
+        return tuple(sorted(self._probabilities.items(), key=lambda pair: repr(pair[0])))
+
+    def most_likely(self) -> Any:
+        return max(self._probabilities.items(), key=lambda pair: (pair[1], repr(pair[0])))[0]
+
+    def expected_value(self) -> float:
+        """Expected value for numeric supports; raises otherwise."""
+        try:
+            return sum(value * weight for value, weight in self._probabilities.items())
+        except TypeError:
+            raise DomainError("expected_value is only defined for numeric supports") from None
+
+    def __len__(self) -> int:
+        return len(self._probabilities)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{value!r}: {weight:.3f}" for value, weight in self.items())
+        return f"Distribution({{{inner}}})"
+
+
+class ProbabilisticValue:
+    """A cell value that is either known exactly or known as a distribution."""
+
+    __slots__ = ("value", "distribution")
+
+    def __init__(self, value: Any = None, distribution: Optional[Distribution] = None):
+        if (value is None or is_ni(value)) == (distribution is None):
+            raise DomainError(
+                "a ProbabilisticValue is either a known value or a distribution, not both/neither"
+            )
+        self.value = None if distribution is not None else value
+        self.distribution = distribution
+
+    @property
+    def is_known(self) -> bool:
+        return self.distribution is None
+
+    def probability_that(self, predicate) -> float:
+        """Probability that the (possibly unknown) value satisfies *predicate*."""
+        if self.is_known:
+            return 1.0 if predicate(self.value) else 0.0
+        return self.distribution.probability_that(predicate)
+
+    def __repr__(self) -> str:
+        if self.is_known:
+            return f"ProbabilisticValue({self.value!r})"
+        return f"ProbabilisticValue({self.distribution!r})"
+
+
+def column_distribution(relation: Relation, attribute: str) -> Distribution:
+    """The empirical distribution of the nonnull values of a column.
+
+    This is the "probability distribution ... computable from the current
+    database" default that the paper attributes to Wong's approach.
+    """
+    if attribute not in relation.schema:
+        raise DomainError(f"attribute {attribute!r} not in relation {relation.name!r}")
+    counts: Dict[Any, float] = {}
+    for row in relation.tuples():
+        value = row[attribute]
+        if not is_ni(value):
+            counts[value] = counts.get(value, 0.0) + 1.0
+    if not counts:
+        raise DomainError(f"column {attribute!r} holds no nonnull values to estimate from")
+    return Distribution(counts)
+
+
+def probabilistic_relation(
+    relation: Relation,
+    distributions: Optional[Mapping[str, Distribution]] = None,
+) -> Dict[XTuple, Dict[str, ProbabilisticValue]]:
+    """Lift a relation with nulls to per-row probabilistic cell assignments.
+
+    Each null cell receives the supplied distribution for its attribute, or
+    the column's empirical distribution when none is supplied.  The result
+    maps each original row to its probabilistic view, keeping the original
+    relation untouched (the ni model remains the source of truth).
+    """
+    distributions = dict(distributions or {})
+    lifted: Dict[XTuple, Dict[str, ProbabilisticValue]] = {}
+    for row in relation.tuples():
+        cells: Dict[str, ProbabilisticValue] = {}
+        for attribute in relation.schema.attributes:
+            value = row[attribute]
+            if is_ni(value):
+                if attribute not in distributions:
+                    distributions[attribute] = column_distribution(relation, attribute)
+                cells[attribute] = ProbabilisticValue(distribution=distributions[attribute])
+            else:
+                cells[attribute] = ProbabilisticValue(value=value)
+        lifted[row] = cells
+    return lifted

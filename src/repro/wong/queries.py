@@ -1,0 +1,156 @@
+"""Probability-qualified query answering (the Wong-style baseline).
+
+The paper's Section 6 notes that, under incomplete information, queries
+with the words "all"/"every" must be qualified — "for sure", "maybe", or
+"with more than 50% probability".  The first two qualifiers are the Codd
+baseline; this module supplies the third:
+
+* :func:`select_with_threshold` — probabilistic selection: keep the rows
+  whose probability of satisfying ``A θ k`` is at least the threshold;
+* :func:`divide_with_threshold` — probabilistic division: a supplier
+  qualifies when, for every divisor part, the probability that it supplies
+  the part meets the threshold (independence across rows is assumed, as in
+  the simplest reading of the statistical model);
+* :func:`answer_spectrum` — how the answer set grows as the threshold
+  drops from 1.0 (the certain answer) towards 0.0 (the possible answer),
+  which is the trade-off curve the paper alludes to.
+
+Thresholds of 1.0 recover the TRUE/ni answers on known data; thresholds
+just above 0.0 approach Codd's MAYBE answers.  Tests assert both ends.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.errors import DomainError
+from ..core.nulls import is_ni
+from ..core.relation import Relation, RelationSchema
+from ..core.threevalued import comparison_function
+from ..core.tuples import XTuple
+from .model import Distribution, ProbabilisticValue, column_distribution, probabilistic_relation
+
+
+def _cell_probability(
+    row: XTuple,
+    attribute: str,
+    op: str,
+    constant: Any,
+    distribution: Distribution,
+) -> float:
+    """Probability that ``row[attribute] θ constant`` holds."""
+    func = comparison_function(op)
+    value = row[attribute]
+    if not is_ni(value):
+        try:
+            return 1.0 if func(value, constant) else 0.0
+        except TypeError:
+            return 0.0
+    def predicate(candidate):
+        try:
+            return bool(func(candidate, constant))
+        except TypeError:
+            return False
+    return distribution.probability_that(predicate)
+
+
+def select_with_threshold(
+    relation: Relation,
+    attribute: str,
+    op: str,
+    constant: Any,
+    threshold: float = 0.5,
+    distributions: Optional[Mapping[str, Distribution]] = None,
+) -> Relation:
+    """Keep the rows satisfying ``A θ k`` with probability ≥ *threshold*."""
+    if not 0.0 <= threshold <= 1.0:
+        raise DomainError(f"threshold must lie in [0, 1], got {threshold}")
+    if attribute not in relation.schema:
+        raise DomainError(f"attribute {attribute!r} not in relation {relation.name!r}")
+    distributions = dict(distributions or {})
+    if attribute not in distributions:
+        distributions[attribute] = column_distribution(relation, attribute)
+    out = Relation(
+        RelationSchema(
+            relation.schema.attributes, relation.schema.domains(),
+            name=f"{relation.name}[{attribute}{op}{constant!r} @ {threshold:.2f}]",
+        ),
+        validate=False,
+    )
+    out._rows = {
+        row for row in relation.tuples()
+        if _cell_probability(row, attribute, op, constant, distributions[attribute]) >= threshold
+    }
+    return out
+
+
+def divide_with_threshold(
+    dividend: Relation,
+    divisor_values: Sequence[Any],
+    by: str,
+    over: str,
+    threshold: float = 0.5,
+    distributions: Optional[Mapping[str, Distribution]] = None,
+) -> Set[Any]:
+    """Probability-qualified division on a binary relation.
+
+    Parameters mirror the paper's PS example: *by* is the grouping
+    attribute (``S#``), *over* the divided attribute (``P#``), and
+    *divisor_values* the parts that must (probably) be supplied.  A
+    candidate qualifies when, for every divisor value ``z``, the
+    probability that the candidate supplies ``z`` — one minus the product
+    of per-row miss probabilities — reaches the threshold.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise DomainError(f"threshold must lie in [0, 1], got {threshold}")
+    distributions = dict(distributions or {})
+    if over not in distributions:
+        distributions[over] = column_distribution(dividend, over)
+    distribution = distributions[over]
+
+    groups: Dict[Any, List[XTuple]] = {}
+    for row in dividend.tuples():
+        key = row[by]
+        if is_ni(key):
+            continue
+        groups.setdefault(key, []).append(row)
+
+    qualifying: Set[Any] = set()
+    for candidate, rows in groups.items():
+        satisfied = True
+        for target in divisor_values:
+            miss_probability = 1.0
+            for row in rows:
+                value = row[over]
+                if not is_ni(value):
+                    hit = 1.0 if value == target else 0.0
+                else:
+                    hit = distribution.probability(target)
+                miss_probability *= (1.0 - hit)
+            if 1.0 - miss_probability < threshold:
+                satisfied = False
+                break
+        if satisfied:
+            qualifying.add(candidate)
+    return qualifying
+
+
+def answer_spectrum(
+    relation: Relation,
+    attribute: str,
+    op: str,
+    constant: Any,
+    thresholds: Sequence[float] = (1.0, 0.75, 0.5, 0.25, 0.01),
+    distributions: Optional[Mapping[str, Distribution]] = None,
+) -> List[Tuple[float, int]]:
+    """Answer-set size as the probability threshold is relaxed.
+
+    At 1.0 this is (essentially) the certain answer; as the threshold drops
+    the answer grows towards the possible answer, tracing the accuracy/
+    recall trade-off the statistical interpretation buys at the price of
+    maintaining distributions.
+    """
+    return [
+        (threshold, len(select_with_threshold(relation, attribute, op, constant, threshold, distributions)))
+        for threshold in thresholds
+    ]

@@ -1,0 +1,23 @@
+"""Possible-worlds (completion) semantics for incomplete relations.
+
+This package is the library's correctness oracle and cost baseline for the
+"unknown" interpretation: it enumerates the completions of incomplete
+relations (:mod:`repro.worlds.completions`) and computes exact certain and
+possible answers (:mod:`repro.worlds.answers`), at the exponential cost
+the paper contrasts with its three-valued lower-bound evaluation.
+"""
+
+from .completions import CompletionSpace, WorldSpaceTooLarge, completions, world_count
+from .answers import (
+    WorldsResult,
+    certain_answers,
+    evaluate_bounds,
+    lower_bound_is_sound,
+    possible_answers,
+)
+
+__all__ = [
+    "CompletionSpace", "WorldSpaceTooLarge", "completions", "world_count",
+    "WorldsResult", "certain_answers", "evaluate_bounds", "lower_bound_is_sound",
+    "possible_answers",
+]

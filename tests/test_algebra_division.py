@@ -1,0 +1,145 @@
+"""Unit tests for images and division (Section 6)."""
+
+import pytest
+
+from repro import NI, Relation, XRelation, XTuple
+from repro.core.algebra import (
+    divide,
+    divide_by_images,
+    image_set,
+    project,
+    select_constant,
+)
+from repro.core.errors import AlgebraError
+
+
+@pytest.fixture
+def ps_x(ps):
+    return XRelation(ps)
+
+
+@pytest.fixture
+def parts_of_s2(ps_x):
+    return project(select_constant(ps_x, "S#", "=", "s2"), ["P#"])
+
+
+class TestImageSet:
+    def test_image_of_s1(self, ps_x):
+        image = image_set(ps_x, {"S#": "s1"}, ["S#"], ["P#"])
+        assert {t["P#"] for t in image.rows()} == {"p1", "p2"}
+
+    def test_image_of_s3_is_empty(self, ps_x):
+        image = image_set(ps_x, {"S#": "s3"}, ["S#"], ["P#"])
+        assert image.is_empty()
+
+    def test_image_of_unknown_supplier_is_empty(self, ps_x):
+        image = image_set(ps_x, {"S#": "s99"}, ["S#"], ["P#"])
+        assert image.is_empty()
+
+    def test_image_accepts_xtuple(self, ps_x):
+        image = image_set(ps_x, XTuple({"S#": "s4"}), ["S#"], ["P#"])
+        assert {t["P#"] for t in image.rows()} == {"p4"}
+
+
+class TestDivisionPaperExample:
+    """Display (6.6): A3 = {s1, s2}, the answer to Q3."""
+
+    def test_divide(self, ps_x, parts_of_s2):
+        quotient = divide(ps_x, parts_of_s2, ["S#"])
+        assert {t["S#"] for t in quotient.rows()} == {"s1", "s2"}
+
+    def test_divide_by_images_agrees(self, ps_x, parts_of_s2):
+        a = divide(ps_x, parts_of_s2, ["S#"])
+        b = divide_by_images(ps_x, parts_of_s2, ["S#"])
+        assert a == b
+
+    def test_no_self_supply_paradox(self, ps_x, parts_of_s2):
+        """s2 supplies every part s2 supplies — unlike Codd's TRUE division."""
+        quotient = divide(ps_x, parts_of_s2, ["S#"])
+        assert XTuple({"S#": "s2"}) in quotient
+
+
+class TestDivisionGeneral:
+    def test_division_on_total_relations_matches_classical(self):
+        r = Relation.from_rows(
+            ["S", "P"],
+            [("a", 1), ("a", 2), ("b", 1), ("c", 2)],
+            name="R",
+        )
+        divisor = Relation.from_rows(["P"], [(1,), (2,)], name="D")
+        quotient = divide(r, divisor, ["S"])
+        assert {t["S"] for t in quotient.rows()} == {"a"}
+        assert divide_by_images(r, divisor, ["S"]) == quotient
+
+    def test_division_by_empty_divisor_returns_all_candidates(self):
+        r = Relation.from_rows(["S", "P"], [("a", 1), ("b", None)], name="R")
+        divisor = Relation.empty(["P"])
+        quotient = divide(r, divisor, ["S"])
+        assert {t["S"] for t in quotient.rows()} == {"a", "b"}
+
+    def test_non_y_total_rows_do_not_contribute(self):
+        r = Relation.from_rows(["S", "P"], [(None, 1), ("a", 1)], name="R")
+        divisor = Relation.from_rows(["P"], [(1,)], name="D")
+        quotient = divide(r, divisor, ["S"])
+        assert {t["S"] for t in quotient.rows()} == {"a"}
+
+    def test_divisor_with_null_rows_requires_nothing_extra(self):
+        """A null divisor row carries no information, so it cannot disqualify."""
+        r = Relation.from_rows(["S", "P"], [("a", 1)], name="R")
+        divisor = Relation.from_rows(["P"], [(1,), (None,)], name="D")
+        quotient = divide(r, divisor, ["S"])
+        assert {t["S"] for t in quotient.rows()} == {"a"}
+
+    def test_overlapping_division_attributes_rejected(self, ps_x):
+        bad_divisor = XRelation.from_rows(["S#"], [("s1",)], name="D")
+        with pytest.raises(AlgebraError):
+            divide(ps_x, bad_divisor, ["S#"])
+
+    def test_divisor_attribute_missing_from_dividend_rejected(self, ps_x):
+        foreign = XRelation.from_rows(["COLOUR"], [("red",)], name="D")
+        with pytest.raises(AlgebraError):
+            divide(ps_x, foreign, ["S#"])
+
+    def test_division_agreement_on_random_relations(self):
+        import random
+
+        rng = random.Random(5)
+        suppliers = [f"s{i}" for i in range(5)]
+        parts = [f"p{i}" for i in range(4)]
+        rows = []
+        for _ in range(30):
+            s = suppliers[rng.randrange(len(suppliers))]
+            p = None if rng.random() < 0.25 else parts[rng.randrange(len(parts))]
+            rows.append((s, p))
+        r = Relation.from_rows(["S", "P"], rows, name="R")
+        divisor = Relation.from_rows(["P"], [(parts[0],), (parts[1],)], name="D")
+        assert divide(r, divisor, ["S"]) == divide_by_images(r, divisor, ["S"])
+
+
+class TestDivisionComparisonWithCodd:
+    """The Section 6 three-way comparison (experiment E6 in miniature)."""
+
+    def test_codd_true_division_is_empty(self, ps):
+        from repro.codd.algebra import codd_project, select_true
+        from repro.codd.division import divide_true
+
+        divisor = codd_project(select_true(ps, "S#", "=", "s2"), ["P#"])
+        assert len(divide_true(ps, divisor, ["S#"])) == 0
+
+    def test_codd_maybe_division(self, ps):
+        from repro.codd.algebra import codd_project, select_true
+        from repro.codd.division import divide_maybe
+
+        divisor = codd_project(select_true(ps, "S#", "=", "s2"), ["P#"])
+        result = divide_maybe(ps, divisor, ["S#"])
+        assert {t["S#"] for t in result.tuples()} == {"s1", "s2", "s3"}
+
+    def test_zaniolo_division_sits_between(self, ps_x, parts_of_s2, ps):
+        from repro.codd.algebra import codd_project, select_true
+        from repro.codd.division import divide_maybe, divide_true
+
+        divisor = codd_project(select_true(ps, "S#", "=", "s2"), ["P#"])
+        true_answer = {t["S#"] for t in divide_true(ps, divisor, ["S#"]).tuples()}
+        maybe_answer = {t["S#"] for t in divide_maybe(ps, divisor, ["S#"]).tuples()}
+        ours = {t["S#"] for t in divide(ps_x, parts_of_s2, ["S#"]).rows()}
+        assert true_answer <= ours <= (true_answer | maybe_answer)

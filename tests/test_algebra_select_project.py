@@ -1,0 +1,147 @@
+"""Unit tests for selection, projection and rename (repro.core.algebra)."""
+
+import pytest
+
+from repro import NI, Relation, XRelation, XTuple
+from repro.core.algebra import (
+    project,
+    rename,
+    select_attributes,
+    select_constant,
+    select_predicate,
+)
+from repro.core.errors import AlgebraError, AttributeNotFound
+from repro.core.threevalued import TRUE, FALSE, NI_TRUTH
+
+
+@pytest.fixture
+def grades():
+    return Relation.from_rows(
+        ["NAME", "SCORE", "BONUS"],
+        [
+            ("ann", 80, 5),
+            ("bob", 60, None),
+            ("cat", None, 10),
+            ("dan", 95, 95),
+        ],
+        name="G",
+    )
+
+
+class TestSelectConstant:
+    def test_keeps_only_true_rows(self, grades):
+        result = select_constant(grades, "SCORE", ">", 70)
+        names = {t["NAME"] for t in result.rows()}
+        assert names == {"ann", "dan"}
+
+    def test_null_rows_are_discarded_not_maybe(self, grades):
+        result = select_constant(grades, "SCORE", ">", 0)
+        assert "cat" not in {t["NAME"] for t in result.rows()}
+
+    def test_equality_selection(self, ps):
+        result = select_constant(ps, "S#", "=", "s2")
+        assert {t["S#"] for t in result.rows()} == {"s2"}
+
+    def test_selection_on_unknown_attribute(self, grades):
+        with pytest.raises(AttributeNotFound):
+            select_constant(grades, "NOPE", "=", 1)
+
+    def test_selection_against_null_constant_rejected(self, grades):
+        with pytest.raises(AlgebraError):
+            select_constant(grades, "SCORE", "=", NI)
+        with pytest.raises(AlgebraError):
+            select_constant(grades, "SCORE", "=", None)
+
+    def test_empty_result(self, grades):
+        assert len(select_constant(grades, "SCORE", ">", 1000)) == 0
+
+    def test_accepts_xrelation_input(self, grades):
+        result = select_constant(XRelation(grades), "SCORE", "<", 70)
+        assert {t["NAME"] for t in result.rows()} == {"bob"}
+
+    def test_result_preserved_schema(self, grades):
+        result = select_constant(grades, "SCORE", ">", 70)
+        assert set(result.schema.attributes) == {"NAME", "SCORE", "BONUS"}
+
+
+class TestSelectAttributes:
+    def test_compares_two_columns(self, grades):
+        result = select_attributes(grades, "SCORE", "=", "BONUS")
+        assert {t["NAME"] for t in result.rows()} == {"dan"}
+
+    def test_rows_with_null_in_either_column_discarded(self, grades):
+        result = select_attributes(grades, "SCORE", ">", "BONUS")
+        assert {t["NAME"] for t in result.rows()} == {"ann"}
+
+    def test_unknown_attribute(self, grades):
+        with pytest.raises(AttributeNotFound):
+            select_attributes(grades, "SCORE", "=", "NOPE")
+
+
+class TestSelectPredicate:
+    def test_three_valued_predicate(self, grades):
+        def qualifies(row):
+            if row["SCORE"] is NI:
+                return NI_TRUTH
+            return TRUE if row["SCORE"] >= 80 else FALSE
+
+        result = select_predicate(grades, qualifies)
+        assert {t["NAME"] for t in result.rows()} == {"ann", "dan"}
+
+    def test_boolean_predicate_allowed(self, grades):
+        result = select_predicate(grades, lambda r: r["NAME"] == "bob")
+        assert {t["NAME"] for t in result.rows()} == {"bob"}
+
+
+class TestProject:
+    def test_restricts_attributes(self, grades):
+        result = project(grades, ["NAME"])
+        assert result.schema.attributes == ("NAME",)
+        assert len(result) == 4
+
+    def test_projection_can_create_subsumed_rows_then_minimises(self, ps):
+        result = project(ps, ["P#"])
+        values = {t["P#"] for t in result.rows()}
+        assert values == {"p1", "p2", "p4"}
+        assert result.representation.is_minimal()
+
+    def test_projection_to_all_null_column_is_empty(self, emp_table_two):
+        result = project(emp_table_two, ["TEL#"])
+        assert result.is_empty()
+
+    def test_unknown_attribute(self, grades):
+        with pytest.raises(AttributeNotFound):
+            project(grades, ["NAME", "NOPE"])
+
+    def test_projection_order_follows_request(self, grades):
+        result = project(grades, ["BONUS", "NAME"])
+        assert result.schema.attributes == ("BONUS", "NAME")
+
+
+class TestRename:
+    def test_renames_attributes_and_rows(self, grades):
+        result = rename(grades, {"NAME": "WHO"})
+        assert "WHO" in result.schema.attributes
+        assert {t["WHO"] for t in result.rows()} == {"ann", "bob", "cat", "dan"}
+
+    def test_identity_rename(self, grades):
+        result = rename(grades, {})
+        assert set(result.schema.attributes) == set(grades.schema.attributes)
+        assert len(result) == len(grades.minimal())
+
+
+class TestClosureProperty:
+    """Section 7: the operators stay inside x-relations whatever the operands."""
+
+    def test_select_project_compose(self, ps):
+        result = project(select_constant(ps, "S#", "=", "s1"), ["P#"])
+        assert isinstance(result, XRelation)
+        assert {t["P#"] for t in result.rows()} == {"p1", "p2"}
+
+    def test_codd_correspondence_on_total_relations(self, emp_table_one):
+        """Operating on total x-relations mirrors classical operations (Sec. 7)."""
+        from repro.codd.algebra import codd_project, select_true
+
+        classical = codd_project(select_true(emp_table_one, "SEX", "=", "M"), ["NAME"])
+        extended = project(select_constant(emp_table_one, "SEX", "=", "M"), ["NAME"])
+        assert XRelation(classical) == extended

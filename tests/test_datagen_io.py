@@ -1,0 +1,144 @@
+"""Unit tests for the data generators and the CSV/JSON round-trips."""
+
+import io
+
+import pytest
+
+from repro import NI, Relation, XRelation, XTuple
+from repro.datagen import (
+    RelationGenerator,
+    containment_pair,
+    employee_relation,
+    null_rate_sweep,
+    parts_suppliers_relation,
+    random_partial_relation,
+    scaled_employee_database,
+    scaled_parts_suppliers_database,
+)
+from repro.io import (
+    from_csv_text,
+    read_csv,
+    relation_from_dict,
+    relation_to_dict,
+    to_csv_text,
+    write_csv,
+    write_json,
+    read_json,
+    database_to_dict,
+    database_from_dict,
+)
+
+
+class TestGenerators:
+    def test_relation_generator_respects_schema(self):
+        generator = RelationGenerator(["A", "B"], {"A": [1, 2, 3], "B": ["x", "y"]}, seed=1)
+        relation = generator.relation(20)
+        assert set(relation.schema.attributes) == {"A", "B"}
+        for row in relation.tuples():
+            assert row["A"] in (1, 2, 3, NI)
+
+    def test_relation_generator_is_deterministic(self):
+        a = RelationGenerator(["A"], {"A": list(range(10))}, seed=5).relation(30)
+        b = RelationGenerator(["A"], {"A": list(range(10))}, seed=5).relation(30)
+        assert set(a.tuples()) == set(b.tuples())
+
+    def test_missing_domain_rejected(self):
+        with pytest.raises(KeyError):
+            RelationGenerator(["A", "B"], {"A": [1]})
+
+    def test_null_rate_controls_density(self):
+        dense = random_partial_relation(["A", "B"], 5, 200, null_rate=0.0, seed=2)
+        sparse = random_partial_relation(["A", "B"], 5, 200, null_rate=0.7, seed=2)
+        assert dense.null_fraction() == 0.0
+        # Duplicate null-heavy rows collapse (relations are sets), so compare
+        # against the dense relation rather than the nominal rate.
+        assert sparse.null_fraction() > dense.null_fraction()
+        assert sparse.null_fraction() > 0.15
+
+    def test_employee_relation_shape(self):
+        emp = employee_relation(25, null_rate=0.4, seed=3)
+        assert set(emp.schema.attributes) == {"E#", "NAME", "SEX", "MGR#", "TEL#"}
+        assert len(emp) == 25
+        assert all(row["E#"] is not NI for row in emp.tuples())
+
+    def test_parts_suppliers_relation(self):
+        ps = parts_suppliers_relation(4, 6, 50, null_rate=0.3, seed=1)
+        assert set(ps.schema.attributes) == {"S#", "P#"}
+        assert 0 < len(ps) <= 50
+
+    def test_containment_pair_preserves_containment(self):
+        smaller, larger = containment_pair(10, 5, seed=4)
+        assert XRelation(larger) >= XRelation(smaller)
+
+    def test_scaled_databases(self):
+        emp_db = scaled_employee_database(15, 0.2, seed=1)
+        ps_db = scaled_parts_suppliers_database(3, 4, 20, 0.2, seed=1)
+        assert len(emp_db["EMP"]) == 15
+        assert len(ps_db["PS"]) > 0
+
+    def test_null_rate_sweep_keys(self):
+        sweep = null_rate_sweep(rates=(0.0, 0.5), size=10)
+        assert set(sweep) == {0.0, 0.5}
+
+
+class TestCSV:
+    def test_round_trip_preserves_information(self, emp_table_two):
+        text = to_csv_text(emp_table_two)
+        back = from_csv_text(text, name="EMP")
+        assert XRelation(back) == XRelation(emp_table_two)
+
+    def test_null_marker_is_dash(self, emp_table_two):
+        assert ",-" in to_csv_text(emp_table_two).replace("\r", "")
+
+    def test_numeric_columns_restored_as_ints(self, emp_table_two):
+        back = from_csv_text(to_csv_text(emp_table_two))
+        assert any(isinstance(row["E#"], int) for row in back.tuples())
+
+    def test_explicit_type_parsers(self):
+        text = "A,B\n01,x\n-,y\n"
+        relation = from_csv_text(text, types={"A": str})
+        values = {row["A"] for row in relation.tuples()}
+        assert "01" in values  # kept as string, not parsed to 1
+
+    def test_empty_cell_reads_as_null(self):
+        relation = from_csv_text("A,B\n1,\n")
+        row = next(iter(relation.tuples()))
+        assert row["B"] is NI
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            from_csv_text("")
+
+    def test_file_round_trip(self, tmp_path, emp_table_two):
+        path = str(tmp_path / "emp.csv")
+        write_csv(emp_table_two, path)
+        assert XRelation(read_csv(path, name="EMP")) == XRelation(emp_table_two)
+
+
+class TestJSON:
+    def test_round_trip(self, ps):
+        payload = relation_to_dict(ps)
+        back = relation_from_dict(payload)
+        assert XRelation(back) == XRelation(ps)
+        assert back.schema.attributes == ps.schema.attributes
+
+    def test_null_attributes_omitted_from_rows(self, emp_table_two):
+        payload = relation_to_dict(emp_table_two)
+        assert all("TEL#" not in row for row in payload["rows"])
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ValueError):
+            relation_from_dict({"rows": []})
+        with pytest.raises(ValueError):
+            relation_from_dict({"attributes": ["A"], "rows": [{"Z": 1}]})
+
+    def test_file_round_trip(self, tmp_path, ps):
+        path = str(tmp_path / "ps.json")
+        write_json(ps, path)
+        assert XRelation(read_json(path)) == XRelation(ps)
+
+    def test_database_round_trip(self, emp_db):
+        payload = database_to_dict(emp_db)
+        rebuilt = database_from_dict(payload)
+        assert set(rebuilt) == set(emp_db)
+        assert XRelation(rebuilt["EMP"]) == XRelation(emp_db["EMP"])

@@ -1,0 +1,123 @@
+"""Unit tests for attribute domains (repro.core.domains)."""
+
+import random
+
+import pytest
+
+from repro.core.domains import (
+    ANY,
+    AnyDomain,
+    EnumeratedDomain,
+    IntegerRangeDomain,
+    TypedDomain,
+    active_domain,
+)
+from repro.core.errors import DomainError
+from repro.core.nulls import NI
+
+
+class TestEnumeratedDomain:
+    def test_membership(self):
+        domain = EnumeratedDomain(["a", "b", "c"])
+        assert domain.contains("a")
+        assert not domain.contains("d")
+
+    def test_extended_membership_includes_ni(self):
+        domain = EnumeratedDomain(["a"])
+        assert domain.contains_extended(NI)
+        assert domain.contains_extended(None)
+        assert not domain.contains("a2") or domain.contains_extended("a2") == domain.contains("a2")
+
+    def test_rejects_null_member(self):
+        with pytest.raises(DomainError):
+            EnumeratedDomain(["a", None])
+
+    def test_rejects_empty(self):
+        with pytest.raises(DomainError):
+            EnumeratedDomain([])
+
+    def test_deduplicates_preserving_order(self):
+        domain = EnumeratedDomain(["b", "a", "b", "c", "a"])
+        assert domain.values == ("b", "a", "c")
+
+    def test_finite_iteration(self):
+        domain = EnumeratedDomain([1, 2, 3])
+        assert domain.is_finite()
+        assert list(domain) == [1, 2, 3]
+        assert len(domain) == 3
+
+    def test_sample_is_deterministic_with_seeded_rng(self):
+        domain = EnumeratedDomain(["x", "y", "z"])
+        first = domain.sample(5, random.Random(7))
+        second = domain.sample(5, random.Random(7))
+        assert first == second
+        assert all(v in ("x", "y", "z") for v in first)
+
+    def test_validate_normalises_none(self):
+        domain = EnumeratedDomain(["a"])
+        assert domain.validate(None) is NI
+
+    def test_validate_rejects_foreign_value(self):
+        domain = EnumeratedDomain(["a"])
+        with pytest.raises(DomainError):
+            domain.validate("q", attribute="A")
+
+
+class TestIntegerRangeDomain:
+    def test_membership(self):
+        domain = IntegerRangeDomain(5, 10)
+        assert domain.contains(5)
+        assert domain.contains(10)
+        assert not domain.contains(11)
+        assert not domain.contains(4)
+
+    def test_bool_is_not_an_integer_member(self):
+        domain = IntegerRangeDomain(0, 1)
+        assert not domain.contains(True)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(DomainError):
+            IntegerRangeDomain(5, 4)
+
+    def test_length_and_iteration(self):
+        domain = IntegerRangeDomain(1, 4)
+        assert len(domain) == 4
+        assert list(domain) == [1, 2, 3, 4]
+
+    def test_sample_stays_in_range(self):
+        domain = IntegerRangeDomain(3, 6)
+        for value in domain.sample(20, random.Random(1)):
+            assert 3 <= value <= 6
+
+
+class TestTypedAndAnyDomains:
+    def test_typed_domain_membership(self):
+        domain = TypedDomain(str)
+        assert domain.contains("hello")
+        assert not domain.contains(4)
+
+    def test_typed_int_domain_rejects_bool(self):
+        assert not TypedDomain(int).contains(True)
+
+    def test_typed_domain_is_not_finite(self):
+        domain = TypedDomain(str)
+        assert not domain.is_finite()
+        with pytest.raises(DomainError):
+            len(domain)
+        with pytest.raises(DomainError):
+            list(domain)
+
+    def test_any_domain_accepts_everything(self):
+        assert ANY.contains(object())
+        assert ANY.contains("x")
+        assert isinstance(ANY, AnyDomain)
+
+
+class TestActiveDomain:
+    def test_builds_from_nonnull_values(self):
+        domain = active_domain(["a", NI, "b", None, "a"])
+        assert set(domain.values) == {"a", "b"}
+
+    def test_requires_some_nonnull_value(self):
+        with pytest.raises(DomainError):
+            active_domain([NI, None])

@@ -1,0 +1,124 @@
+"""End-to-end integration test: an application workflow across all subsystems.
+
+Models a small enterprise database the way a downstream user of the
+library would: schema with constraints and foreign keys, data arriving
+incrementally with nulls, schema evolution, views, QUEL queries under both
+execution strategies, a probability-qualified report, CSV/JSON export and
+re-import — asserting information-content invariants at every step.
+"""
+
+import pytest
+
+from repro import NI, Relation, XRelation, XTuple
+from repro.constraints import (
+    ForeignKeyConstraint,
+    FunctionalDependency,
+    KeyConstraint,
+    NotNullConstraint,
+)
+from repro.core.errors import KeyViolation, ReferentialViolation
+from repro.io import database_from_dict, database_to_dict, from_csv_text, to_csv_text
+from repro.quel import run_query
+from repro.storage import Database, add_attribute
+from repro.views import ViewCatalog, base, network_to_relational
+from repro.wong import divide_with_threshold
+
+
+@pytest.fixture
+def enterprise():
+    db = Database("enterprise")
+    db.create_table(
+        "DEPT",
+        ["DNAME", "FLOOR"],
+        constraints=[KeyConstraint(["DNAME"])],
+    )
+    db.create_table(
+        "EMP",
+        ["E#", "NAME", "SEX", "DNAME", "MGR#"],
+        constraints=[KeyConstraint(["E#"]), NotNullConstraint(["NAME"])],
+    )
+    db.add_foreign_key("EMP", ForeignKeyConstraint(["DNAME"], "DEPT", ["DNAME"]))
+    db.insert_many("DEPT", [("eng", 2), ("sales", 1), ("ops", 3)])
+    db.insert_many("EMP", [
+        (1, "ann", "F", "eng", 4),
+        (2, "bob", "M", "sales", 4),
+        (3, "cat", "F", None, None),      # department and manager unknown
+        (4, "dan", "M", "eng", None),
+    ])
+    return db
+
+
+class TestWorkflow:
+    def test_constraints_guard_updates(self, enterprise):
+        with pytest.raises(KeyViolation):
+            enterprise.insert("EMP", (1, "dup", "F", "eng", None))
+        with pytest.raises(ReferentialViolation):
+            enterprise.insert("EMP", (9, "eve", "F", "legal", None))
+        enterprise.insert("EMP", (9, "eve", "F", None, None))  # unknown dept is fine
+        assert len(enterprise["EMP"]) == 5
+
+    def test_updates_never_lose_information(self, enterprise):
+        before = enterprise.xrelation("EMP")
+        enterprise.insert("EMP", (10, "fay", "F", "ops", 4))
+        table = enterprise.table("EMP")
+        fay = table.lookup(["E#"], [10])[0]
+        enterprise.update("EMP", fay, {**fay.as_dict(), "MGR#": 2})
+        after = enterprise.xrelation("EMP")
+        assert after >= before
+
+    def test_schema_evolution_mid_flight(self, enterprise):
+        before = enterprise.xrelation("EMP")
+        report = add_attribute(enterprise.table("EMP"), "TEL#")
+        assert report.information_preserved
+        assert enterprise.xrelation("EMP") == before
+        enterprise.insert("EMP", (11, "gil", "M", "ops", None, 5551))
+        result = run_query(
+            "range of e is EMP retrieve (e.NAME) where e.TEL# > 0",
+            enterprise,
+        )
+        assert {t["e_NAME"] for t in result.rows} == {"gil"}
+
+    def test_queries_agree_across_strategies(self, enterprise):
+        text = (
+            'range of e is EMP range of m is EMP retrieve (e.NAME, m.NAME) '
+            'where e.MGR# = m.E# and m.SEX = "M"'
+        )
+        tuple_answer = run_query(text, enterprise, strategy="tuple").answer
+        algebra_answer = run_query(text, enterprise, strategy="algebra").answer
+        assert tuple_answer == algebra_answer
+        assert {t["e_NAME"] for t in tuple_answer.rows()} == {"ann", "bob"}
+
+    def test_views_over_the_database(self, enterprise):
+        catalog = ViewCatalog()
+        staffing = network_to_relational("DEPT", "EMP", link=["DNAME"])
+        catalog.define(staffing.name, staffing.expression)
+        catalog.define("WOMEN", base(staffing.name).select("SEX", "=", "F").project(["NAME", "DNAME"]))
+        women = catalog.evaluate("WOMEN", enterprise)
+        assert women.x_contains({"NAME": "ann", "DNAME": "eng"})
+        assert women.x_contains({"NAME": "cat"})       # kept despite unknown dept
+        # the staffing view loses neither employees nor departments
+        staffing_result = catalog.evaluate(staffing.name, enterprise)
+        assert enterprise.xrelation("EMP") <= staffing_result
+        assert enterprise.xrelation("DEPT") <= staffing_result
+
+    def test_probability_qualified_report(self, enterprise):
+        managers = divide_with_threshold(
+            enterprise["EMP"], [4], by="DNAME", over="MGR#", threshold=1.0
+        )
+        assert "eng" in managers
+
+    def test_round_trips_preserve_information(self, enterprise):
+        emp = enterprise["EMP"]
+        via_csv = from_csv_text(to_csv_text(emp), name="EMP")
+        assert XRelation(via_csv) == XRelation(emp)
+        rebuilt = database_from_dict(database_to_dict(enterprise))
+        assert set(rebuilt) == set(enterprise)
+        for name in enterprise:
+            assert XRelation(rebuilt[name]) == XRelation(enterprise[name])
+
+    def test_constraint_validation_after_bulk_load(self, enterprise):
+        table = enterprise.table("EMP")
+        table.add_constraint(FunctionalDependency(["E#"], ["NAME"]))
+        table.validate()
+        with pytest.raises(Exception):
+            table.insert((1, "other-name", "M", "eng", None))

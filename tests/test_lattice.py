@@ -1,0 +1,161 @@
+"""Unit tests for the lattice structure of x-relations (repro.core.lattice)."""
+
+import pytest
+
+from repro import Relation, XRelation, XTuple
+from repro.core.domains import TypedDomain
+from repro.core.errors import DomainError
+from repro.core.lattice import (
+    AttributeUniverse,
+    boolean_sublattice_elements,
+    bottom,
+    check_difference_laws,
+    check_distributivity,
+    check_lattice_laws,
+    complement_counterexample,
+    has_boolean_complement,
+    is_total_with_scope_u,
+    pseudo_complement,
+    set_intersection_of_totals,
+    top,
+)
+
+
+@pytest.fixture
+def universe():
+    return AttributeUniverse.from_values({"A": ["a1", "a2"], "B": ["b1", "b2"]})
+
+
+@pytest.fixture
+def triple():
+    a = XRelation.from_rows(["A", "B"], [("a1", "b1"), ("a2", None)], name="a")
+    b = XRelation.from_rows(["A", "B"], [("a1", None), ("a2", "b2")], name="b")
+    c = XRelation.from_rows(["A", "B"], [("a1", "b2")], name="c")
+    return a, b, c
+
+
+class TestAttributeUniverse:
+    def test_cardinality(self, universe):
+        assert universe.cardinality() == 4
+
+    def test_total_tuples(self, universe):
+        totals = list(universe.total_tuples())
+        assert len(totals) == 4
+        assert XTuple(A="a1", B="b2") in totals
+
+    def test_all_tuples_includes_partial(self, universe):
+        everything = list(universe.all_tuples())
+        assert len(everything) == 9  # (2+1) * (2+1)
+        assert XTuple(A="a1") in everything
+        assert XTuple() in everything
+
+    def test_rejects_infinite_domains(self):
+        with pytest.raises(DomainError):
+            AttributeUniverse({"A": TypedDomain(str)})
+
+    def test_schema(self, universe):
+        assert universe.schema().attributes == ("A", "B")
+
+
+class TestBottomAndTop:
+    def test_bottom_is_least(self, triple):
+        a, _, _ = triple
+        assert a >= bottom(["A", "B"])
+        assert (a & bottom(["A", "B"])).is_empty()
+
+    def test_top_is_greatest(self, universe, triple):
+        t = top(universe)
+        for x in triple:
+            assert (x | t) == t
+            assert t >= x
+
+    def test_top_has_all_total_tuples(self, universe):
+        assert len(top(universe)) == 4
+
+
+class TestLatticeLaws:
+    def test_laws_hold_on_paper_style_relations(self, triple):
+        a, b, c = triple
+        assert all(check_lattice_laws(a, b, c).values())
+
+    def test_distributivity(self, triple):
+        a, b, c = triple
+        assert all(check_distributivity(a, b, c).values())
+
+    def test_difference_laws(self, triple):
+        a, b, _ = triple
+        u = a | b
+        results = check_difference_laws(u, a)
+        assert all(results.values())
+
+    def test_laws_with_empty_operand(self, triple):
+        a, b, _ = triple
+        empty = bottom(["A", "B"])
+        assert all(check_lattice_laws(a, b, empty).values())
+        assert all(check_distributivity(a, empty, b).values())
+
+
+class TestPseudoComplement:
+    def test_union_with_pseudo_complement_is_top(self, universe):
+        r = XRelation.from_rows(["A", "B"], [("a1", "b1")], name="R")
+        star = pseudo_complement(r, universe)
+        assert (r | star) == top(universe)
+
+    def test_pseudo_complement_is_total_scope_u(self, universe):
+        r = XRelation.from_rows(["A", "B"], [("a1", None)], name="R")
+        star = pseudo_complement(r, universe)
+        assert is_total_with_scope_u(star, universe)
+
+    def test_pseudo_complement_of_bottom_is_top(self, universe):
+        assert pseudo_complement(bottom(["A", "B"]), universe) == top(universe)
+
+    def test_pseudo_complement_of_top_is_bottom(self, universe):
+        assert pseudo_complement(top(universe), universe).is_empty()
+
+    def test_no_boolean_complement_in_general(self):
+        """The Section 4 counter-example: R = {(a1, b1)} over {a1} × {b1, b2}."""
+        example = complement_counterexample()
+        assert example["union_is_top"]
+        assert not example["intersection_empty"]
+        assert example["intersection"].x_contains(example["witness_in_both"])
+        assert not has_boolean_complement(example["r"], example["universe"])
+
+    def test_total_relations_complement_only_under_set_meet(self, universe):
+        """Section 7: the pseudo-complements form a Boolean lattice, but only
+        with *set intersection* as the meet — under the x-intersection meet
+        even total scope-U x-relations generally lack a complement."""
+        r = XRelation.from_rows(
+            ["A", "B"], [("a1", "b1"), ("a2", "b2")], name="R"
+        )
+        star = pseudo_complement(r, universe)
+        # Within the Boolean sublattice (set-intersection meet) star is a
+        # genuine complement of r ...
+        assert (r | star) == top(universe)
+        assert set_intersection_of_totals(r, star, universe).is_empty()
+        # ... but under the x-intersection meet it is not, because the meets
+        # of disagreeing total tuples are partial tuples, not nothing.
+        assert not has_boolean_complement(r, universe)
+        assert not (r & star).is_empty()
+
+
+class TestBooleanSublattice:
+    def test_enumeration_size(self):
+        tiny = AttributeUniverse.from_values({"A": ["a1"], "B": ["b1", "b2"]})
+        elements = boolean_sublattice_elements(tiny)
+        assert len(elements) == 2 ** 2
+
+    def test_two_meets_differ(self):
+        """Section 7: set intersection vs x-intersection on total x-relations."""
+        tiny = AttributeUniverse.from_values({"A": ["a1"], "B": ["b1", "b2"]})
+        r1 = XRelation.from_rows(["A", "B"], [("a1", "b1")], name="R1")
+        r2 = XRelation.from_rows(["A", "B"], [("a1", "b2")], name="R2")
+        boolean_meet = set_intersection_of_totals(r1, r2, tiny)
+        x_meet = r1 & r2
+        assert boolean_meet.is_empty()
+        assert not x_meet.is_empty()
+        assert x_meet.x_contains(XTuple(A="a1"))
+
+    def test_refuses_large_universes(self):
+        big = AttributeUniverse.from_values({"A": list("abcde"), "B": list("abcde")})
+        with pytest.raises(DomainError):
+            boolean_sublattice_elements(big)

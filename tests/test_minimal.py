@@ -1,0 +1,116 @@
+"""Unit tests for minimal-form reduction (repro.core.minimal)."""
+
+import random
+
+import pytest
+
+from repro import NI, XTuple
+from repro.core.minimal import (
+    is_minimal_rows,
+    reduce_rows,
+    reduce_rows_hashed,
+    reduce_rows_naive,
+)
+
+
+def _random_rows(count, attributes=("A", "B", "C"), domain=3, null_rate=0.4, seed=0):
+    rng = random.Random(seed)
+    rows = []
+    for _ in range(count):
+        data = {}
+        for attribute in attributes:
+            if rng.random() < null_rate:
+                continue
+            data[attribute] = rng.randrange(domain)
+        rows.append(XTuple(data))
+    return rows
+
+
+class TestNaiveReduction:
+    def test_removes_null_tuple(self):
+        rows = [XTuple(), XTuple(A=1)]
+        assert reduce_rows_naive(rows) == [XTuple(A=1)]
+
+    def test_removes_subsumed(self):
+        rows = [XTuple(A=1), XTuple(A=1, B=2)]
+        assert reduce_rows_naive(rows) == [XTuple(A=1, B=2)]
+
+    def test_keeps_incomparable(self):
+        rows = [XTuple(A=1), XTuple(B=2)]
+        assert set(reduce_rows_naive(rows)) == set(rows)
+
+    def test_empty_input(self):
+        assert reduce_rows_naive([]) == []
+
+    def test_only_null_tuples(self):
+        assert reduce_rows_naive([XTuple(), XTuple()]) == []
+
+    def test_duplicates_collapse(self):
+        assert reduce_rows_naive([XTuple(A=1), XTuple(A=1)]) == [XTuple(A=1)]
+
+    def test_result_is_antichain(self):
+        rows = _random_rows(40)
+        assert is_minimal_rows(reduce_rows_naive(rows))
+
+
+class TestHashedReduction:
+    def test_agrees_with_naive_on_random_inputs(self):
+        for seed in range(6):
+            rows = _random_rows(60, seed=seed)
+            assert set(reduce_rows_hashed(rows)) == set(reduce_rows_naive(rows))
+
+    def test_agrees_with_naive_with_high_null_rate(self):
+        rows = _random_rows(80, null_rate=0.8, seed=11)
+        assert set(reduce_rows_hashed(rows)) == set(reduce_rows_naive(rows))
+
+    def test_wide_tuples_fall_back(self):
+        wide = XTuple({f"A{i}": i for i in range(20)})
+        narrow = XTuple({"A0": 0})
+        result = reduce_rows_hashed([wide, narrow])
+        assert result == [wide] or set(result) == {wide}
+
+    def test_empty_input(self):
+        assert reduce_rows_hashed([]) == []
+
+
+class TestDispatcher:
+    def test_small_and_large_inputs(self):
+        small = _random_rows(10, seed=3)
+        large = _random_rows(200, seed=4)
+        assert set(reduce_rows(small)) == set(reduce_rows_naive(small))
+        assert set(reduce_rows(large)) == set(reduce_rows_naive(large))
+
+    def test_accepts_generators(self):
+        rows = (XTuple(A=i % 2) for i in range(10))
+        assert set(reduce_rows(rows)) == {XTuple(A=0), XTuple(A=1)}
+
+
+class TestIsMinimalRows:
+    def test_true_for_antichain(self):
+        assert is_minimal_rows([XTuple(A=1), XTuple(B=2)])
+
+    def test_false_with_null_tuple(self):
+        assert not is_minimal_rows([XTuple(), XTuple(A=1)])
+
+    def test_false_with_subsumed_row(self):
+        assert not is_minimal_rows([XTuple(A=1), XTuple(A=1, B=2)])
+
+    def test_true_for_empty(self):
+        assert is_minimal_rows([])
+
+
+class TestIdempotenceAndEquivalence:
+    def test_reduction_is_idempotent(self):
+        rows = _random_rows(50, seed=9)
+        once = reduce_rows_naive(rows)
+        twice = reduce_rows_naive(once)
+        assert set(once) == set(twice)
+
+    def test_reduction_preserves_x_membership(self):
+        """Every original row must still be x-contained after reduction."""
+        rows = _random_rows(40, seed=2)
+        reduced = reduce_rows_naive(rows)
+        for row in rows:
+            if row.is_null_tuple():
+                continue
+            assert any(r.more_informative_than(row) for r in reduced)

@@ -1,0 +1,108 @@
+"""Unit tests for the null taxonomy (repro.core.nulls)."""
+
+import copy
+import pickle
+
+import pytest
+
+from repro.core.nulls import (
+    NI,
+    MarkedNull,
+    NoInformationNull,
+    NonexistentNull,
+    UnknownNull,
+    coerce_null,
+    is_ni,
+    is_nonnull,
+    is_null,
+)
+
+
+class TestNoInformationNull:
+    def test_singleton(self):
+        assert NoInformationNull() is NI
+
+    def test_falsy(self):
+        assert not NI
+
+    def test_equality_reflexive(self):
+        assert NI == NoInformationNull()
+        assert not (NI != NoInformationNull())
+
+    def test_not_equal_to_values(self):
+        assert NI != 0
+        assert NI != ""
+        assert NI != "ni"
+
+    def test_not_equal_to_other_null_kinds(self):
+        assert NI != UnknownNull()
+        assert NI != NonexistentNull()
+
+    def test_str_is_dash(self):
+        assert str(NI) == "-"
+
+    def test_repr(self):
+        assert repr(NI) == "ni"
+
+    def test_hashable_and_stable(self):
+        assert hash(NI) == hash(NoInformationNull())
+        assert len({NI, NoInformationNull()}) == 1
+
+    def test_copy_preserves_identity(self):
+        assert copy.copy(NI) is NI
+        assert copy.deepcopy(NI) is NI
+
+    def test_pickle_preserves_singleton(self):
+        assert pickle.loads(pickle.dumps(NI)) is NI
+
+
+class TestOtherNulls:
+    def test_unknown_equality(self):
+        assert UnknownNull() == UnknownNull()
+        assert hash(UnknownNull()) == hash(UnknownNull())
+
+    def test_nonexistent_equality(self):
+        assert NonexistentNull() == NonexistentNull()
+
+    def test_marked_null_labelled_equality(self):
+        assert MarkedNull("x") == MarkedNull("x")
+        assert MarkedNull("x") != MarkedNull("y")
+
+    def test_marked_null_requires_label(self):
+        with pytest.raises(ValueError):
+            MarkedNull("")
+
+    def test_marked_null_str(self):
+        assert str(MarkedNull("m1")) == "@m1"
+
+    def test_all_null_kinds_falsy(self):
+        assert not UnknownNull()
+        assert not NonexistentNull()
+        assert not MarkedNull("a")
+
+
+class TestPredicates:
+    @pytest.mark.parametrize("value", [NI, None, UnknownNull(), NonexistentNull(), MarkedNull("z")])
+    def test_is_null_true(self, value):
+        assert is_null(value)
+
+    @pytest.mark.parametrize("value", [0, "", False, "x", 3.5, (), []])
+    def test_is_null_false(self, value):
+        assert not is_null(value)
+
+    def test_is_nonnull(self):
+        assert is_nonnull(0)
+        assert not is_nonnull(NI)
+
+    def test_is_ni_accepts_none(self):
+        assert is_ni(None)
+        assert is_ni(NI)
+        assert not is_ni(UnknownNull())
+
+    def test_coerce_null_maps_none(self):
+        assert coerce_null(None) is NI
+
+    def test_coerce_null_passthrough(self):
+        marked = MarkedNull("k")
+        assert coerce_null(marked) is marked
+        assert coerce_null(42) == 42

@@ -1,0 +1,77 @@
+"""Unit tests for the quasi-order utilities (repro.core.ordering)."""
+
+from repro import XTuple
+from repro.core.ordering import (
+    chains,
+    compare,
+    is_antichain,
+    maximal_tuples,
+    meet_closure,
+    minimal_tuples,
+    subsumed_by_any,
+    subsumes_any,
+)
+
+
+def test_maximal_tuples_drops_dominated():
+    rows = [XTuple(A=1), XTuple(A=1, B=2), XTuple(C=3)]
+    maxima = maximal_tuples(rows)
+    assert XTuple(A=1, B=2) in maxima
+    assert XTuple(C=3) in maxima
+    assert XTuple(A=1) not in maxima
+
+
+def test_maximal_tuples_deduplicates():
+    rows = [XTuple(A=1), XTuple(A=1)]
+    assert maximal_tuples(rows) == [XTuple(A=1)]
+
+
+def test_minimal_tuples_keeps_bottoms():
+    rows = [XTuple(A=1), XTuple(A=1, B=2), XTuple(C=3)]
+    minima = minimal_tuples(rows)
+    assert XTuple(A=1) in minima
+    assert XTuple(C=3) in minima
+    assert XTuple(A=1, B=2) not in minima
+
+
+def test_is_antichain():
+    assert is_antichain([XTuple(A=1), XTuple(B=2)])
+    assert not is_antichain([XTuple(A=1), XTuple(A=1, B=2)])
+    assert is_antichain([])
+
+
+def test_subsumes_and_subsumed():
+    pool = [XTuple(A=1), XTuple(B=2)]
+    assert subsumes_any(XTuple(A=1, C=3), pool)
+    assert not subsumes_any(XTuple(C=3), pool)
+    assert subsumed_by_any(XTuple(), pool)
+    assert subsumed_by_any(XTuple(A=1), [XTuple(A=1, B=2)])
+    assert not subsumed_by_any(XTuple(A=2), pool)
+
+
+def test_meet_closure_contains_pairwise_meets():
+    a, b = XTuple(A=1, B=2), XTuple(A=1, C=3)
+    closed = meet_closure([a, b])
+    assert XTuple(A=1) in closed
+    assert a in closed and b in closed
+
+
+def test_meet_closure_idempotent():
+    items = [XTuple(A=1, B=2), XTuple(A=1, C=3), XTuple(B=2)]
+    once = meet_closure(items)
+    twice = meet_closure(once)
+    assert set(once) == set(twice)
+
+
+def test_compare_classification():
+    assert compare(XTuple(A=1), XTuple(A=1)) == "equivalent"
+    assert compare(XTuple(A=1, B=2), XTuple(A=1)) == "more"
+    assert compare(XTuple(A=1), XTuple(A=1, B=2)) == "less"
+    assert compare(XTuple(A=1), XTuple(B=1)) == "incomparable"
+
+
+def test_chains_lists_strict_pairs():
+    a, b = XTuple(A=1), XTuple(A=1, B=2)
+    pairs = chains([a, b])
+    assert (a, b) in pairs
+    assert (b, a) not in pairs

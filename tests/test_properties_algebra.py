@@ -1,0 +1,142 @@
+"""Property-based tests for the generalised algebra operators.
+
+The key invariants exercised here:
+
+* division agrees with its quantifier reading (a brute-force check over
+  candidates and divisor rows) and with the image-set formulation;
+* the union-join never loses information from either operand;
+* join rows are exactly the joinable, X-agreeing pairs;
+* products/selections/projections commute the way classical algebra
+  promises, information-wise.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro import Relation, XRelation, XTuple
+from repro.core.algebra import (
+    divide,
+    divide_by_images,
+    image_set,
+    join_on,
+    project,
+    select_constant,
+    union_join,
+)
+
+
+SUPPLIERS = ["s1", "s2", "s3"]
+PARTS = ["p1", "p2", "p3"]
+
+
+@st.composite
+def ps_relations(draw):
+    rows = draw(st.lists(
+        st.tuples(
+            st.sampled_from(SUPPLIERS),
+            st.one_of(st.none(), st.sampled_from(PARTS)),
+        ),
+        max_size=10,
+    ))
+    return Relation.from_rows(["S", "P"], rows, name="PS")
+
+
+@st.composite
+def divisors(draw):
+    parts = draw(st.lists(st.sampled_from(PARTS), max_size=3, unique=True))
+    return Relation.from_rows(["P"], [(p,) for p in parts], name="D") if parts else Relation.empty(["P"], name="D")
+
+
+class TestDivisionProperties:
+    @given(ps_relations(), divisors())
+    @settings(max_examples=60, deadline=None)
+    def test_division_matches_quantifier_reading(self, ps, divisor):
+        quotient = divide(ps, divisor, ["S"])
+        divisor_parts = [t["P"] for t in divisor.tuples() if t["P"] is not None and len(t)]
+        candidates = {t["S"] for t in ps.tuples() if t.is_total_on(["S"])}
+        expected = {
+            s for s in candidates
+            if all(
+                any(r["S"] == s and r["P"] == part for r in ps.tuples())
+                for part in divisor_parts
+            )
+        }
+        assert {t["S"] for t in quotient.rows()} == expected
+
+    @given(ps_relations(), divisors())
+    @settings(max_examples=60, deadline=None)
+    def test_division_formulations_agree(self, ps, divisor):
+        assert divide(ps, divisor, ["S"]) == divide_by_images(ps, divisor, ["S"])
+
+    @given(ps_relations())
+    @settings(max_examples=40, deadline=None)
+    def test_division_by_own_projection_contains_every_total_supplier(self, ps):
+        """Dividing by a single supplier's parts must at least return that supplier."""
+        assume(any(t.is_total_on(["S", "P"]) for t in ps.tuples()))
+        supplier = next(t["S"] for t in ps.tuples() if t.is_total_on(["S", "P"]))
+        divisor = project(select_constant(ps, "S", "=", supplier), ["P"])
+        quotient = divide(ps, divisor, ["S"])
+        assert XTuple(S=supplier) in quotient
+
+
+@st.composite
+def joinable_pairs(draw):
+    left_rows = draw(st.lists(
+        st.tuples(st.integers(0, 3), st.one_of(st.none(), st.sampled_from(["k1", "k2", "k3"]))),
+        max_size=6,
+    ))
+    right_rows = draw(st.lists(
+        st.tuples(st.one_of(st.none(), st.sampled_from(["k1", "k2", "k3"])), st.integers(0, 3)),
+        max_size=6,
+    ))
+    left = Relation.from_rows(["A", "K"], left_rows, name="L")
+    right = Relation.from_rows(["K", "B"], right_rows, name="R")
+    return left, right
+
+
+class TestJoinProperties:
+    @given(joinable_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_join_rows_are_exactly_matching_pairs(self, pair):
+        left, right = pair
+        joined = join_on(left, right, ["K"])
+        expected = set()
+        for l in left.tuples():
+            if not l.is_total_on(["K"]):
+                continue
+            for r in right.tuples():
+                if r.is_total_on(["K"]) and r["K"] == l["K"]:
+                    expected.add(l.join(r))
+        for row in expected:
+            assert joined.x_contains(row)
+        for row in joined.rows():
+            assert any(candidate.more_informative_than(row) for candidate in expected)
+
+    @given(joinable_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_union_join_preserves_both_operands(self, pair):
+        left, right = pair
+        outer = union_join(left, right, ["K"])
+        assert outer.contains(XRelation(left))
+        assert outer.contains(XRelation(right))
+
+    @given(joinable_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_union_join_contains_inner_join(self, pair):
+        left, right = pair
+        assert union_join(left, right, ["K"]).contains(join_on(left, right, ["K"]))
+
+
+class TestImageProperties:
+    @given(ps_relations(), st.sampled_from(SUPPLIERS))
+    @settings(max_examples=60, deadline=None)
+    def test_image_collects_exactly_the_suppliers_parts(self, ps, supplier):
+        image = image_set(ps, {"S": supplier}, ["S"], ["P"])
+        expected = {t["P"] for t in ps.tuples() if t["S"] == supplier and t.is_total_on(["P"])}
+        assert {t["P"] for t in image.rows()} == expected
+
+    @given(ps_relations(), st.sampled_from(SUPPLIERS))
+    @settings(max_examples=40, deadline=None)
+    def test_image_equals_select_then_project(self, ps, supplier):
+        image = image_set(ps, {"S": supplier}, ["S"], ["P"])
+        alternative = project(select_constant(ps, "S", "=", supplier), ["P"])
+        assert image == alternative

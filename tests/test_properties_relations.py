@@ -1,0 +1,153 @@
+"""Property-based tests for x-relations: lattice laws and algebra invariants."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro import Relation, XRelation, XTuple
+from repro.core.algebra import project, select_constant
+from repro.core.lattice import check_difference_laws, check_distributivity, check_lattice_laws
+
+
+ATTRIBUTES = ("A", "B")
+VALUES = st.one_of(st.none(), st.integers(min_value=0, max_value=2))
+
+
+@st.composite
+def xtuples(draw):
+    data = {}
+    for attribute in ATTRIBUTES:
+        value = draw(VALUES)
+        if value is not None:
+            data[attribute] = value
+    return XTuple(data)
+
+
+@st.composite
+def xrelations(draw):
+    rows = draw(st.lists(xtuples(), max_size=6))
+    relation = Relation(ATTRIBUTES, validate=False)
+    relation._rows = set(rows)
+    return XRelation(relation)
+
+
+class TestLatticeProperties:
+    @given(xrelations(), xrelations(), xrelations())
+    @settings(max_examples=40)
+    def test_lattice_laws(self, a, b, c):
+        assert all(check_lattice_laws(a, b, c).values())
+
+    @given(xrelations(), xrelations(), xrelations())
+    @settings(max_examples=40)
+    def test_distributivity(self, a, b, c):
+        assert all(check_distributivity(a, b, c).values())
+
+    @given(xrelations(), xrelations())
+    @settings(max_examples=40)
+    def test_containment_is_a_partial_order(self, a, b):
+        assert a >= a
+        if a >= b and b >= a:
+            assert a == b
+
+    @given(xrelations(), xrelations())
+    @settings(max_examples=40)
+    def test_union_is_least_upper_bound(self, a, b):
+        u = a | b
+        assert u >= a and u >= b
+
+    @given(xrelations(), xrelations(), xrelations())
+    @settings(max_examples=40)
+    def test_union_minimality(self, a, b, upper):
+        """Proposition 4.4: any common upper bound contains the union."""
+        if upper >= a and upper >= b:
+            assert upper >= (a | b)
+
+    @given(xrelations(), xrelations(), xrelations())
+    @settings(max_examples=40)
+    def test_intersection_maximality(self, a, b, lower):
+        """Proposition 4.5: any common lower bound is contained in the x-intersection."""
+        if a >= lower and b >= lower:
+            assert (a & b) >= lower
+
+    @given(xrelations(), xrelations())
+    @settings(max_examples=40)
+    def test_difference_laws(self, a, b):
+        assert all(check_difference_laws(a | b, b).values())
+
+    @given(xrelations(), xrelations())
+    @settings(max_examples=40)
+    def test_difference_union_covers_minuend(self, a, b):
+        """Proposition 4.6 applied to the union: ((a∪b) − b) ∪ b = a∪b."""
+        u = a | b
+        assert ((u - b) | b) == u
+
+    @given(xrelations())
+    @settings(max_examples=40)
+    def test_self_difference_is_bottom(self, a):
+        assert (a - a).is_empty()
+
+
+class TestMembershipProperties:
+    @given(xrelations(), xrelations(), xtuples())
+    @settings(max_examples=60)
+    def test_union_membership_definition(self, a, b, t):
+        """(4.1): t ∈̂ a∪b iff t ∈̂ a or t ∈̂ b (for non-null t).
+
+        The null tuple is excluded: it carries no information, and the
+        paper's Definition 4.1 of subsumption explicitly ignores it, so its
+        "membership" is not characterised by Proposition 4.2.
+        """
+        assume(not t.is_null_tuple())
+        assert ((t in (a | b)) == ((t in a) or (t in b)))
+
+    @given(xrelations(), xrelations(), xtuples())
+    @settings(max_examples=60)
+    def test_intersection_membership_definition(self, a, b, t):
+        """(4.2): t ∈̂ a∩̂b iff t ∈̂ a and t ∈̂ b (for non-null t)."""
+        assume(not t.is_null_tuple())
+        assert ((t in (a & b)) == ((t in a) and (t in b)))
+
+    @given(xrelations(), xtuples())
+    @settings(max_examples=60)
+    def test_membership_downward_closed(self, a, t):
+        if t in a:
+            assert t.meet(t) in a  # trivial
+            for attribute in list(t.attributes):
+                weaker = t.drop([attribute])
+                assert weaker in a
+
+    @given(xrelations(), xrelations())
+    @settings(max_examples=40)
+    def test_containment_characterised_by_membership(self, a, b):
+        """a ⊒ b iff every minimal-representation row of b x-belongs to a."""
+        expected = all(t in a for t in b.rows())
+        assert (a >= b) == expected
+
+
+class TestAlgebraProperties:
+    @given(xrelations())
+    @settings(max_examples=40)
+    def test_selection_result_is_contained_in_input(self, a):
+        selected = select_constant(a, "A", "=", 1)
+        assert a >= selected
+
+    @given(xrelations())
+    @settings(max_examples=40)
+    def test_selection_rows_satisfy_predicate(self, a):
+        selected = select_constant(a, "A", "=", 1)
+        assert all(t["A"] == 1 for t in selected.rows())
+
+    @given(xrelations())
+    @settings(max_examples=40)
+    def test_projection_of_projection(self, a):
+        assert project(project(a, ["A", "B"]), ["A"]) == project(a, ["A"])
+
+    @given(xrelations(), xrelations())
+    @settings(max_examples=40)
+    def test_projection_distributes_over_union(self, a, b):
+        assert project(a | b, ["A"]) == (project(a, ["A"]) | project(b, ["A"]))
+
+    @given(xrelations(), xrelations())
+    @settings(max_examples=40)
+    def test_selection_distributes_over_union(self, a, b):
+        left = select_constant(a | b, "A", "=", 1)
+        right = select_constant(a, "A", "=", 1) | select_constant(b, "A", "=", 1)
+        assert left == right

@@ -1,0 +1,134 @@
+"""Property-based tests (hypothesis) for the tuple information lattice."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import NI, XTuple
+from repro.core.ordering import maximal_tuples
+from repro.core.minimal import is_minimal_rows, reduce_rows_hashed, reduce_rows_naive
+
+
+ATTRIBUTES = ("A", "B", "C", "D")
+VALUES = st.one_of(st.none(), st.integers(min_value=0, max_value=3))
+
+
+@st.composite
+def xtuples(draw):
+    data = {}
+    for attribute in ATTRIBUTES:
+        value = draw(VALUES)
+        if value is not None:
+            data[attribute] = value
+    return XTuple(data)
+
+
+tuple_lists = st.lists(xtuples(), max_size=12)
+
+
+class TestOrderingProperties:
+    @given(xtuples())
+    def test_reflexive(self, t):
+        assert t.more_informative_than(t)
+
+    @given(xtuples(), xtuples())
+    def test_antisymmetric_up_to_equivalence(self, r, t):
+        if r.more_informative_than(t) and t.more_informative_than(r):
+            assert r == t
+
+    @given(xtuples(), xtuples(), xtuples())
+    def test_transitive(self, a, b, c):
+        if a.more_informative_than(b) and b.more_informative_than(c):
+            assert a.more_informative_than(c)
+
+    @given(xtuples())
+    def test_null_tuple_is_global_lower_bound(self, t):
+        assert t.more_informative_than(XTuple())
+
+    @given(xtuples(), xtuples())
+    def test_projection_is_monotone(self, r, t):
+        if r.more_informative_than(t):
+            assert r.project(["A", "B"]).more_informative_than(t.project(["A", "B"]))
+
+
+class TestMeetProperties:
+    @given(xtuples(), xtuples())
+    def test_meet_commutative(self, r, t):
+        assert r.meet(t) == t.meet(r)
+
+    @given(xtuples(), xtuples(), xtuples())
+    def test_meet_associative(self, a, b, c):
+        assert a.meet(b).meet(c) == a.meet(b.meet(c))
+
+    @given(xtuples())
+    def test_meet_idempotent(self, t):
+        assert t.meet(t) == t
+
+    @given(xtuples(), xtuples())
+    def test_meet_is_greatest_lower_bound(self, r, t):
+        m = r.meet(t)
+        assert r.more_informative_than(m)
+        assert t.more_informative_than(m)
+
+    @given(xtuples(), xtuples(), xtuples())
+    def test_meet_is_greatest_among_lower_bounds(self, r, t, candidate):
+        if r.more_informative_than(candidate) and t.more_informative_than(candidate):
+            assert r.meet(t).more_informative_than(candidate)
+
+
+class TestJoinProperties:
+    @given(xtuples(), xtuples())
+    def test_join_symmetric_when_defined(self, r, t):
+        assert r.joinable_with(t) == t.joinable_with(r)
+        if r.joinable_with(t):
+            assert r.join(t) == t.join(r)
+
+    @given(xtuples(), xtuples())
+    def test_join_is_least_upper_bound(self, r, t):
+        if r.joinable_with(t):
+            j = r.join(t)
+            assert j.more_informative_than(r)
+            assert j.more_informative_than(t)
+
+    @given(xtuples(), xtuples(), xtuples())
+    def test_join_is_least_among_upper_bounds(self, r, t, upper):
+        if upper.more_informative_than(r) and upper.more_informative_than(t):
+            assert r.joinable_with(t)
+            assert upper.more_informative_than(r.join(t))
+
+    @given(xtuples(), xtuples())
+    def test_absorption(self, r, t):
+        assert r.meet(r.join(t)) == r if r.joinable_with(t) else True
+        assert r.join(r.meet(t)) == r
+
+    @given(xtuples())
+    def test_join_with_null_tuple_is_identity(self, t):
+        assert t.join(XTuple()) == t
+
+
+class TestReductionProperties:
+    @given(tuple_lists)
+    @settings(max_examples=60)
+    def test_naive_and_hashed_reduction_agree(self, rows):
+        assert set(reduce_rows_naive(rows)) == set(reduce_rows_hashed(rows))
+
+    @given(tuple_lists)
+    @settings(max_examples=60)
+    def test_reduction_yields_minimal_antichain(self, rows):
+        reduced = reduce_rows_naive(rows)
+        assert is_minimal_rows(reduced)
+
+    @given(tuple_lists)
+    @settings(max_examples=60)
+    def test_reduction_preserves_x_membership_both_ways(self, rows):
+        reduced = reduce_rows_naive(rows)
+        for row in rows:
+            if not row.is_null_tuple():
+                assert any(r.more_informative_than(row) for r in reduced)
+        for row in reduced:
+            assert any(r.more_informative_than(row) for r in rows)
+
+    @given(tuple_lists)
+    @settings(max_examples=60)
+    def test_reduction_equals_maximal_elements(self, rows):
+        reduced = set(reduce_rows_naive(rows))
+        maxima = {t for t in maximal_tuples(rows) if not t.is_null_tuple()}
+        assert reduced == maxima

@@ -1,0 +1,110 @@
+"""Unit and integration tests for QUEL analysis, planning and evaluation."""
+
+import pytest
+
+from repro import XTuple
+from repro.core.errors import QuelError, QuelSemanticError
+from repro.datagen import FIGURE_1_QUERY, FIGURE_2_QUERY, employee_database
+from repro.quel import analyze, compile_query, parse, plan_query, run_query
+
+
+@pytest.fixture
+def db():
+    return employee_database()
+
+
+class TestAnalyzer:
+    def test_resolves_relations_case_insensitively(self, db):
+        analyzed = compile_query("range of e is emp retrieve (e.NAME)", db)
+        assert analyzed.query.ranges["e"] is db["EMP"]
+
+    def test_unknown_relation(self, db):
+        with pytest.raises(QuelSemanticError):
+            compile_query("range of e is NOPE retrieve (e.NAME)", db)
+
+    def test_duplicate_range_variable(self, db):
+        with pytest.raises(QuelSemanticError):
+            compile_query("range of e is EMP range of e is EMP retrieve (e.NAME)", db)
+
+    def test_unknown_attribute_in_target(self, db):
+        with pytest.raises(QuelSemanticError):
+            compile_query("range of e is EMP retrieve (e.SALARY)", db)
+
+    def test_unknown_variable_in_where(self, db):
+        with pytest.raises(QuelSemanticError):
+            compile_query("range of e is EMP retrieve (e.NAME) where x.E# = 1", db)
+
+    def test_unknown_attribute_in_where(self, db):
+        with pytest.raises(QuelSemanticError):
+            compile_query("range of e is EMP retrieve (e.NAME) where e.SALARY = 1", db)
+
+    def test_literal_only_comparison_rejected(self, db):
+        with pytest.raises(QuelSemanticError):
+            compile_query("range of e is EMP retrieve (e.NAME) where 1 = 1", db)
+
+    def test_labelled_target_propagates(self, db):
+        analyzed = compile_query("range of e is EMP retrieve (who = e.NAME)", db)
+        assert analyzed.query.output_attributes() == ("who",)
+
+    def test_into_names_result(self, db):
+        analyzed = compile_query("range of e is EMP retrieve into ANSWERS (e.NAME)", db)
+        assert analyzed.query.name == "ANSWERS"
+        assert analyzed.into == "ANSWERS"
+
+
+class TestEvaluator:
+    def test_figure_one_lower_bound(self, db):
+        result = run_query(FIGURE_1_QUERY, db)
+        assert {t["e_NAME"] for t in result.rows} == {"JONES"}
+
+    def test_brown_is_excluded(self, db):
+        """Under the ni interpretation Brown's null TEL# satisfies nothing."""
+        result = run_query(FIGURE_1_QUERY, db)
+        assert "BROWN" not in {t["e_NAME"] for t in result.rows}
+
+    def test_figure_two(self, db):
+        result = run_query(FIGURE_2_QUERY, db)
+        assert {t["e_NAME"] for t in result.rows} == {"GREEN"}
+
+    def test_unknown_strategy(self, db):
+        with pytest.raises(QuelError):
+            run_query(FIGURE_1_QUERY, db, strategy="quantum")
+
+    def test_query_without_where(self, db):
+        result = run_query("range of e is EMP retrieve (e.NAME)", db)
+        assert len(result) == len(db["EMP"])
+
+    def test_result_to_table(self, db):
+        assert "JONES" in run_query(FIGURE_1_QUERY, db).to_table()
+
+
+class TestPlanner:
+    def test_algebra_strategy_agrees_with_tuple_strategy(self, db):
+        for text in (FIGURE_1_QUERY, FIGURE_2_QUERY,
+                     'range of e is EMP retrieve (e.NAME) where e.SEX = "F"'):
+            tuple_answer = run_query(text, db, strategy="tuple").answer
+            algebra_answer = run_query(text, db, strategy="algebra").answer
+            assert tuple_answer == algebra_answer
+
+    def test_selection_pushdown_recorded_in_plan(self, db):
+        text = 'range of e is EMP range of m is EMP retrieve (e.NAME) ' \
+               'where e.SEX = "F" and e.MGR# = m.E#'
+        result = run_query(text, db, strategy="algebra")
+        assert any("select" in step and "on e" in step for step in result.plan.steps)
+        tuple_answer = run_query(text, db, strategy="tuple").answer
+        assert result.answer == tuple_answer
+
+    def test_plan_explain_is_numbered(self, db):
+        result = run_query(FIGURE_1_QUERY, db, strategy="algebra")
+        explanation = result.plan.explain()
+        assert explanation.splitlines()[0].startswith("1.")
+
+    def test_constant_on_left_is_pushed(self, db):
+        text = 'range of e is EMP retrieve (e.NAME) where 2634000 < e.TEL#'
+        algebra = run_query(text, db, strategy="algebra").answer
+        tuples = run_query(text, db, strategy="tuple").answer
+        assert algebra == tuples
+        assert {t["e_NAME"] for t in algebra.rows()} == {"JONES", "ADAMS"}
+
+    def test_database_query_helper(self, db):
+        assert {t["e_NAME"] for t in db.query(FIGURE_2_QUERY).rows} == {"GREEN"}

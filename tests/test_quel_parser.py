@@ -1,0 +1,118 @@
+"""Unit tests for the QUEL parser."""
+
+import pytest
+
+from repro.core.errors import QuelParseError
+from repro.quel.ast_nodes import AndExpr, ColumnRef, ComparisonExpr, NotExpr, OrExpr
+from repro.quel.parser import parse
+
+
+class TestRangeAndTarget:
+    def test_single_range(self):
+        q = parse("range of e is EMP retrieve (e.NAME)")
+        assert len(q.ranges) == 1
+        assert q.ranges[0].variable == "e"
+        assert q.ranges[0].relation == "EMP"
+
+    def test_multiple_ranges(self):
+        q = parse("range of e is EMP range of m is EMP retrieve (e.NAME)")
+        assert [r.variable for r in q.ranges] == ["e", "m"]
+        assert q.range_for("m") is not None
+        assert q.range_for("zzz") is None
+
+    def test_target_list(self):
+        q = parse("range of e is EMP retrieve (e.NAME, e.E#)")
+        assert [t.output_name() for t in q.target] == ["e_NAME", "e_E#"]
+
+    def test_labelled_target(self):
+        q = parse("range of e is EMP retrieve (who = e.NAME)")
+        assert q.target[0].label == "who"
+        assert q.target[0].output_name() == "who"
+
+    def test_retrieve_unique_into(self):
+        q = parse("range of e is EMP retrieve unique into RESULT (e.NAME)")
+        assert q.unique and q.into == "RESULT"
+
+    def test_missing_parenthesis(self):
+        with pytest.raises(QuelParseError):
+            parse("range of e is EMP retrieve e.NAME")
+
+    def test_missing_retrieve(self):
+        with pytest.raises(QuelParseError):
+            parse("range of e is EMP")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(QuelParseError):
+            parse("range of e is EMP retrieve (e.NAME) garbage here")
+
+
+class TestWhereClause:
+    def test_simple_comparison(self):
+        q = parse('range of e is EMP retrieve (e.NAME) where e.SEX = "F"')
+        assert isinstance(q.where, ComparisonExpr)
+        assert q.where.op == "="
+        assert isinstance(q.where.left, ColumnRef)
+        assert q.where.right.value == "F"
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        q = parse(
+            'range of e is EMP retrieve (e.NAME) '
+            'where e.A = 1 and e.B = 2 or e.C = 3'
+        )
+        assert isinstance(q.where, OrExpr)
+        assert isinstance(q.where.operands[0], AndExpr)
+
+    def test_parentheses_override_precedence(self):
+        q = parse(
+            'range of e is EMP retrieve (e.NAME) '
+            'where e.A = 1 and (e.B = 2 or e.C = 3)'
+        )
+        assert isinstance(q.where, AndExpr)
+        assert isinstance(q.where.operands[1], OrExpr)
+
+    def test_not(self):
+        q = parse('range of e is EMP retrieve (e.NAME) where not e.A = 1')
+        assert isinstance(q.where, NotExpr)
+
+    def test_double_not(self):
+        q = parse('range of e is EMP retrieve (e.NAME) where not not e.A = 1')
+        assert isinstance(q.where, NotExpr)
+        assert isinstance(q.where.operand, NotExpr)
+
+    def test_constant_on_left(self):
+        q = parse('range of e is EMP retrieve (e.NAME) where 5 < e.A')
+        assert q.where.left.value == 5
+
+    def test_column_to_column_comparison(self):
+        q = parse('range of e is EMP range of m is EMP retrieve (e.NAME) where e.MGR# = m.E#')
+        assert isinstance(q.where.left, ColumnRef) and isinstance(q.where.right, ColumnRef)
+
+    def test_missing_comparator(self):
+        with pytest.raises(QuelParseError):
+            parse('range of e is EMP retrieve (e.NAME) where e.A 5')
+
+    def test_missing_operand(self):
+        with pytest.raises(QuelParseError):
+            parse('range of e is EMP retrieve (e.NAME) where e.A = and e.B = 1')
+
+
+class TestPaperQueries:
+    def test_figure_one_shape(self):
+        from repro.datagen import FIGURE_1_QUERY
+        q = parse(FIGURE_1_QUERY)
+        assert [t.output_name() for t in q.target] == ["e_NAME", "e_E#"]
+        assert isinstance(q.where, OrExpr)
+        assert isinstance(q.where.operands[0], AndExpr)
+
+    def test_figure_two_shape(self):
+        from repro.datagen import FIGURE_2_QUERY
+        q = parse(FIGURE_2_QUERY)
+        assert len(q.ranges) == 2
+        assert isinstance(q.where, AndExpr)
+        assert len(q.where.operands) == 4
+
+    def test_round_trip_str_is_parseable(self):
+        from repro.datagen import FIGURE_2_QUERY
+        q = parse(FIGURE_2_QUERY)
+        again = parse(str(q).replace("not ", "not "))
+        assert len(again.ranges) == 2

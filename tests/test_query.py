@@ -1,0 +1,159 @@
+"""Unit tests for the core query machinery (repro.core.query)."""
+
+import pytest
+
+from repro import NI, Relation, XTuple
+from repro.core.errors import QuelSemanticError
+from repro.core.query import (
+    ALWAYS_TRUE,
+    And,
+    AttributeRef,
+    Comparison,
+    Constant,
+    Not,
+    Or,
+    Query,
+    TruthConstant,
+    evaluate_lower_bound,
+    evaluate_truth_partition,
+)
+from repro.core.threevalued import FALSE, NI_TRUTH, TRUE
+
+
+@pytest.fixture
+def emp(emp_db):
+    return emp_db["EMP"]
+
+
+def binding_for(relation, **filters):
+    for row in relation.tuples():
+        if all(row[k] == v for k, v in filters.items()):
+            return {"e": row}
+    raise AssertionError(f"no row matching {filters}")
+
+
+class TestTermsAndPredicates:
+    def test_attribute_ref_value(self, emp):
+        ref = AttributeRef("e", "NAME")
+        assert ref.value(binding_for(emp, NAME="SMITH")) == "SMITH"
+
+    def test_attribute_ref_unbound_variable(self):
+        ref = AttributeRef("x", "NAME")
+        with pytest.raises(QuelSemanticError):
+            ref.value({})
+
+    def test_constant_value(self):
+        assert Constant(5).value({}) == 5
+
+    def test_comparison_with_null_is_ni(self, emp):
+        predicate = Comparison(AttributeRef("e", "TEL#"), ">", Constant(0))
+        assert predicate.evaluate(binding_for(emp, NAME="SMITH")) == NI_TRUTH
+
+    def test_comparison_known_values(self, emp):
+        predicate = Comparison(AttributeRef("e", "SEX"), "=", Constant("F"))
+        assert predicate.evaluate(binding_for(emp, NAME="BROWN")) == TRUE
+        assert predicate.evaluate(binding_for(emp, NAME="SMITH")) == FALSE
+
+    def test_and_or_not_combinators(self, emp):
+        female = Comparison(AttributeRef("e", "SEX"), "=", Constant("F"))
+        has_phone = Comparison(AttributeRef("e", "TEL#"), ">", Constant(0))
+        brown = binding_for(emp, NAME="BROWN")
+        assert (female & has_phone).evaluate(brown) == NI_TRUTH
+        assert (female | has_phone).evaluate(brown) == TRUE
+        assert (~female).evaluate(brown) == FALSE
+
+    def test_operator_sugar_builds_nodes(self):
+        a = Comparison(AttributeRef("e", "A"), "=", Constant(1))
+        b = Comparison(AttributeRef("e", "B"), "=", Constant(2))
+        assert isinstance(a & b, And)
+        assert isinstance(a | b, Or)
+        assert isinstance(~a, Not)
+
+    def test_comparisons_collection(self):
+        a = Comparison(AttributeRef("e", "A"), "=", Constant(1))
+        b = Comparison(AttributeRef("e", "B"), "=", Constant(2))
+        assert set(map(repr, (a & ~b).comparisons())) == {repr(a), repr(b)}
+
+    def test_references(self):
+        a = Comparison(AttributeRef("e", "A"), "=", AttributeRef("m", "B"))
+        assert set(a.references()) == {"e", "m"}
+
+    def test_truth_constant(self):
+        assert TruthConstant(TRUE).evaluate({}) == TRUE
+        assert ALWAYS_TRUE.evaluate({}) == TRUE
+
+
+class TestQueryValidation:
+    def test_requires_ranges_and_target(self, emp):
+        with pytest.raises(QuelSemanticError):
+            Query({}, [AttributeRef("e", "NAME")])
+        with pytest.raises(QuelSemanticError):
+            Query({"e": emp}, [])
+
+    def test_target_must_reference_declared_variable(self, emp):
+        with pytest.raises(QuelSemanticError):
+            Query({"e": emp}, [AttributeRef("x", "NAME")])
+
+    def test_target_must_reference_existing_attribute(self, emp):
+        with pytest.raises(QuelSemanticError):
+            Query({"e": emp}, [AttributeRef("e", "SALARY")])
+
+    def test_where_must_reference_known_names(self, emp):
+        bad = Comparison(AttributeRef("e", "SALARY"), ">", Constant(0))
+        with pytest.raises(QuelSemanticError):
+            Query({"e": emp}, [AttributeRef("e", "NAME")], bad)
+
+    def test_output_attributes_default_naming(self, emp):
+        query = Query({"e": emp}, [AttributeRef("e", "NAME")])
+        assert query.output_attributes() == ("e_NAME",)
+
+    def test_output_attributes_custom_naming(self, emp):
+        query = Query({"e": emp}, [("who", AttributeRef("e", "NAME"))])
+        assert query.output_attributes() == ("who",)
+
+
+class TestEvaluation:
+    def test_no_where_returns_all_rows_projected(self, emp):
+        query = Query({"e": emp}, [AttributeRef("e", "NAME")])
+        result = evaluate_lower_bound(query)
+        assert len(result) == len(emp)
+
+    def test_lower_bound_discards_ni_rows(self, emp):
+        where = Comparison(AttributeRef("e", "TEL#"), ">", Constant(2630000))
+        query = Query({"e": emp}, [AttributeRef("e", "NAME")], where)
+        names = {t["e_NAME"] for t in evaluate_lower_bound(query).rows()}
+        assert names == {"JONES", "ADAMS"}
+
+    def test_multi_variable_query(self, emp):
+        where = And(
+            Comparison(AttributeRef("e", "MGR#"), "=", AttributeRef("m", "E#")),
+            Comparison(AttributeRef("m", "SEX"), "=", Constant("F")),
+        )
+        query = Query(
+            {"e": emp, "m": emp},
+            [("employee", AttributeRef("e", "NAME")), ("manager", AttributeRef("m", "NAME"))],
+            where,
+        )
+        pairs = {(t["employee"], t["manager"]) for t in evaluate_lower_bound(query).rows()}
+        assert pairs == {("SMITH", "JONES"), ("BROWN", "JONES"), ("ADAMS", "JONES")}
+
+    def test_answers_may_contain_nulls(self, emp):
+        where = Comparison(AttributeRef("e", "SEX"), "=", Constant("M"))
+        query = Query({"e": emp}, [AttributeRef("e", "NAME"), AttributeRef("e", "TEL#")], where)
+        result = evaluate_lower_bound(query)
+        smith_rows = [t for t in result.rows() if t["e_NAME"] == "SMITH"]
+        assert smith_rows and smith_rows[0]["e_TEL#"] is NI
+
+    def test_truth_partition_buckets(self, emp):
+        where = Comparison(AttributeRef("e", "TEL#"), ">", Constant(2630000))
+        query = Query({"e": emp}, [AttributeRef("e", "NAME")], where)
+        buckets = evaluate_truth_partition(query)
+        assert len(buckets["TRUE"]) == 2
+        assert len(buckets["ni"]) == 3
+        assert len(buckets["FALSE"]) == 0
+        assert sum(map(len, buckets.values())) == len(emp)
+
+    def test_empty_range_produces_empty_answer(self):
+        empty = Relation.empty(["A"])
+        query = Query({"e": empty}, [AttributeRef("e", "A")])
+        assert evaluate_lower_bound(query).is_empty()

@@ -1,0 +1,207 @@
+"""Unit tests for schemas and relations (repro.core.relation)."""
+
+import pytest
+
+from repro import NI, Relation, RelationSchema, XTuple
+from repro.core.domains import EnumeratedDomain, IntegerRangeDomain
+from repro.core.errors import AttributeNotFound, DomainError, SchemaError
+
+
+class TestRelationSchema:
+    def test_basic_properties(self):
+        schema = RelationSchema(["A", "B"], name="R")
+        assert schema.attributes == ("A", "B")
+        assert len(schema) == 2
+        assert "A" in schema and "C" not in schema
+        assert schema.position("B") == 1
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema(["A", "A"])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema([])
+
+    def test_bad_attribute_names_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema(["A", ""])
+
+    def test_position_of_unknown_attribute(self):
+        schema = RelationSchema(["A"])
+        with pytest.raises(AttributeNotFound):
+            schema.position("Z")
+
+    def test_domain_defaults_to_any(self):
+        schema = RelationSchema(["A"])
+        assert schema.domain("A").contains("anything")
+
+    def test_domain_for_unknown_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema(["A"], {"B": EnumeratedDomain([1])})
+
+    def test_project_extend_union_rename(self):
+        schema = RelationSchema(["A", "B", "C"], name="R")
+        assert schema.project(["C", "A"]).attributes == ("C", "A")
+        assert schema.extend(["D"]).attributes == ("A", "B", "C", "D")
+        other = RelationSchema(["C", "D"])
+        assert schema.union(other).attributes == ("A", "B", "C", "D")
+        assert schema.rename({"A": "X"}).attributes == ("X", "B", "C")
+
+    def test_same_attributes_ignores_order(self):
+        assert RelationSchema(["A", "B"]).same_attributes(RelationSchema(["B", "A"]))
+        assert not RelationSchema(["A"]).same_attributes(RelationSchema(["A", "B"]))
+
+    def test_equality_is_by_attribute_sequence(self):
+        assert RelationSchema(["A", "B"]) == RelationSchema(["A", "B"])
+        assert RelationSchema(["A", "B"]) != RelationSchema(["B", "A"])
+
+
+class TestRelationConstruction:
+    def test_from_rows_positional(self):
+        r = Relation.from_rows(["A", "B"], [(1, 2), (3, None)])
+        assert len(r) == 2
+        assert XTuple(A=3) in r
+
+    def test_row_length_mismatch(self):
+        r = Relation.empty(["A", "B"])
+        with pytest.raises(SchemaError):
+            r.add((1, 2, 3))
+
+    def test_add_mapping_and_xtuple(self):
+        r = Relation.empty(["A", "B"])
+        r.add({"A": 1})
+        r.add(XTuple(B=2))
+        assert len(r) == 2
+
+    def test_add_unknown_attribute_rejected(self):
+        r = Relation.empty(["A"])
+        with pytest.raises(AttributeNotFound):
+            r.add({"Z": 1})
+
+    def test_domain_validation_on_add(self):
+        schema = RelationSchema(["A"], {"A": IntegerRangeDomain(0, 5)})
+        r = Relation(schema)
+        r.add((3,))
+        r.add((None,))
+        with pytest.raises(DomainError):
+            r.add((9,))
+
+    def test_duplicate_rows_collapse(self):
+        r = Relation.from_rows(["A", "B"], [(1, None), (1, NI)])
+        assert len(r) == 1
+
+    def test_discard(self):
+        r = Relation.from_rows(["A"], [(1,), (2,)])
+        assert r.discard((1,))
+        assert not r.discard((7,))
+        assert len(r) == 1
+
+    def test_contains_is_exact_membership(self, ps1):
+        assert XTuple({"S#": "s2", "P#": "p1"}) in ps1
+        assert XTuple({"S#": "s2"}) not in ps1  # only x-membership would hold
+
+    def test_copy_is_independent(self):
+        r = Relation.from_rows(["A"], [(1,)])
+        c = r.copy()
+        c.add((2,))
+        assert len(r) == 1 and len(c) == 2
+
+
+class TestXMembershipAndSubsumption:
+    def test_x_contains_less_informative_tuple(self, ps1):
+        assert ps1.x_contains(XTuple({"S#": "s2"}))
+        assert ps1.x_contains(XTuple({"P#": "p1"}))
+        assert not ps1.x_contains(XTuple({"P#": "p9"}))
+
+    def test_x_contains_null_tuple_when_nonempty(self, ps1):
+        assert ps1.x_contains(XTuple())
+
+    def test_subsumption_paper_example(self, ps1, ps2):
+        """PS'' was obtained from PS' by adding a row: it must subsume it."""
+        assert ps2.subsumes(ps1)
+        assert not ps1.subsumes(ps2)
+        assert ps2.properly_subsumes(ps1)
+
+    def test_subsumption_reflexive(self, ps1):
+        assert ps1.subsumes(ps1)
+
+    def test_equivalence_of_tables_one_and_two(self, emp_table_one, emp_table_two):
+        """The Section 2 claim: Table I and Table II are information-wise equivalent."""
+        assert emp_table_one.equivalent_to(emp_table_two)
+        assert emp_table_two.equivalent_to(emp_table_one)
+
+    def test_empty_relation_subsumed_by_everything(self, ps1):
+        empty = Relation.empty(["P#", "S#"])
+        assert ps1.subsumes(empty)
+        assert not empty.subsumes(ps1)
+
+
+class TestClassificationAndScope:
+    def test_is_total(self, emp_table_one, emp_table_two):
+        assert emp_table_one.is_total()
+        assert not emp_table_two.is_total()
+
+    def test_total_rows(self, ps):
+        totals = ps.total_rows()
+        assert all(t.is_total_on(("S#", "P#")) for t in totals)
+        assert len(totals) == 4
+        s_totals = ps.total_rows(["S#"])
+        assert len(s_totals) == 7
+
+    def test_null_fraction(self, ps):
+        assert ps.null_fraction() == pytest.approx(3 / 14)
+        assert Relation.empty(["A"]).null_fraction() == 0.0
+
+    def test_scope(self, emp_table_two):
+        assert emp_table_two.scope() == ("E#", "NAME", "SEX", "MGR#")
+
+    def test_scope_of_empty_relation(self):
+        assert Relation.empty(["A", "B"]).scope() == ()
+
+    def test_projected_to_scope(self, emp_table_two, emp_table_one):
+        narrowed = emp_table_two.projected_to_scope()
+        assert set(narrowed.schema.attributes) == set(emp_table_one.schema.attributes)
+        assert narrowed.equivalent_to(emp_table_one)
+
+
+class TestMinimalRepresentation:
+    def test_is_minimal_detects_subsumed_rows(self):
+        r = Relation.from_rows(["A", "B"], [(1, 2), (1, None)])
+        assert not r.is_minimal()
+        assert r.minimal().is_minimal()
+        assert len(r.minimal()) == 1
+
+    def test_minimal_removes_null_tuple(self):
+        r = Relation.from_rows(["A", "B"], [(None, None), (1, 2)])
+        minimal = r.minimal()
+        assert len(minimal) == 1
+        assert not any(t.is_null_tuple() for t in minimal.tuples())
+
+    def test_minimal_is_equivalent_to_original(self, ps):
+        assert ps.minimal().equivalent_to(ps)
+
+    def test_paper_ps_is_not_minimal(self, ps):
+        """(s1,-) and (s2,-) are subsumed by (s1,p1)/(s2,p1); (s3,-) is not."""
+        minimal = ps.minimal()
+        assert len(minimal) == 5
+        assert minimal.x_contains(XTuple({"S#": "s3"}))
+
+
+class TestPresentation:
+    def test_to_table_uses_dash_for_nulls(self, emp_table_two):
+        rendered = emp_table_two.to_table()
+        assert "-" in rendered
+        assert "SMITH" in rendered
+        assert rendered.splitlines()[0].startswith("EMP(")
+
+    def test_sorted_rows_is_deterministic(self, ps):
+        assert [str(t) for t in ps.sorted_rows()] == [str(t) for t in ps.sorted_rows()]
+
+    def test_repr(self, ps):
+        assert "PS" in repr(ps)
+
+    def test_with_schema_keeps_rows(self, emp_table_one):
+        widened = emp_table_one.with_schema(emp_table_one.schema.extend(["TEL#"]))
+        assert len(widened) == len(emp_table_one)
+        assert widened.equivalent_to(emp_table_one)

@@ -1,0 +1,141 @@
+"""Unit tests for the generalised set operations (repro.core.setops)."""
+
+import pytest
+
+from repro import NI, Relation, XTuple
+from repro.core.setops import (
+    difference,
+    union,
+    x_intersection,
+    x_membership_difference,
+    x_membership_intersection,
+    x_membership_union,
+)
+
+
+@pytest.fixture
+def left():
+    return Relation.from_rows(["A", "B"], [(1, 2), (3, None)], name="L")
+
+
+@pytest.fixture
+def right():
+    return Relation.from_rows(["A", "B"], [(1, 2), (None, 4)], name="R")
+
+
+class TestUnion:
+    def test_pools_rows(self, left, right):
+        u = union(left, right)
+        assert u.x_contains(XTuple(A=1, B=2))
+        assert u.x_contains(XTuple(A=3))
+        assert u.x_contains(XTuple(B=4))
+
+    def test_no_union_compatibility_needed(self):
+        a = Relation.from_rows(["A"], [(1,)])
+        b = Relation.from_rows(["B"], [(2,)])
+        u = union(a, b)
+        assert set(u.schema.attributes) == {"A", "B"}
+        assert u.x_contains(XTuple(A=1)) and u.x_contains(XTuple(B=2))
+
+    def test_result_is_minimal_by_default(self, left):
+        subsumed = Relation.from_rows(["A", "B"], [(1, None)])
+        u = union(left, subsumed)
+        assert u.is_minimal()
+        assert len(u) == 2
+
+    def test_minimize_false_keeps_everything(self, left):
+        subsumed = Relation.from_rows(["A", "B"], [(1, None)])
+        u = union(left, subsumed, minimize=False)
+        assert len(u) == 3
+
+    def test_union_with_empty_is_identity(self, left):
+        empty = Relation.empty(["A", "B"])
+        assert union(left, empty).equivalent_to(left)
+
+    def test_union_subsumes_both_operands(self, left, right):
+        u = union(left, right)
+        assert u.subsumes(left) and u.subsumes(right)
+
+
+class TestXIntersection:
+    def test_pairwise_meets(self, left, right):
+        i = x_intersection(left, right)
+        assert i.x_contains(XTuple(A=1, B=2))
+
+    def test_section7_example(self):
+        """x-intersection of {(a,b1)} and {(a,b2)} x-contains (a, -)."""
+        r1 = Relation.from_rows(["A", "B"], [("a", "b1")])
+        r2 = Relation.from_rows(["A", "B"], [("a", "b2")])
+        i = x_intersection(r1, r2)
+        assert i.x_contains(XTuple(A="a"))
+        assert not i.x_contains(XTuple(A="a", B="b1"))
+
+    def test_intersection_with_empty_is_empty(self, left):
+        empty = Relation.empty(["A", "B"])
+        assert len(x_intersection(left, empty)) == 0
+
+    def test_intersection_is_lower_bound(self, left, right):
+        i = x_intersection(left, right)
+        assert left.subsumes(i) and right.subsumes(i)
+
+    def test_disjoint_schemas_yield_empty(self):
+        a = Relation.from_rows(["A"], [(1,)])
+        b = Relation.from_rows(["B"], [(2,)])
+        assert len(x_intersection(a, b)) == 0
+
+
+class TestDifference:
+    def test_removes_subsumed_rows(self, left):
+        exact = Relation.from_rows(["A", "B"], [(1, 2)])
+        d = difference(left, exact)
+        assert not d.x_contains(XTuple(A=1, B=2))
+        assert d.x_contains(XTuple(A=3))
+
+    def test_subtrahend_more_informative_removes(self):
+        """A row is removed when the subtrahend has a MORE informative row."""
+        minuend = Relation.from_rows(["A", "B"], [(1, None)])
+        subtrahend = Relation.from_rows(["A", "B"], [(1, 5)])
+        d = difference(minuend, subtrahend)
+        assert len(d) == 0
+
+    def test_subtrahend_less_informative_does_not_remove(self):
+        minuend = Relation.from_rows(["A", "B"], [(1, 5)])
+        subtrahend = Relation.from_rows(["A", "B"], [(1, None)])
+        d = difference(minuend, subtrahend)
+        assert d.x_contains(XTuple(A=1, B=5))
+
+    def test_difference_with_empty_is_identity(self, left):
+        assert difference(left, Relation.empty(["A", "B"])).equivalent_to(left)
+
+    def test_self_difference_is_empty(self, left):
+        assert len(difference(left, left)) == 0
+
+    def test_paper_query_q4(self, ps):
+        """Q4: parts supplied by s1 but not by s2 = {p2} (Section 6)."""
+        from repro.core.algebra import project, select_constant
+        s1_parts = project(select_constant(ps, "S#", "=", "s1"), ["P#"]).representation
+        s2_parts = project(select_constant(ps, "S#", "=", "s2"), ["P#"]).representation
+        result = difference(s1_parts, s2_parts)
+        assert {t["P#"] for t in result.minimal().tuples()} == {"p2"}
+
+
+class TestDefinitionalForms:
+    def test_union_oracle_agrees(self, left, right):
+        candidates = [XTuple(A=1, B=2), XTuple(A=3), XTuple(B=4), XTuple(A=9)]
+        oracle = x_membership_union(left, right, candidates)
+        efficient = union(left, right)
+        for candidate in candidates:
+            assert (candidate in oracle) == efficient.x_contains(candidate)
+
+    def test_intersection_oracle_agrees(self, left, right):
+        candidates = [XTuple(A=1, B=2), XTuple(A=1), XTuple(A=3), XTuple(B=4)]
+        oracle = x_membership_intersection(left, right, candidates)
+        efficient = x_intersection(left, right)
+        for candidate in candidates:
+            assert (candidate in oracle) == efficient.x_contains(candidate)
+
+    def test_difference_oracle_respects_definition(self, left, right):
+        candidates = [XTuple(A=3), XTuple(A=1, B=2)]
+        oracle = x_membership_difference(left, right, candidates)
+        assert XTuple(A=3) in oracle
+        assert XTuple(A=1, B=2) not in oracle

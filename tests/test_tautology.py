@@ -1,0 +1,272 @@
+"""Unit tests for the Appendix machinery (repro.tautology)."""
+
+import pytest
+
+from repro import NI, Relation, XTuple
+from repro.core.errors import TautologyError
+from repro.core.query import And, AttributeRef, Comparison, Constant, Not, Or, Query
+from repro.tautology import (
+    AndF,
+    BOTTOM,
+    DPLLStatistics,
+    DetectionResult,
+    NotF,
+    OrF,
+    TOP,
+    TautologyDetector,
+    Var,
+    abstract_predicate,
+    analyse,
+    dpll_satisfiable,
+    evaluate_unknown_lower_bound,
+    is_satisfiable,
+    is_tautology,
+    to_cnf,
+    to_nnf,
+    truth_table_tautology,
+)
+from repro.constraints import BindingConstraint, RowConstraint, as_detector_constraints
+
+
+# ---------------------------------------------------------------------------
+# Propositional layer
+# ---------------------------------------------------------------------------
+
+class TestFormulas:
+    def test_evaluation(self):
+        p, q = Var("p"), Var("q")
+        formula = (p & ~q) | BOTTOM
+        assert formula.evaluate({"p": True, "q": False})
+        assert not formula.evaluate({"p": True, "q": True})
+
+    def test_missing_assignment(self):
+        with pytest.raises(TautologyError):
+            Var("p").evaluate({})
+
+    def test_variables(self):
+        assert (Var("p") & (Var("q") | ~Var("p"))).variables() == {"p", "q"}
+
+    def test_nnf_pushes_negations(self):
+        formula = ~(Var("p") & ~Var("q"))
+        nnf = to_nnf(formula)
+        assert isinstance(nnf, OrF)
+
+    def test_cnf_of_tautology_negation_is_unsat(self):
+        p = Var("p")
+        clauses = to_cnf(NotF(p | ~p))
+        assert dpll_satisfiable(clauses) is None
+
+    def test_cnf_drops_tautological_clauses(self):
+        p = Var("p")
+        assert to_cnf(p | ~p) == []
+
+    def test_truth_table_tautology(self):
+        p, q = Var("p"), Var("q")
+        assert truth_table_tautology(p | ~p)
+        assert not truth_table_tautology(p | q)
+        assert truth_table_tautology(TOP)
+        assert not truth_table_tautology(BOTTOM)
+
+    def test_truth_table_cap(self):
+        big = OrF(*[Var(f"v{i}") for i in range(25)])
+        with pytest.raises(TautologyError):
+            truth_table_tautology(big)
+
+
+class TestDPLL:
+    def test_satisfiable_returns_model(self):
+        p, q = Var("p"), Var("q")
+        model = dpll_satisfiable(to_cnf(p & ~q))
+        assert model is not None and model["p"] is True and model["q"] is False
+
+    def test_unsatisfiable(self):
+        p = Var("p")
+        assert dpll_satisfiable(to_cnf(p & ~p)) is None
+
+    def test_is_tautology_and_is_satisfiable(self):
+        p, q = Var("p"), Var("q")
+        assert is_tautology((p & q) | ~p | ~q)
+        assert not is_tautology(p | q)
+        assert is_satisfiable(p | q)
+        assert not is_satisfiable(p & ~p)
+
+    def test_statistics_collected(self):
+        p, q, r = Var("p"), Var("q"), Var("r")
+        statistics = DPLLStatistics()
+        is_tautology((p | q | r) | ~p, statistics)
+        assert statistics.unit_propagations + statistics.decisions + statistics.pure_literal_eliminations >= 0
+
+    def test_pigeonhole_style_instance(self):
+        """A slightly larger unsatisfiable instance exercises branching."""
+        variables = [Var(f"x{i}") for i in range(6)]
+        at_least_one = OrF(*variables)
+        at_most_zero = AndF(*[NotF(v) for v in variables])
+        assert dpll_satisfiable(to_cnf(at_least_one & at_most_zero)) is None
+
+
+# ---------------------------------------------------------------------------
+# Abstraction + interval layers
+# ---------------------------------------------------------------------------
+
+def _emp_binding(tel=NI, sex="F"):
+    return {"e": XTuple({"NAME": "BROWN", "SEX": sex, "TEL#": tel})}
+
+
+def _figure1_predicate(strict=True):
+    greater = ">" if strict else ">="
+    return Or(
+        And(
+            Comparison(AttributeRef("e", "SEX"), "=", Constant("F")),
+            Comparison(AttributeRef("e", "TEL#"), greater, Constant(2634000)),
+        ),
+        Comparison(AttributeRef("e", "TEL#"), "<", Constant(2634000)),
+    )
+
+
+class TestAbstraction:
+    def test_known_comparisons_fold_to_constants(self):
+        predicate = _figure1_predicate()
+        abstraction = abstract_predicate(predicate, _emp_binding(sex="M"))
+        assert len(abstraction.atoms) == 2  # the two TEL# comparisons
+
+    def test_identical_comparisons_share_a_variable(self):
+        predicate = Or(
+            Comparison(AttributeRef("e", "TEL#"), ">", Constant(5)),
+            Comparison(AttributeRef("e", "TEL#"), ">", Constant(5)),
+        )
+        abstraction = abstract_predicate(predicate, _emp_binding())
+        assert len(abstraction.atoms) == 1
+
+    def test_ground_binding_has_no_atoms(self):
+        predicate = _figure1_predicate()
+        abstraction = abstract_predicate(predicate, _emp_binding(tel=2634001))
+        assert not abstraction.atoms
+        assert abstraction.formula.evaluate({})
+
+
+class TestIntervalAnalysis:
+    def test_figure1_weak_variant_is_tautology(self):
+        """TEL# ≥ k ∨ TEL# < k is true whatever the (unknown) TEL# is."""
+        result = analyse(_figure1_predicate(strict=False), _emp_binding())
+        assert result.supported and result.is_tautology
+
+    def test_figure1_strict_variant_is_not(self):
+        """TEL# > k ∨ TEL# < k fails at TEL# = k — the region analysis finds it."""
+        result = analyse(_figure1_predicate(strict=True), _emp_binding())
+        assert result.supported and result.is_tautology is False
+
+    def test_appendix_inequality_example(self):
+        """t.A > 3 ∧ (t.B < 12 ∨ t.B > t.A) with A known in (3, 12) and B null."""
+        predicate = And(
+            Comparison(AttributeRef("t", "A"), ">", Constant(3)),
+            Or(
+                Comparison(AttributeRef("t", "B"), "<", Constant(12)),
+                Comparison(AttributeRef("t", "B"), ">", AttributeRef("t", "A")),
+            ),
+        )
+        binding = {"t": XTuple(A=7)}
+        result = analyse(predicate, binding)
+        assert result.supported and result.is_tautology
+
+        outside = analyse(predicate, {"t": XTuple(A=20)})
+        assert outside.supported and outside.is_tautology is False
+
+    def test_two_null_terms_not_supported(self):
+        predicate = Comparison(AttributeRef("t", "A"), "=", AttributeRef("t", "B"))
+        result = analyse(predicate, {"t": XTuple()})
+        assert not result.supported
+
+    def test_equality_only_domain_reasoning(self):
+        predicate = Or(
+            Comparison(AttributeRef("t", "A"), "=", Constant("x")),
+            Comparison(AttributeRef("t", "A"), "!=", Constant("x")),
+        )
+        result = analyse(predicate, {"t": XTuple()})
+        assert result.supported and result.is_tautology
+
+    def test_no_nulls_direct_evaluation(self):
+        predicate = Comparison(AttributeRef("t", "A"), ">", Constant(1))
+        result = analyse(predicate, {"t": XTuple(A=5)})
+        assert result.supported and result.is_tautology
+
+
+# ---------------------------------------------------------------------------
+# Detector + unknown-interpretation evaluation
+# ---------------------------------------------------------------------------
+
+class TestDetector:
+    def test_propositional_layer_confirms_syntactic_tautology(self):
+        telgt = Comparison(AttributeRef("e", "TEL#"), ">", Constant(5))
+        predicate = Or(telgt, Not(telgt))
+        verdict = TautologyDetector().detect(predicate, _emp_binding())
+        assert verdict.is_tautology and verdict.method == "propositional"
+
+    def test_interval_layer_decides_arithmetic_tautology(self):
+        verdict = TautologyDetector().detect(_figure1_predicate(strict=False), _emp_binding())
+        assert verdict.is_tautology and verdict.method == "interval"
+
+    def test_brute_force_with_constraints(self):
+        """Figure 2's flavour: the schema constraint makes the clause a tautology."""
+        predicate = Comparison(AttributeRef("e", "MGR#"), "!=", Constant(1120))
+        binding = {"e": XTuple({"E#": 1120, "NAME": "SMITH"})}
+        no_self_management = BindingConstraint(
+            ["e"], lambda b: b["e"]["MGR#"] != b["e"]["E#"] or b["e"]["MGR#"] is NI
+        )
+        detector = TautologyDetector(
+            domains={"MGR#": [1120, 2235, 1255]},
+            constraints=as_detector_constraints([no_self_management]),
+        )
+        verdict = detector.detect(predicate, binding)
+        assert verdict.is_tautology and verdict.method == "brute-force"
+
+        unconstrained = TautologyDetector(domains={"MGR#": [1120, 2235, 1255]})
+        assert unconstrained.detect(predicate, binding).is_tautology is False
+
+    def test_undecided_without_domains(self):
+        predicate = Comparison(AttributeRef("e", "COLOUR"), "=", AttributeRef("e", "SHADE"))
+        verdict = TautologyDetector().detect(predicate, {"e": XTuple()})
+        assert verdict.is_tautology is None
+        assert verdict.method == "undecided"
+
+    def test_brute_force_cap(self):
+        predicate = Comparison(AttributeRef("e", "X"), "=", Constant(1))
+        detector = TautologyDetector(domains={"X": list(range(1000))})
+        with pytest.raises(TautologyError):
+            detector.brute_force_check(predicate, {"e": XTuple()}, max_substitutions=10)
+
+    def test_ground_binding_short_circuits(self):
+        predicate = Comparison(AttributeRef("e", "A"), "=", Constant(1))
+        verdict = TautologyDetector().detect(predicate, {"e": XTuple(A=1)})
+        assert verdict.is_tautology and verdict.method == "ground"
+
+
+class TestUnknownLowerBound:
+    def test_figure1_weak_variant_includes_brown(self, emp_db):
+        from repro.quel import compile_query
+        from repro.datagen import FIGURE_1_QUERY
+
+        weak = FIGURE_1_QUERY.replace("e.TEL# > 2634000", "e.TEL# >= 2634000")
+        analyzed = compile_query(weak, emp_db)
+        unknown = evaluate_unknown_lower_bound(analyzed.query, TautologyDetector())
+        names = {t["e_NAME"] for t in unknown.rows()}
+        assert names == {"JONES", "BROWN"}
+
+    def test_ni_interpretation_excludes_brown(self, emp_db):
+        from repro.core.query import evaluate_lower_bound
+        from repro.quel import compile_query
+        from repro.datagen import FIGURE_1_QUERY
+
+        weak = FIGURE_1_QUERY.replace("e.TEL# > 2634000", "e.TEL# >= 2634000")
+        analyzed = compile_query(weak, emp_db)
+        names = {t["e_NAME"] for t in evaluate_lower_bound(analyzed.query).rows()}
+        assert names == {"JONES"}
+
+    def test_unknown_bound_always_contains_ni_bound(self, emp_db):
+        from repro.core.query import evaluate_lower_bound
+        from repro.quel import compile_query
+        from repro.datagen import FIGURE_1_QUERY
+
+        analyzed = compile_query(FIGURE_1_QUERY, emp_db)
+        ni_bound = evaluate_lower_bound(analyzed.query)
+        unknown_bound = evaluate_unknown_lower_bound(analyzed.query, TautologyDetector())
+        assert unknown_bound.contains(ni_bound)

@@ -1,0 +1,137 @@
+"""Unit tests for the three-valued logic of Table III (repro.core.threevalued)."""
+
+import pytest
+
+from repro import NI
+from repro.core.errors import AlgebraError
+from repro.core.threevalued import (
+    FALSE,
+    NI_TRUTH,
+    TRUE,
+    TRUTH_VALUES,
+    TruthValue,
+    compare,
+    comparison_function,
+    conjunction,
+    disjunction,
+    truth_of,
+)
+
+
+class TestTruthValues:
+    def test_singletons(self):
+        assert TruthValue("TRUE", 2) is TRUE
+        assert TruthValue("ni", 1) is NI_TRUTH
+
+    def test_predicates(self):
+        assert TRUE.is_true() and not TRUE.is_false() and not TRUE.is_ni()
+        assert FALSE.is_false()
+        assert NI_TRUTH.is_ni()
+
+    def test_bool_means_definitely_true(self):
+        assert bool(TRUE)
+        assert not bool(FALSE)
+        assert not bool(NI_TRUTH)
+
+    def test_equality_and_hash(self):
+        assert TRUE == TRUE and TRUE != FALSE
+        assert len({TRUE, FALSE, NI_TRUTH}) == 3
+
+    def test_truth_of(self):
+        assert truth_of(True) is TRUE
+        assert truth_of(False) is FALSE
+        assert truth_of(NI_TRUTH) is NI_TRUTH
+
+
+class TestTableIII:
+    """The AND/OR/NOT tables exactly as printed."""
+
+    AND_TABLE = {
+        (TRUE, TRUE): TRUE, (TRUE, NI_TRUTH): NI_TRUTH, (TRUE, FALSE): FALSE,
+        (NI_TRUTH, TRUE): NI_TRUTH, (NI_TRUTH, NI_TRUTH): NI_TRUTH, (NI_TRUTH, FALSE): FALSE,
+        (FALSE, TRUE): FALSE, (FALSE, NI_TRUTH): FALSE, (FALSE, FALSE): FALSE,
+    }
+    OR_TABLE = {
+        (TRUE, TRUE): TRUE, (TRUE, NI_TRUTH): TRUE, (TRUE, FALSE): TRUE,
+        (NI_TRUTH, TRUE): TRUE, (NI_TRUTH, NI_TRUTH): NI_TRUTH, (NI_TRUTH, FALSE): NI_TRUTH,
+        (FALSE, TRUE): TRUE, (FALSE, NI_TRUTH): NI_TRUTH, (FALSE, FALSE): FALSE,
+    }
+
+    @pytest.mark.parametrize("pair", list(AND_TABLE))
+    def test_and(self, pair):
+        assert (pair[0] & pair[1]) == self.AND_TABLE[pair]
+
+    @pytest.mark.parametrize("pair", list(OR_TABLE))
+    def test_or(self, pair):
+        assert (pair[0] | pair[1]) == self.OR_TABLE[pair]
+
+    def test_not(self):
+        assert ~TRUE == FALSE
+        assert ~FALSE == TRUE
+        assert ~NI_TRUTH == NI_TRUTH
+
+    def test_de_morgan(self):
+        for a in TRUTH_VALUES:
+            for b in TRUTH_VALUES:
+                assert ~(a & b) == (~a | ~b)
+                assert ~(a | b) == (~a & ~b)
+
+    def test_commutativity(self):
+        for a in TRUTH_VALUES:
+            for b in TRUTH_VALUES:
+                assert (a & b) == (b & a)
+                assert (a | b) == (b | a)
+
+    def test_tautology_is_not_true_with_ni(self):
+        """The three-valued blind spot: p ∨ ¬p is ni when p is ni."""
+        assert (NI_TRUTH | ~NI_TRUTH) == NI_TRUTH
+
+
+class TestFolds:
+    def test_conjunction(self):
+        assert conjunction([]) == TRUE
+        assert conjunction([TRUE, TRUE]) == TRUE
+        assert conjunction([TRUE, NI_TRUTH]) == NI_TRUTH
+        assert conjunction([NI_TRUTH, FALSE]) == FALSE
+
+    def test_disjunction(self):
+        assert disjunction([]) == FALSE
+        assert disjunction([FALSE, FALSE]) == FALSE
+        assert disjunction([FALSE, NI_TRUTH]) == NI_TRUTH
+        assert disjunction([NI_TRUTH, TRUE]) == TRUE
+
+
+class TestComparisons:
+    def test_nonnull_comparisons(self):
+        assert compare(3, "<", 5) == TRUE
+        assert compare(5, "<", 3) == FALSE
+        assert compare("a", "=", "a") == TRUE
+        assert compare("a", "!=", "a") == FALSE
+        assert compare(2, ">=", 2) == TRUE
+
+    @pytest.mark.parametrize("op", ["=", "!=", "<", "<=", ">", ">="])
+    def test_null_operand_gives_ni(self, op):
+        assert compare(NI, op, 5) == NI_TRUTH
+        assert compare(5, op, NI) == NI_TRUTH
+        assert compare(None, op, None) == NI_TRUTH
+
+    def test_alternate_spellings(self):
+        assert compare(1, "==", 1) == TRUE
+        assert compare(1, "<>", 2) == TRUE
+        assert compare(1, "≠", 1) == FALSE
+        assert compare(1, "≤", 1) == TRUE
+        assert compare(2, "≥", 1) == TRUE
+
+    def test_unknown_operator(self):
+        with pytest.raises(AlgebraError):
+            compare(1, "~", 2)
+        with pytest.raises(AlgebraError):
+            comparison_function("like")
+
+    def test_type_mismatch_equality(self):
+        assert compare("a", "=", 1) == FALSE
+        assert compare("a", "!=", 1) == TRUE
+
+    def test_type_mismatch_order_raises(self):
+        with pytest.raises(AlgebraError):
+            compare("a", "<", 1)

@@ -1,0 +1,218 @@
+"""Unit tests for X-values and the Section 3 information ordering."""
+
+import pytest
+
+from repro import NI, XTuple
+from repro.core.errors import NotJoinableError, SchemaError
+from repro.core.tuples import (
+    NULL_TUPLE,
+    equivalent,
+    joinable,
+    more_informative,
+    try_join,
+    tuple_join,
+    tuple_meet,
+)
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        t = XTuple({"A": 1, "B": "x"})
+        assert t["A"] == 1
+        assert t["B"] == "x"
+
+    def test_from_kwargs(self):
+        t = XTuple(A=1, B=2)
+        assert t["A"] == 1 and t["B"] == 2
+
+    def test_from_pairs(self):
+        t = XTuple([("A", 1), ("B", 2)])
+        assert t.as_dict() == {"A": 1, "B": 2}
+
+    def test_from_values(self):
+        t = XTuple.from_values(["A", "B"], [1, None])
+        assert t["A"] == 1
+        assert t["B"] is NI
+
+    def test_from_values_length_mismatch(self):
+        with pytest.raises(SchemaError):
+            XTuple.from_values(["A"], [1, 2])
+
+    def test_none_is_normalised_to_ni(self):
+        t = XTuple(A=None)
+        assert t["A"] is NI
+        assert "A" not in t
+
+    def test_explicit_ni_bindings_are_dropped(self):
+        assert XTuple(A=1, B=NI) == XTuple(A=1)
+
+    def test_unknown_attribute_reads_as_ni(self):
+        t = XTuple(A=1)
+        assert t["ZZZ"] is NI
+
+    def test_rejects_bad_attribute_names(self):
+        with pytest.raises(SchemaError):
+            XTuple({"": 1})
+        with pytest.raises(SchemaError):
+            XTuple({3: 1})
+
+    def test_attributes_sorted(self):
+        t = XTuple(B=2, A=1, C=3)
+        assert t.attributes == ("A", "B", "C")
+
+    def test_len_counts_nonnull_bindings(self):
+        assert len(XTuple(A=1, B=None, C=3)) == 2
+
+    def test_null_tuple(self):
+        assert XTuple.null_tuple().is_null_tuple()
+        assert NULL_TUPLE == XTuple()
+        assert len(NULL_TUPLE) == 0
+
+
+class TestEqualityAndHashing:
+    def test_canonical_equality(self):
+        assert XTuple(A=1, B=NI) == XTuple(A=1)
+        assert XTuple(A=1) != XTuple(A=2)
+
+    def test_equivalence_coincides_with_equality(self):
+        a = XTuple(A=1, B=None)
+        b = XTuple(A=1)
+        assert a.equivalent_to(b)
+        assert equivalent(a, b)
+
+    def test_hash_consistency(self):
+        assert hash(XTuple(A=1, B=None)) == hash(XTuple(A=1))
+        assert len({XTuple(A=1), XTuple(A=1, B=NI)}) == 1
+
+    def test_not_equal_to_non_tuple(self):
+        assert XTuple(A=1) != {"A": 1}
+
+
+class TestInformationOrdering:
+    """The worked example after Definition 3.1: r1 ≤ r2, r2 ≅ r3, r3 ≤ r4."""
+
+    r1 = XTuple.from_values(["E#", "NAME", "SEX", "MGR#"], [5555, "JONES", None, 2231])
+    r2 = XTuple.from_values(["E#", "NAME", "SEX", "MGR#"], [5555, "JONES", "F", 2231])
+    r3 = XTuple.from_values(["E#", "NAME", "SEX", "MGR#", "TEL#"], [5555, "JONES", "F", 2231, None])
+    r4 = XTuple.from_values(["E#", "NAME", "SEX", "MGR#", "TEL#"], [5555, "JONES", "F", 2231, 2639452])
+
+    def test_paper_chain(self):
+        assert self.r1 <= self.r2
+        assert self.r2.equivalent_to(self.r3)
+        assert self.r3 <= self.r4
+
+    def test_strictness(self):
+        assert self.r1 < self.r2
+        assert not (self.r2 < self.r3)
+        assert self.r3 < self.r4
+
+    def test_more_informative_requires_matching_values(self):
+        assert not XTuple(A=2).more_informative_than(XTuple(A=1))
+        assert XTuple(A=1, B=2).more_informative_than(XTuple(A=1))
+        assert more_informative(XTuple(A=1, B=2), XTuple(B=2))
+
+    def test_reflexive(self):
+        assert self.r2 >= self.r2
+
+    def test_transitive(self):
+        assert self.r1 <= self.r2 and self.r2 <= self.r4
+        assert self.r1 <= self.r4
+
+    def test_null_tuple_is_bottom(self):
+        for t in (self.r1, self.r2, self.r3, self.r4):
+            assert t >= NULL_TUPLE
+
+    def test_incomparable_tuples(self):
+        a, b = XTuple(A=1), XTuple(B=1)
+        assert not a >= b and not b >= a
+
+    def test_table_one_rows_equivalent_to_table_two_rows(self, emp_table_one, emp_table_two):
+        ones = {t for t in emp_table_one.tuples()}
+        twos = {t for t in emp_table_two.tuples()}
+        assert ones == twos  # canonical XTuple form makes them literally equal
+
+
+class TestMeetAndJoin:
+    def test_meet_keeps_agreements(self):
+        a = XTuple(A=1, B=2, C=3)
+        b = XTuple(A=1, B=5, D=7)
+        assert a.meet(b) == XTuple(A=1)
+        assert tuple_meet(a, b) == tuple_meet(b, a)
+
+    def test_meet_of_disagreeing_tuples_is_null_tuple(self):
+        assert XTuple(A=1).meet(XTuple(A=2)).is_null_tuple()
+
+    def test_meet_is_lower_bound(self):
+        a, b = XTuple(A=1, B=2), XTuple(A=1, C=3)
+        m = a.meet(b)
+        assert a >= m and b >= m
+
+    def test_meet_idempotent(self):
+        a = XTuple(A=1, B=2)
+        assert a.meet(a) == a
+
+    def test_joinable(self):
+        assert joinable(XTuple(A=1), XTuple(B=2))
+        assert joinable(XTuple(A=1, B=2), XTuple(B=2, C=3))
+        assert not joinable(XTuple(A=1), XTuple(A=2))
+
+    def test_join_merges(self):
+        assert tuple_join(XTuple(A=1), XTuple(B=2)) == XTuple(A=1, B=2)
+
+    def test_join_of_unjoinable_raises(self):
+        with pytest.raises(NotJoinableError):
+            tuple_join(XTuple(A=1), XTuple(A=2))
+
+    def test_try_join(self):
+        assert try_join(XTuple(A=1), XTuple(A=2)) is None
+        assert try_join(XTuple(A=1), XTuple(A=1, B=2)) == XTuple(A=1, B=2)
+
+    def test_join_is_upper_bound(self):
+        a, b = XTuple(A=1), XTuple(B=2)
+        j = a.join(b)
+        assert j >= a and j >= b
+
+    def test_join_with_null_tuple_is_identity(self):
+        a = XTuple(A=1, B=2)
+        assert a.join(NULL_TUPLE) == a
+
+    def test_meet_join_absorption(self):
+        a = XTuple(A=1, B=2)
+        b = XTuple(A=1)
+        assert a.meet(a.join(b)) == a
+        assert a.join(a.meet(b)) == a
+
+
+class TestProjectionsAndExtensions:
+    def test_project(self):
+        t = XTuple(A=1, B=2, C=3)
+        assert t.project(["A", "C"]) == XTuple(A=1, C=3)
+
+    def test_project_missing_attribute_vanishes(self):
+        assert XTuple(A=1).project(["A", "B"]) == XTuple(A=1)
+
+    def test_drop(self):
+        assert XTuple(A=1, B=2).drop(["B"]) == XTuple(A=1)
+
+    def test_extend(self):
+        assert XTuple(A=1).extend({"B": 2}) == XTuple(A=1, B=2)
+
+    def test_extend_conflict_raises(self):
+        with pytest.raises(NotJoinableError):
+            XTuple(A=1).extend({"A": 2})
+
+    def test_extend_with_null_is_noop(self):
+        assert XTuple(A=1).extend({"B": None}) == XTuple(A=1)
+
+    def test_rename(self):
+        assert XTuple(A=1, B=2).rename({"A": "X"}) == XTuple(X=1, B=2)
+
+    def test_is_total_on(self):
+        t = XTuple(A=1, B=2)
+        assert t.is_total_on(["A"])
+        assert t.is_total_on(["A", "B"])
+        assert not t.is_total_on(["A", "C"])
+
+    def test_format_row(self):
+        t = XTuple(A=1)
+        assert t.format_row(["A", "B"]) == "1  -"

@@ -1,0 +1,138 @@
+"""Unit tests for algebra expression trees and the view catalog (repro.views)."""
+
+import pytest
+
+from repro import Relation, XRelation, XTuple
+from repro.core.errors import StorageError
+from repro.storage import Database
+from repro.views import (
+    Base,
+    UnionJoin,
+    View,
+    ViewCatalog,
+    base,
+    network_to_relational,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database("views-test")
+    dept = database.create_table("DEPT", ["DNAME", "FLOOR"])
+    dept.insert_many([("eng", 2), ("sales", 1), ("ops", 3)])
+    emp = database.create_table("EMP", ["E#", "NAME", "DNAME"])
+    emp.insert_many([
+        (1, "ann", "eng"),
+        (2, "bob", "sales"),
+        (3, "cat", None),      # department unknown
+    ])
+    return database
+
+
+class TestExpressions:
+    def test_base_resolution(self, db):
+        assert len(base("EMP").evaluate(db)) == 3
+        with pytest.raises(StorageError):
+            base("NOPE").evaluate(db)
+
+    def test_select_project_chain(self, db):
+        expression = base("EMP").select("DNAME", "=", "eng").project(["NAME"])
+        result = expression.evaluate(db)
+        assert {t["NAME"] for t in result.rows()} == {"ann"}
+
+    def test_join_and_union_join(self, db):
+        inner = base("EMP").join(base("DEPT"), on=["DNAME"]).evaluate(db)
+        outer = base("EMP").union_join(base("DEPT"), on=["DNAME"]).evaluate(db)
+        assert len(inner) == 2                      # cat's null DNAME cannot join
+        assert outer.x_contains({"NAME": "cat"})    # ...but survives the union-join
+        assert outer.x_contains({"DNAME": "ops"})   # ...as does the empty department
+
+    def test_set_operators(self, db):
+        eng = base("EMP").select("DNAME", "=", "eng")
+        sales = base("EMP").select("DNAME", "=", "sales")
+        union = eng.union(sales).evaluate(db)
+        difference = base("EMP").difference(eng).evaluate(db)
+        assert len(union) == 2
+        assert not difference.x_contains({"NAME": "ann"})
+        assert difference.x_contains({"NAME": "bob"})
+
+    def test_rename_and_product(self, db):
+        renamed = base("DEPT").rename({"DNAME": "D", "FLOOR": "F"})
+        product = base("EMP").project(["E#"]).product(renamed).evaluate(db)
+        assert len(product) == 9
+
+    def test_divide_expression(self):
+        database = {"PS": Relation.from_rows(
+            ["S#", "P#"], [("s1", "p1"), ("s1", "p2"), ("s2", "p1")], name="PS")}
+        divisor = base("PS").project(["P#"])
+        quotient = base("PS").divide(divisor, by=["S#"]).evaluate(database)
+        assert {t["S#"] for t in quotient.rows()} == {"s1"}
+
+    def test_references_and_explain(self, db):
+        expression = base("EMP").join(base("DEPT"), on=["DNAME"]).project(["NAME", "FLOOR"])
+        assert expression.references() == {"EMP", "DEPT"}
+        explanation = expression.explain()
+        assert "Project" in explanation and "Base(EMP)" in explanation
+
+
+class TestViewCatalog:
+    def test_define_and_evaluate(self, db):
+        catalog = ViewCatalog()
+        catalog.define("ENG_STAFF", base("EMP").select("DNAME", "=", "eng").project(["NAME"]))
+        result = catalog.evaluate("ENG_STAFF", db)
+        assert {t["NAME"] for t in result.rows()} == {"ann"}
+
+    def test_duplicate_and_missing_views(self, db):
+        catalog = ViewCatalog()
+        catalog.define("V", base("EMP"))
+        with pytest.raises(StorageError):
+            catalog.define("V", base("EMP"))
+        with pytest.raises(StorageError):
+            catalog.view("MISSING")
+
+    def test_views_can_stack(self, db):
+        catalog = ViewCatalog()
+        catalog.define("STAFFED", base("EMP").union_join(base("DEPT"), on=["DNAME"]))
+        catalog.define("STAFFED_NAMES", base("STAFFED").project(["NAME"]))
+        result = catalog.evaluate("STAFFED_NAMES", db)
+        assert {t["NAME"] for t in result.rows()} == {"ann", "bob", "cat"}
+
+    def test_cyclic_views_detected(self, db):
+        catalog = ViewCatalog()
+        catalog.define("A", base("B"))
+        catalog.define("B", base("A"))
+        with pytest.raises(StorageError):
+            catalog.evaluate("A", db)
+
+    def test_dependency_queries_and_drop_protection(self, db):
+        catalog = ViewCatalog()
+        catalog.define("V1", base("EMP"))
+        catalog.define("V2", base("V1").project(["NAME"]))
+        assert [v.name for v in catalog.views_reading("EMP")] == ["V1"]
+        assert [v.name for v in catalog.views_reading("V1")] == ["V2"]
+        with pytest.raises(StorageError):
+            catalog.drop("V1")
+        catalog.drop("V2")
+        catalog.drop("V1")
+        assert len(catalog) == 0
+
+    def test_materialisation_and_staleness(self, db):
+        catalog = ViewCatalog()
+        catalog.define("ALL_EMPS", base("EMP").project(["NAME"]))
+        snapshot = catalog.materialise("ALL_EMPS", db)
+        assert not catalog.is_stale("ALL_EMPS", db)
+        db.insert("EMP", (4, "dan", "ops"))
+        assert catalog.is_stale("ALL_EMPS", db)
+        assert catalog.invalidate_readers_of("EMP") == ["ALL_EMPS"]
+        assert catalog.materialised("ALL_EMPS") is None
+        assert len(snapshot) == 3
+
+    def test_network_to_relational_view(self, db):
+        view = network_to_relational("DEPT", "EMP", link=["DNAME"])
+        result = view.evaluate(db)
+        # Information-preserving: every employee and every department is
+        # recoverable from the single view relation.
+        assert result.x_contains({"NAME": "cat"})
+        assert result.x_contains({"DNAME": "ops"})
+        assert XRelation(db["EMP"]) <= result
+        assert XRelation(db["DEPT"]) <= result

@@ -1,0 +1,134 @@
+"""Unit tests for the Wong-style statistical baseline (repro.wong)."""
+
+import pytest
+
+from repro import NI, Relation
+from repro.core.errors import DomainError
+from repro.datagen import parts_suppliers
+from repro.wong import (
+    Distribution,
+    ProbabilisticValue,
+    answer_spectrum,
+    column_distribution,
+    divide_with_threshold,
+    probabilistic_relation,
+    select_with_threshold,
+)
+
+
+class TestDistribution:
+    def test_normalisation(self):
+        d = Distribution({"a": 2, "b": 2})
+        assert d.probability("a") == pytest.approx(0.5)
+        assert d.probability("missing") == 0.0
+
+    def test_uniform_and_point(self):
+        u = Distribution.uniform(["x", "y", "z", "z"])
+        assert u.probability("x") == pytest.approx(1 / 3)
+        assert Distribution.point(7).probability(7) == 1.0
+
+    def test_probability_that(self):
+        d = Distribution({1: 1, 2: 1, 3: 2})
+        assert d.probability_that(lambda v: v >= 2) == pytest.approx(0.75)
+
+    def test_expected_value(self):
+        d = Distribution({1: 1, 3: 1})
+        assert d.expected_value() == pytest.approx(2.0)
+        with pytest.raises(DomainError):
+            Distribution({"a": 1}).expected_value()
+
+    def test_most_likely(self):
+        assert Distribution({"a": 1, "b": 3}).most_likely() == "b"
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(DomainError):
+            Distribution({})
+        with pytest.raises(DomainError):
+            Distribution({"a": -1})
+        with pytest.raises(DomainError):
+            Distribution({None: 1})
+        with pytest.raises(DomainError):
+            Distribution.uniform([])
+
+
+class TestProbabilisticValue:
+    def test_known_value(self):
+        v = ProbabilisticValue(value=5)
+        assert v.is_known
+        assert v.probability_that(lambda x: x > 3) == 1.0
+        assert v.probability_that(lambda x: x > 9) == 0.0
+
+    def test_distributed_value(self):
+        v = ProbabilisticValue(distribution=Distribution({1: 1, 10: 1}))
+        assert not v.is_known
+        assert v.probability_that(lambda x: x > 5) == pytest.approx(0.5)
+
+    def test_exactly_one_of_value_or_distribution(self):
+        with pytest.raises(DomainError):
+            ProbabilisticValue()
+        with pytest.raises(DomainError):
+            ProbabilisticValue(value=1, distribution=Distribution({1: 1}))
+
+
+class TestColumnDistribution:
+    def test_empirical_estimate(self, ps):
+        d = column_distribution(ps, "P#")
+        assert d.probability("p1") == pytest.approx(2 / 4)
+        assert d.probability("p2") == pytest.approx(1 / 4)
+
+    def test_requires_nonnull_values(self):
+        r = Relation.from_rows(["A"], [(None,), (None,)])
+        with pytest.raises(DomainError):
+            column_distribution(r, "A")
+
+    def test_unknown_attribute(self, ps):
+        with pytest.raises(DomainError):
+            column_distribution(ps, "NOPE")
+
+    def test_probabilistic_relation_lifts_nulls(self, ps):
+        lifted = probabilistic_relation(ps)
+        assert len(lifted) == len(ps)
+        null_row = next(row for row in ps.tuples() if row["P#"] is NI)
+        assert not lifted[null_row]["P#"].is_known
+        assert lifted[null_row]["S#"].is_known
+
+
+class TestThresholdQueries:
+    def test_threshold_one_recovers_certain_answer(self, ps):
+        certain = select_with_threshold(ps, "P#", "=", "p1", threshold=1.0)
+        assert {t["S#"] for t in certain.tuples()} == {"s1", "s2"}
+
+    def test_small_threshold_approaches_maybe_answer(self, ps):
+        permissive = select_with_threshold(ps, "P#", "=", "p1", threshold=0.01)
+        suppliers = {t["S#"] for t in permissive.tuples()}
+        assert {"s1", "s2", "s3"} <= suppliers  # null rows now qualify
+        assert "s4" not in suppliers            # p4 ≠ p1 stays excluded
+
+    def test_invalid_threshold(self, ps):
+        with pytest.raises(DomainError):
+            select_with_threshold(ps, "P#", "=", "p1", threshold=1.5)
+
+    def test_answer_spectrum_is_monotone(self, ps):
+        spectrum = answer_spectrum(ps, "P#", "=", "p1", thresholds=(1.0, 0.5, 0.01))
+        sizes = [size for _, size in spectrum]
+        assert sizes == sorted(sizes)
+
+    def test_divide_with_threshold_interpolates_between_answers(self, ps):
+        divisor = ["p1"]
+        certain = divide_with_threshold(ps, divisor, by="S#", over="P#", threshold=1.0)
+        permissive = divide_with_threshold(ps, divisor, by="S#", over="P#", threshold=0.01)
+        assert certain == {"s1", "s2"}            # the paper's A3
+        assert {"s1", "s2", "s3"} <= permissive   # towards Codd's MAYBE answer A2
+        assert "s4" not in permissive
+
+    def test_divide_with_explicit_distribution(self, ps):
+        from repro.wong import Distribution
+        skewed = {"P#": Distribution({"p1": 9, "p2": 1})}
+        result = divide_with_threshold(
+            ps, ["p1"], by="S#", over="P#", threshold=0.8, distributions=skewed
+        )
+        assert "s3" in result  # its null part is p1 with probability 0.9
+
+    def test_divide_threshold_validation(self, ps):
+        with pytest.raises(DomainError):
+            divide_with_threshold(ps, ["p1"], by="S#", over="P#", threshold=-0.1)

@@ -1,0 +1,139 @@
+"""Unit tests for possible-worlds semantics (repro.worlds)."""
+
+import pytest
+
+from repro import NI, Relation, XTuple
+from repro.core.nulls import MarkedNull
+from repro.core.query import And, AttributeRef, Comparison, Constant, Or, Query
+from repro.core.query import evaluate_lower_bound
+from repro.worlds import (
+    CompletionSpace,
+    WorldSpaceTooLarge,
+    certain_answers,
+    completions,
+    evaluate_bounds,
+    lower_bound_is_sound,
+    possible_answers,
+    world_count,
+)
+
+
+@pytest.fixture
+def tiny():
+    return Relation.from_rows(["A", "B"], [(1, None), (2, 5)], name="T")
+
+
+class TestCompletionSpace:
+    def test_world_count_with_explicit_domain(self, tiny):
+        assert world_count(tiny, domains={"B": [5, 6, 7]}) == 3
+
+    def test_world_count_default_active_domain_plus_fresh(self, tiny):
+        # active domain of B is {5}, plus one fresh value → 2 worlds.
+        assert world_count(tiny) == 2
+
+    def test_completions_are_total(self, tiny):
+        for world in completions(tiny, domains={"B": [5, 6]}):
+            assert world.is_total()
+
+    def test_completion_count_matches(self, tiny):
+        worlds = list(completions(tiny, domains={"B": [5, 6, 7]}))
+        assert len(worlds) == 3
+
+    def test_cap_enforced(self, tiny):
+        with pytest.raises(WorldSpaceTooLarge):
+            list(completions(tiny, domains={"B": list(range(100))}, cap=10))
+
+    def test_total_relation_has_single_world(self, emp_table_one):
+        assert world_count(emp_table_one) == 1
+        worlds = list(completions(emp_table_one))
+        assert len(worlds) == 1 and worlds[0].equivalent_to(emp_table_one)
+
+    def test_marked_nulls_substituted_consistently(self):
+        marked = MarkedNull("m")
+        r = Relation.from_rows(["A", "B"], [(marked, 1)], name="R")
+        r2 = Relation.from_rows(["C"], [(marked,)], name="S")
+        space = CompletionSpace([r, r2], domains={"A": [7, 8], "B": [1], "C": [7, 8]})
+        worlds = list(space.worlds())
+        assert len(worlds) == 2  # one shared site, two candidate values
+        for first, second in worlds:
+            a_values = {row["A"] for row in first.tuples()}
+            c_values = {row["C"] for row in second.tuples()}
+            assert a_values == c_values
+
+    def test_null_site_count(self, tiny):
+        assert CompletionSpace([tiny]).null_site_count() == 1
+
+
+class TestBounds:
+    def _query(self, relation, op, constant):
+        where = Comparison(AttributeRef("t", "B"), op, Constant(constant))
+        return Query({"t": relation}, [AttributeRef("t", "A")], where)
+
+    def test_certain_and_possible_answers(self, tiny):
+        query = self._query(tiny, ">", 3)
+        bounds = evaluate_bounds(query, domains={"B": [2, 5, 9]})
+        certain = {t["t_A"] for t in bounds.certain}
+        possible = {t["t_A"] for t in bounds.possible}
+        assert certain == {2}
+        assert possible == {1, 2}
+        assert bounds.world_count == 3
+
+    def test_certain_answers_relation_wrapper(self, tiny):
+        query = self._query(tiny, ">", 3)
+        certain = certain_answers(query, domains={"B": [2, 5]})
+        possible = possible_answers(query, domains={"B": [2, 5]})
+        assert XTuple(t_A=2) in certain
+        assert XTuple(t_A=1) in possible
+
+    def test_lower_bound_contained_in_certain(self, tiny):
+        query = self._query(tiny, ">", 3)
+        approx = evaluate_lower_bound(query)
+        exact = certain_answers(query, domains={"B": [2, 5, 9]})
+        for row in approx.rows():
+            assert row in exact
+
+    def test_tautologous_query_shows_incompleteness(self, tiny):
+        """B > 3 ∨ B ≤ 3 is certain for every world, but the 3VL bound misses row 1."""
+        where = Or(
+            Comparison(AttributeRef("t", "B"), ">", Constant(3)),
+            Comparison(AttributeRef("t", "B"), "<=", Constant(3)),
+        )
+        query = Query({"t": tiny}, [AttributeRef("t", "A")], where)
+        exact = {t["t_A"] for t in certain_answers(query, domains={"B": [1, 5]}).rows()}
+        approx = {t["t_A"] for t in evaluate_lower_bound(query).rows()}
+        assert exact == {1, 2}
+        assert approx == {2}
+
+    def test_soundness_checker_accepts_sound_queries(self, tiny):
+        query = self._query(tiny, ">", 3)
+        assert lower_bound_is_sound(query, domains={"B": [2, 5, 9]})
+
+    def test_soundness_on_figure_one(self, emp_db):
+        from repro.datagen import FIGURE_1_QUERY
+        from repro.quel import compile_query
+
+        analyzed = compile_query(FIGURE_1_QUERY, emp_db)
+        assert lower_bound_is_sound(
+            analyzed.query, domains={"TEL#": [2633999, 2634000, 2634001]}
+        )
+
+    def test_soundness_randomised(self):
+        import random
+
+        rng = random.Random(3)
+        for trial in range(4):
+            rows = []
+            for _ in range(5):
+                a = rng.randrange(3)
+                b = None if rng.random() < 0.4 else rng.randrange(3)
+                rows.append((a, b))
+            relation = Relation.from_rows(["A", "B"], rows, name="R")
+            where = Or(
+                Comparison(AttributeRef("t", "B"), "=", Constant(1)),
+                And(
+                    Comparison(AttributeRef("t", "A"), ">", Constant(0)),
+                    Comparison(AttributeRef("t", "B"), "!=", Constant(2)),
+                ),
+            )
+            query = Query({"t": relation}, [AttributeRef("t", "A")], where)
+            assert lower_bound_is_sound(query, domains={"B": [0, 1, 2]})

@@ -1,0 +1,127 @@
+"""Unit tests for x-relations (repro.core.xrelation)."""
+
+import pytest
+
+from repro import NI, Relation, XRelation, XTuple, as_xrelation
+
+
+@pytest.fixture
+def xr1(ps1):
+    return XRelation(ps1)
+
+
+@pytest.fixture
+def xr2(ps2):
+    return XRelation(ps2)
+
+
+class TestConstruction:
+    def test_representation_is_minimal(self):
+        x = XRelation.from_rows(["A", "B"], [(1, 2), (1, None), (None, None)])
+        assert len(x) == 1
+        assert x.representation.is_minimal()
+
+    def test_from_rows_and_empty(self):
+        assert len(XRelation.empty()) == 0
+        assert XRelation.empty().is_empty()
+
+    def test_as_xrelation_coercion(self, ps1):
+        assert isinstance(as_xrelation(ps1), XRelation)
+        x = XRelation(ps1)
+        assert as_xrelation(x) is x
+
+    def test_scope(self, emp_table_two):
+        x = XRelation(emp_table_two)
+        assert "TEL#" not in x.scope()
+
+    def test_is_total(self, emp_table_one, ps1):
+        assert XRelation(emp_table_one).is_total()
+        assert not XRelation(ps1).is_total()
+
+
+class TestEqualityAndContainment:
+    def test_equality_is_information_wise(self, emp_table_one, emp_table_two):
+        assert XRelation(emp_table_one) == XRelation(emp_table_two)
+        assert hash(XRelation(emp_table_one)) == hash(XRelation(emp_table_two))
+
+    def test_proposition_4_1(self, xr1, xr2):
+        """Equality iff mutual containment."""
+        assert (xr1 == xr2) == (xr1 >= xr2 and xr2 >= xr1)
+
+    def test_paper_containment(self, xr1, xr2):
+        """PS'' ⊒ PS' holds as plain fact for x-relations (not MAYBE)."""
+        assert xr2 >= xr1
+        assert xr2 > xr1
+        assert not (xr1 >= xr2)
+        assert xr1 < xr2
+
+    def test_self_equality_is_true(self, xr1):
+        assert xr1 == xr1
+        assert xr1 >= xr1 and xr1 <= xr1
+
+    def test_x_membership(self, xr1):
+        assert XTuple({"S#": "s2"}) in xr1
+        assert xr1.x_contains({"P#": "p1"})
+        assert XTuple({"P#": "p9"}) not in xr1
+
+    def test_ordering_with_non_xrelation_is_not_implemented(self, xr1):
+        with pytest.raises(TypeError):
+            _ = xr1 >= 42
+
+
+class TestSetOperators:
+    def test_union_upper_bound(self, xr1, xr2):
+        u = xr1 | xr2
+        assert u >= xr1 and u >= xr2
+        assert u == xr2  # since xr2 already contains xr1
+
+    def test_union_and_intersection_satisfy_user_expectations(self, xr1, xr2):
+        """The Section 1 complaints, resolved: these now hold outright."""
+        assert (xr1 | xr2) >= xr1
+        assert (xr1 & xr2) <= xr1
+
+    def test_intersection_lower_bound(self, xr1, xr2):
+        i = xr1 & xr2
+        assert xr1 >= i and xr2 >= i
+        assert i == xr1
+
+    def test_difference_then_union_restores(self, xr1, xr2):
+        """Proposition 4.6 on the paper's pair."""
+        assert ((xr2 - xr1) | xr1) == xr2
+
+    def test_difference_of_self_is_empty(self, xr1):
+        assert (xr1 - xr1).is_empty()
+
+    def test_operators_match_named_methods(self, xr1, xr2):
+        assert (xr1 | xr2) == xr1.union(xr2)
+        assert (xr1 & xr2) == xr1.x_intersection(xr2)
+        assert (xr2 - xr1) == xr2.difference(xr1)
+
+
+class TestAlgebraShortcuts:
+    def test_select_project_shortcuts(self, ps):
+        x = XRelation(ps)
+        s2_parts = x.select_const("S#", "=", "s2").project(["P#"])
+        assert {t["P#"] for t in s2_parts.rows()} == {"p1"}
+
+    def test_divide_shortcut_matches_paper(self, ps):
+        x = XRelation(ps)
+        divisor = x.select_const("S#", "=", "s2").project(["P#"])
+        quotient = x.divide(divisor, ["S#"])
+        assert {t["S#"] for t in quotient.rows()} == {"s1", "s2"}
+
+    def test_join_and_union_join_shortcuts(self):
+        left = XRelation.from_rows(["A", "B"], [(1, "x"), (2, "y")], name="L")
+        right = XRelation.from_rows(["B", "C"], [("x", 10)], name="R")
+        joined = left.join(right, on=["B"])
+        assert XTuple(A=1, B="x", C=10) in joined
+        outer = left.union_join(right, on=["B"])
+        assert XTuple(A=2, B="y") in outer
+
+    def test_image_shortcut(self, ps):
+        x = XRelation(ps)
+        image = x.image({"S#": "s1"}, ["S#"], ["P#"])
+        assert {t["P#"] for t in image.rows()} == {"p1", "p2"}
+
+    def test_to_table_renders(self, xr1):
+        assert "P#" in xr1.to_table()
