@@ -1,0 +1,245 @@
+"""E13 — the dominance engine against the seed implementations.
+
+The engine PR claims that routing minimal-form reduction, subsumption,
+difference and x-intersection through the signature-partitioned
+dominance engine (:mod:`repro.core.engine`) beats the seed code paths by
+≥ 5× on a 10k-row, 6-attribute, 30%-null synthetic relation.  This
+benchmark measures exactly that, on relations from :mod:`repro.datagen`,
+and records machine-readable metrics for ``benchmarks/results.json``.
+
+Baselines are the *seed* implementations, reproduced verbatim:
+
+* ``minimal()`` — the retired ``reduce_rows_hashed`` that indexed every
+  attribute subset of every row (``2^k`` index entries per row), which
+  the seed dispatcher chose above 64 rows, plus the textbook O(n²)
+  ``reduce_rows_naive`` oracle for reference;
+* ``difference`` — the nested ``|R1|·|R2|`` dominance scan, preserved as
+  :func:`repro.core.setops.difference_naive`;
+* ``x_intersection`` — the full ``|R1|·|R2|`` meet product, preserved as
+  :func:`repro.core.setops.x_intersection_naive` (the benchmark baseline
+  accumulates meets into a set — the seed's list would not fit in memory
+  at 10k×10k — so the recorded baseline is *conservative*);
+* ``subsumes`` — the per-row linear scans the seed relation layer used.
+
+Run styles:
+
+* under pytest (quick sizes, used by CI as a smoke test):
+  ``PYTHONPATH=src python -m pytest benchmarks/bench_e13_dominance_engine.py -q``
+* standalone (full sweep n ∈ {100, 1 000, 10 000}, writes results.json):
+  ``PYTHONPATH=src python benchmarks/bench_e13_dominance_engine.py``
+  (pass ``--quick`` for the small sweep).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from itertools import combinations
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.engine import bulk_reduce
+from repro.core.minimal import reduce_rows_naive
+from repro.core.relation import Relation
+from repro.core.setops import (
+    difference,
+    difference_naive,
+    x_intersection,
+    x_intersection_naive,
+)
+from repro.datagen import random_partial_relation
+
+ATTRIBUTES = ("A", "B", "C", "D", "E", "F")
+DOMAIN_SIZE = 64
+NULL_RATE = 0.3
+FULL_SIZES = (100, 1_000, 10_000)
+QUICK_SIZES = (100, 400)
+#: Above this size the quadratic baselines run once instead of best-of-3.
+SINGLE_SHOT_THRESHOLD = 2_000
+
+
+def make_relation(rows: int, seed: int, name: str = "R") -> Relation:
+    return random_partial_relation(
+        ATTRIBUTES, DOMAIN_SIZE, rows, NULL_RATE, seed=seed, name=name
+    )
+
+
+# ---------------------------------------------------------------------------
+# Seed baselines (verbatim reproductions of the pre-engine code paths)
+# ---------------------------------------------------------------------------
+
+def seed_subset_reduce(rows) -> List:
+    """The retired ``reduce_rows_hashed``: index all attribute subsets."""
+    unique = list(set(rows))
+    projection_index: Dict[Tuple, set] = {}
+    for t in unique:
+        items = t.items()
+        n = len(items)
+        for width in range(n + 1):
+            for combo in combinations(items, width):
+                projection_index.setdefault(combo, set()).add(t)
+    result = []
+    for candidate in unique:
+        if candidate.is_null_tuple():
+            continue
+        holders = projection_index.get(candidate.items(), set())
+        if not any(other != candidate for other in holders):
+            result.append(candidate)
+    return result
+
+
+def seed_minimal(relation: Relation) -> List:
+    """The seed ``Relation.minimal()`` strategy dispatch (naive ≤ 64 rows)."""
+    rows = relation.tuples()
+    if len(rows) > 64:
+        return seed_subset_reduce(rows)
+    return reduce_rows_naive(rows)
+
+
+def seed_subsumes(r1: Relation, r2: Relation) -> bool:
+    """The seed ``Relation.subsumes``: a linear scan per probed row."""
+    rows1 = r1.tuples()
+    for t in r2.tuples():
+        if t.is_null_tuple():
+            continue
+        if not any(r.more_informative_than(t) for r in rows1):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Measurement harness
+# ---------------------------------------------------------------------------
+
+def _time(fn: Callable[[], object], single_shot: bool) -> Tuple[float, object]:
+    """Wall time of *fn* — best of three, or one shot for slow baselines."""
+    best = float("inf")
+    value = None
+    for _ in range(1 if single_shot else 3):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def run_experiments(sizes=FULL_SIZES, metric=None, line=None):
+    """Measure every op at every size, asserting engine/seed agreement.
+
+    *metric* / *line* are ``ExperimentRecorder``-style callbacks; pass
+    ``None`` to just run the agreement checks.
+    """
+
+    def emit(op, variant, rows, seconds, **extra):
+        if metric is not None:
+            metric(
+                op, seconds, variant=variant, rows=rows,
+                attributes=len(ATTRIBUTES), null_rate=NULL_RATE,
+                domain_size=DOMAIN_SIZE, **extra,
+            )
+
+    for size in sizes:
+        single_shot = size > SINGLE_SHOT_THRESHOLD
+        left = make_relation(size, seed=size, name="L")
+        right = make_relation(size, seed=size + 1, name="R")
+
+        # -- minimal form ---------------------------------------------------
+        seed_seconds, seed_rows = _time(lambda: seed_minimal(left), single_shot)
+        engine_seconds, engine_rel = _time(lambda: left.minimal(), False)
+        assert set(engine_rel.tuples()) == set(seed_rows)
+        emit("minimal", "seed", size, seed_seconds)
+        emit("minimal", "engine", size, engine_seconds,
+             speedup=round(seed_seconds / engine_seconds, 2))
+        naive_seconds, naive_rows = _time(
+            lambda: reduce_rows_naive(left.tuples()), True
+        )
+        assert set(naive_rows) == set(seed_rows)
+        emit("minimal", "naive-oracle", size, naive_seconds)
+
+        # -- difference -----------------------------------------------------
+        seed_seconds, seed_rel = _time(
+            lambda: difference_naive(left, right, minimize=False), single_shot
+        )
+        engine_seconds, engine_rel = _time(
+            lambda: difference(left, right, minimize=False), False
+        )
+        assert engine_rel.tuples() == seed_rel.tuples()
+        emit("difference", "seed", size, seed_seconds)
+        emit("difference", "engine", size, engine_seconds,
+             speedup=round(seed_seconds / engine_seconds, 2))
+
+        # -- x-intersection -------------------------------------------------
+        seed_seconds, seed_rel = _time(
+            lambda: x_intersection_naive(left, right), single_shot
+        )
+        engine_seconds, engine_rel = _time(
+            lambda: x_intersection(left, right), False
+        )
+        assert engine_rel.tuples() == seed_rel.tuples()
+        emit("x_intersection", "seed", size, seed_seconds)
+        emit("x_intersection", "engine", size, engine_seconds,
+             speedup=round(seed_seconds / engine_seconds, 2))
+
+        # -- subsumption ----------------------------------------------------
+        pooled = Relation(left.schema, validate=False)
+        pooled._rows = set(left.tuples()) | set(right.tuples())
+        seed_seconds, seed_verdict = _time(
+            lambda: seed_subsumes(pooled, left), single_shot
+        )
+        engine_seconds, engine_verdict = _time(
+            lambda: pooled.copy().subsumes(left), False
+        )
+        assert engine_verdict == seed_verdict is True
+        emit("subsumes", "seed", size, seed_seconds)
+        emit("subsumes", "engine", size, engine_seconds,
+             speedup=round(seed_seconds / engine_seconds, 2))
+
+        if line is not None:
+            line(f"n={size}: engine vs seed agree on every op (metrics in results.json)")
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (quick smoke + agreement assertions)
+# ---------------------------------------------------------------------------
+
+def test_engine_vs_seed_quick(record):
+    """Quick-mode sweep: asserts engine/seed agreement, records metrics."""
+    run_experiments(sizes=QUICK_SIZES, metric=record.metric, line=record.line)
+
+
+# ---------------------------------------------------------------------------
+# Standalone entry point (full sweep, writes benchmarks/results.json)
+# ---------------------------------------------------------------------------
+
+def main(argv: List[str]) -> int:
+    quick = "--quick" in argv
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    sys.path.insert(0, here)
+    import conftest  # the benchmark harness recorder/writer
+
+    recorder = conftest.ExperimentRecorder("e13_dominance_engine")
+    run_experiments(sizes=sizes, metric=recorder.metric, line=recorder.line)
+
+    results_path = os.path.join(here, "results.json")
+    conftest.write_results_json(results_path)
+
+    metrics = conftest._METRICS["e13_dominance_engine"]
+    by_key = {(m["op"], m["variant"], m["rows"]): m for m in metrics}
+    print(f"{'op':<16} {'rows':>6} {'seed s':>10} {'engine s':>10} {'speedup':>8}")
+    for op in ("minimal", "difference", "x_intersection", "subsumes"):
+        for size in sizes:
+            seed = by_key.get((op, "seed", size))
+            engine = by_key.get((op, "engine", size))
+            if seed and engine:
+                print(
+                    f"{op:<16} {size:>6} {seed['seconds']:>10.4f} "
+                    f"{engine['seconds']:>10.4f} "
+                    f"{seed['seconds'] / engine['seconds']:>7.1f}x"
+                )
+    print(f"\nwrote {results_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -15,14 +15,18 @@ Run with::
 
 The ``record`` fixture collects per-experiment result lines; at the end of
 the session they are printed and written to ``benchmarks/results.txt`` so
-EXPERIMENTS.md can quote them.
+EXPERIMENTS.md can quote them.  Structured measurements registered through
+:meth:`ExperimentRecorder.metric` are additionally written to
+``benchmarks/results.json`` — machine-readable per-experiment op/s and
+input sizes, the data the BENCH_*.json trajectory tracking consumes.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from collections import defaultdict
-from typing import Dict, List
+from typing import Any, Dict, List
 
 import pytest
 
@@ -37,6 +41,7 @@ from repro.datagen import (
 )
 
 _RESULTS: Dict[str, List[str]] = defaultdict(list)
+_METRICS: Dict[str, List[Dict[str, Any]]] = defaultdict(list)
 
 
 class ExperimentRecorder:
@@ -53,6 +58,35 @@ class ExperimentRecorder:
         for row in rows:
             self.line(f"  {row}")
 
+    def metric(self, op: str, seconds: float, **fields: Any) -> None:
+        """Register one structured measurement for ``results.json``.
+
+        *op* names the operation, *seconds* is the wall time of one run;
+        arbitrary keyword fields (``rows``, ``variant``, ``null_rate``,
+        ...) describe the input.  ``ops_per_second`` is derived.
+        """
+        entry: Dict[str, Any] = {"op": op, "seconds": seconds}
+        if seconds > 0:
+            entry["ops_per_second"] = 1.0 / seconds
+        entry.update(fields)
+        _METRICS[self.experiment].append(entry)
+
+
+def write_results_json(path: str) -> None:
+    """Write every experiment's lines and metrics as one JSON document."""
+    document = {
+        "experiments": {
+            experiment: {
+                "lines": _RESULTS.get(experiment, []),
+                "metrics": _METRICS.get(experiment, []),
+            }
+            for experiment in sorted(set(_RESULTS) | set(_METRICS))
+        }
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
 
 @pytest.fixture
 def record(request) -> ExperimentRecorder:
@@ -62,7 +96,7 @@ def record(request) -> ExperimentRecorder:
 
 
 def pytest_sessionfinish(session, exitstatus):
-    if not _RESULTS:
+    if not _RESULTS and not _METRICS:
         return
     lines: List[str] = []
     for experiment in sorted(_RESULTS):
@@ -72,12 +106,17 @@ def pytest_sessionfinish(session, exitstatus):
         lines.extend(_RESULTS[experiment])
         lines.append("")
     output = "\n".join(lines)
-    print()
-    print(output)
-    path = os.path.join(os.path.dirname(__file__), "results.txt")
+    here = os.path.dirname(__file__)
+    if _RESULTS:
+        print()
+        print(output)
+        try:
+            with open(os.path.join(here, "results.txt"), "w") as handle:
+                handle.write(output)
+        except OSError:
+            pass
     try:
-        with open(path, "w") as handle:
-            handle.write(output)
+        write_results_json(os.path.join(here, "results.json"))
     except OSError:
         pass
 

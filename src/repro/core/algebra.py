@@ -182,25 +182,20 @@ def join_on(left: RelationLike, right: RelationLike, on: Sequence[str]) -> XRela
             f"rename one side first"
         )
     schema = rep1.schema.union(rep2.schema, name=f"({rep1.name} ⋈{list(on)} {rep2.name})")
-    # Hash the right operand on its X-projection for an equi-join that does
-    # not enumerate the full product.
-    buckets = {}
+    # Hash-join via the storage layer's index: X-total rows of the right
+    # operand land in the value buckets, rows null on X land in the
+    # unindexed bucket — which the inner join ignores, since only X-total
+    # rows participate by definition.
+    from ..storage.index import HashIndex  # local import: storage builds on core
+    index = HashIndex(on)
     for r2 in rep2.tuples():
-        if not r2.is_total_on(on):
-            continue
-        buckets.setdefault(r2.project(on), []).append(r2)
+        index.insert(r2)
     rows: List[XTuple] = []
     for r1 in rep1.tuples():
         if not r1.is_total_on(on):
             continue
-        for r2 in buckets.get(r1.project(on), ()):  # same X-value → joinable on X
-            merged = r1.try_joined(r2) if hasattr(r1, "try_joined") else None
-            if merged is None:
-                if r1.joinable_with(r2):
-                    merged = r1.join(r2)
-                else:  # pragma: no cover - impossible given the overlap check
-                    continue
-            rows.append(merged)
+        for r2 in index.lookup([r1[a] for a in on]):  # same X-value → joinable on X
+            rows.append(r1.join(r2))
     return _wrap(schema, rows)
 
 
@@ -348,16 +343,45 @@ def _pairing_product(left: XRelation, right: XRelation) -> XRelation:
 
     In the division formula the candidate set (over Y) and the divisor
     (over Z) always have disjoint *scopes*, but their declared schemas may
-    overlap textually after projections; this helper pairs rows directly.
+    overlap textually after projections; this helper pairs the joinable
+    rows.  The right operand is hashed on the textually-shared attributes
+    with the :class:`~repro.storage.index.HashIndex` null-bucket protocol:
+    a left row total on the shared attributes can only join the exact
+    matches plus the null bucket (rows null somewhere on the shared set),
+    so the disagreeing pairs are never visited.
     """
     schema = left.schema.union(right.schema, name=f"({left.name} × {right.name})")
+    shared = tuple(a for a in left.schema.attributes if a in right.schema)
     rows: List[XTuple] = []
+    if not shared:
+        # Disjoint schemas: every non-null pair is joinable.
+        right_rows = [r2 for r2 in right.rows() if not r2.is_null_tuple()]
+        for r1 in left.rows():
+            if r1.is_null_tuple():
+                continue
+            for r2 in right_rows:
+                rows.append(r1.join(r2))
+        return _wrap(schema, rows)
+
+    from itertools import chain
+
+    from ..storage.index import HashIndex  # local import: storage builds on core
+    index = HashIndex(shared)
+    all_right: Optional[List[XTuple]] = None
+    for r2 in right.rows():
+        if not r2.is_null_tuple():
+            index.insert(r2)
     for r1 in left.rows():
         if r1.is_null_tuple():
             continue
-        for r2 in right.rows():
-            if r2.is_null_tuple():
-                continue
+        if r1.is_total_on(shared):
+            exact, null_bucket = index.probe([r1[a] for a in shared])
+            candidates: Iterable[XTuple] = chain(exact, null_bucket)
+        else:
+            if all_right is None:
+                all_right = [r2 for r2 in right.rows() if not r2.is_null_tuple()]
+            candidates = all_right
+        for r2 in candidates:
             if r1.joinable_with(r2):
                 rows.append(r1.join(r2))
     return _wrap(schema, rows)

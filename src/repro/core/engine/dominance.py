@@ -1,0 +1,283 @@
+"""Signature-partitioned dominance index over X-tuples.
+
+The key observation (Definition 3.1) is that a tuple ``r`` is more
+informative than ``t`` iff ``r`` agrees with ``t`` on every attribute
+where ``t`` is non-null.  In the canonical :class:`~repro.core.tuples.XTuple`
+representation this means:
+
+* ``signature(r) ⊇ signature(t)``, where the *signature* of a tuple is the
+  set of attributes it binds, and
+* the projection of ``r`` onto ``signature(t)`` equals ``t`` exactly.
+
+So dominators of ``t`` can be found without scanning: partition the rows
+by signature, and for each partition whose signature is a superset of
+``t``'s, hash the partition's rows on their projection onto ``t``'s
+signature and probe with ``t``'s own values.  The number of distinct
+signatures is bounded by the number of null patterns actually present in
+the data (at most ``2^k`` for schema width ``k``, typically far fewer), so
+a probe is a handful of dict lookups.
+
+Two convenient corollaries of the canonical tuple form keep the index
+simple:
+
+* two *distinct* rows with the same signature can never dominate each
+  other (equal projections onto the shared signature would make them the
+  same canonical tuple), so only strict-superset partitions matter for
+  strict dominance;
+* information-wise equivalence coincides with equality, so the non-strict
+  probe only needs one extra membership test in the tuple's own partition.
+
+Projection maps are built lazily per ``(partition, probe-signature)`` pair
+and memoised until the partition mutates; building one costs a single pass
+over the partition, after which probes from every same-signature tuple
+are O(1).
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..tuples import XTuple
+
+#: A signature: the sorted tuple of attributes a row binds (the canonical
+#: ``XTuple.attributes`` form, cheap to produce and hashable).
+Signature = Tuple[str, ...]
+
+#: A projection key: the row's values on a fixed, sorted attribute list.
+ValueKey = Tuple
+
+
+def _signature(row: XTuple) -> Signature:
+    return row.attributes
+
+
+class DominanceIndex:
+    """An incremental index answering dominance probes in ~O(#signatures).
+
+    Supports the full mutation protocol the storage layer needs (``add`` /
+    ``discard`` / ``clear`` / ``rebuild``), so a :class:`~repro.storage.table.Table`
+    can keep one alive across inserts and deletes.  For one-shot batch
+    reduction prefer :func:`bulk_reduce`, which skips the invalidation
+    bookkeeping entirely.
+    """
+
+    __slots__ = ("_partitions", "_partition_sets", "_projections", "_supersets", "_size")
+
+    def __init__(self, rows: Iterable[XTuple] = ()):
+        # signature -> set of rows with exactly that signature
+        self._partitions: Dict[Signature, Set[XTuple]] = {}
+        # frozenset mirror of the partition keys, for subset tests
+        self._partition_sets: Dict[Signature, FrozenSet[str]] = {}
+        # partition signature -> probe signature -> value-key -> rows
+        self._projections: Dict[Signature, Dict[Signature, Dict[ValueKey, List[XTuple]]]] = {}
+        # probe signature -> partition signatures that strictly contain it
+        self._supersets: Dict[Signature, Tuple[Signature, ...]] = {}
+        self._size = 0
+        for row in rows:
+            self.add(row)
+
+    # -- mutation -----------------------------------------------------------
+    def add(self, row: XTuple) -> None:
+        sig = _signature(row)
+        partition = self._partitions.get(sig)
+        if partition is None:
+            partition = self._partitions[sig] = set()
+            self._partition_sets[sig] = frozenset(sig)
+            self._supersets.clear()  # a new partition may extend superset lists
+        if row not in partition:
+            partition.add(row)
+            self._projections.pop(sig, None)
+            self._size += 1
+
+    def discard(self, row: XTuple) -> bool:
+        sig = _signature(row)
+        partition = self._partitions.get(sig)
+        if partition is None or row not in partition:
+            return False
+        partition.remove(row)
+        self._size -= 1
+        self._projections.pop(sig, None)
+        if not partition:
+            del self._partitions[sig]
+            del self._partition_sets[sig]
+            self._supersets.clear()
+        return True
+
+    def clear(self) -> None:
+        self._partitions.clear()
+        self._partition_sets.clear()
+        self._projections.clear()
+        self._supersets.clear()
+        self._size = 0
+
+    def rebuild(self, rows: Iterable[XTuple]) -> None:
+        self.clear()
+        for row in rows:
+            self.add(row)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, row: XTuple) -> bool:
+        partition = self._partitions.get(_signature(row))
+        return partition is not None and row in partition
+
+    # -- probe plumbing ------------------------------------------------------
+    def _superset_signatures(self, sig: Signature) -> Tuple[Signature, ...]:
+        """Partition signatures that *strictly* contain *sig* (memoised)."""
+        cached = self._supersets.get(sig)
+        if cached is None:
+            width = len(sig)
+            as_set = frozenset(sig)
+            cached = tuple(
+                psig
+                for psig, pset in self._partition_sets.items()
+                if len(psig) > width and as_set <= pset
+            )
+            self._supersets[sig] = cached
+        return cached
+
+    def _projection_map(self, partition_sig: Signature, probe_sig: Signature) -> Dict[ValueKey, List[XTuple]]:
+        """Rows of *partition_sig*, keyed by their values on *probe_sig*."""
+        per_partition = self._projections.setdefault(partition_sig, {})
+        pmap = per_partition.get(probe_sig)
+        if pmap is None:
+            pmap = {}
+            for row in self._partitions[partition_sig]:
+                lookup = row._lookup
+                key = tuple(lookup[a] for a in probe_sig)
+                pmap.setdefault(key, []).append(row)
+            per_partition[probe_sig] = pmap
+        return pmap
+
+    @staticmethod
+    def _value_key(row: XTuple) -> ValueKey:
+        return tuple(value for _, value in row.items())
+
+    # -- probes --------------------------------------------------------------
+    def has_dominator(self, row: XTuple, strict: bool = False) -> bool:
+        """True when some indexed row is more informative than *row*.
+
+        With ``strict=True`` the probe asks for a *strictly* more
+        informative row — i.e. a row from a strictly wider signature (a
+        same-signature dominator can only be ``row`` itself).
+        """
+        sig = _signature(row)
+        if not strict:
+            partition = self._partitions.get(sig)
+            if partition is not None and row in partition:
+                return True
+        key = self._value_key(row)
+        for psig in self._superset_signatures(sig):
+            if key in self._projection_map(psig, sig):
+                return True
+        return False
+
+    def probe_dominators(self, row: XTuple, strict: bool = False) -> List[XTuple]:
+        """Every indexed row more informative than *row* (Definition 3.1)."""
+        sig = _signature(row)
+        out: List[XTuple] = []
+        if not strict:
+            partition = self._partitions.get(sig)
+            if partition is not None and row in partition:
+                out.append(row)
+        key = self._value_key(row)
+        for psig in self._superset_signatures(sig):
+            out.extend(self._projection_map(psig, sig).get(key, ()))
+        return out
+
+    def probe_dominated(self, row: XTuple, strict: bool = False) -> List[XTuple]:
+        """Every indexed row *less* informative than *row*.
+
+        A dominated row has a signature contained in *row*'s and equals
+        *row*'s projection onto it, so one projection + membership test per
+        subset partition suffices — no projection maps needed.
+        """
+        sig_set = frozenset(row.attributes)
+        width = len(sig_set)
+        out: List[XTuple] = []
+        for psig, partition in self._partitions.items():
+            if len(psig) > width or not self._partition_sets[psig] <= sig_set:
+                continue
+            candidate = row.project(psig)
+            if candidate in partition:
+                if strict and len(psig) == width:
+                    continue  # the only same-signature candidate is row itself
+                out.append(candidate)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"DominanceIndex(rows={self._size}, partitions={len(self._partitions)})"
+        )
+
+
+def bulk_reduce(rows: Iterable[XTuple]) -> List[XTuple]:
+    """One-shot reduction to minimal form (Definition 4.6).
+
+    Keeps a row iff it is not the null tuple and no *other* row is more
+    informative than it — exactly
+    :func:`repro.core.minimal.reduce_rows_naive`, but via the
+    signature-superset strategy: for each signature present, pool the
+    projections of every strictly-wider partition's rows onto it, then keep
+    the members whose value key is not in that pool.
+
+    Each row's value tuple is materialised once; projecting a wider
+    partition onto a narrower signature is then a C-speed
+    :func:`operator.itemgetter` over those tuples, so the inner loops never
+    touch Python-level attribute lookups.
+
+    Cost: with ``σ`` distinct signatures, ``Σ |partition| · #present-subsets``
+    itemgetter applications plus one set probe per row — near-linear for
+    the narrow-schema relations of the paper's examples and benchmarks,
+    and never the ``2^k``-per-row subset enumeration of the old strategy.
+    """
+    # signature -> ([rows], [their value tuples, aligned])
+    partitions: Dict[Signature, Tuple[List[XTuple], List[ValueKey]]] = {}
+    seen: Set[XTuple] = set()
+    for row in rows:
+        if row in seen:
+            continue
+        seen.add(row)
+        items = row.items()
+        sig, values = zip(*items) if items else ((), ())
+        entry = partitions.get(sig)
+        if entry is None:
+            entry = partitions[sig] = ([], [])
+        entry[0].append(row)
+        entry[1].append(values)
+
+    if len(partitions) <= 1:
+        # Zero or one signature: no row can strictly dominate another.
+        return [row for row in seen if not row.is_null_tuple()]
+
+    signature_sets = {sig: frozenset(sig) for sig in partitions}
+    result: List[XTuple] = []
+    for sig, (members, value_tuples) in partitions.items():
+        if not sig:
+            continue  # the null tuple never survives reduction
+        width = len(sig)
+        sig_set = signature_sets[sig]
+        dominated_keys: Optional[Set] = None
+        for psig, pset in signature_sets.items():
+            if len(psig) <= width or not sig_set <= pset:
+                continue
+            if dominated_keys is None:
+                dominated_keys = set()
+            getter = itemgetter(*(psig.index(a) for a in sig))
+            dominated_keys.update(map(getter, partitions[psig][1]))
+        if not dominated_keys:
+            result.extend(members)
+        elif width == 1:
+            # itemgetter with one index yields bare values, not 1-tuples.
+            result.extend(
+                row for row, values in zip(members, value_tuples)
+                if values[0] not in dominated_keys
+            )
+        else:
+            result.extend(
+                row for row, values in zip(members, value_tuples)
+                if values not in dominated_keys
+            )
+    return result

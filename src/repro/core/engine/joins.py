@@ -1,0 +1,109 @@
+"""Candidate-pairing and hash-join kernels over X-tuples.
+
+Two observations turn the quadratic pair loops of the set operations and
+the planner into hash probes:
+
+* **Meets** (x-intersection, 4.7): the meet ``r1 ∧ r2`` keeps exactly the
+  bindings both tuples agree on, so a pair whose meet is *not* the null
+  tuple must agree on at least one ``(attribute, value)`` item.  Indexing
+  one side by its bound items makes "all pairs with a non-null meet"
+  enumerable without touching the disagreeing pairs
+  (:func:`pair_candidates`).
+* **Equi-joins** (Section 5's TRUE-only discipline): a comparison
+  ``t.A = m.B`` can only be TRUE when both sides are non-null and equal,
+  so bucketing one operand on its ``B`` values and probing with the other
+  operand's ``A`` values enumerates exactly the TRUE combinations
+  (:func:`equi_join_rows`).  The QUEL planner picks this strategy instead
+  of a Cartesian product followed by a selection.
+
+Both kernels are pure row-level functions; schema handling stays with the
+callers in :mod:`repro.core.setops`, :mod:`repro.core.algebra` and
+:mod:`repro.quel.planner`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Tuple
+
+from ..nulls import is_ni
+from ..tuples import XTuple
+
+
+def pair_candidates(
+    left_rows: Iterable[XTuple], right_rows: Iterable[XTuple]
+) -> Iterator[Tuple[XTuple, XTuple]]:
+    """Yield every pair ``(l, r)`` agreeing on at least one bound item.
+
+    These are exactly the pairs whose meet ``l ∧ r`` is not the null
+    tuple, i.e. the only pairs that can contribute a row to a *minimised*
+    x-intersection (4.7).  Each qualifying pair is yielded once, even when
+    it agrees on several items.
+    """
+    inverted: Dict[Tuple[str, Any], List[XTuple]] = {}
+    for right in right_rows:
+        for item in right.items():
+            inverted.setdefault(item, []).append(right)
+    if not inverted:
+        return
+    for left in left_rows:
+        seen: set = set()
+        for item in left.items():
+            bucket = inverted.get(item)
+            if not bucket:
+                continue
+            for right in bucket:
+                marker = id(right)
+                if marker not in seen:
+                    seen.add(marker)
+                    yield left, right
+
+
+def meet_candidates(
+    left_rows: Iterable[XTuple], right_rows: Iterable[XTuple]
+) -> set:
+    """The set of non-null meets ``{l ∧ r}`` over all candidate pairs.
+
+    Equivalent to ``{l.meet(r) for l, r in full product} - {null tuple}``;
+    used by :func:`repro.core.setops.x_intersection` ahead of reduction to
+    minimal form (the null tuple never survives reduction, so skipping the
+    disagreeing pairs loses nothing).
+    """
+    meets: set = set()
+    for left, right in pair_candidates(left_rows, right_rows):
+        meets.add(left.meet(right))
+    return meets
+
+
+def equi_join_rows(
+    left_rows: Iterable[XTuple],
+    right_rows: Iterable[XTuple],
+    left_attr: str,
+    right_attr: str,
+) -> List[XTuple]:
+    """Hash equi-join: tuple joins of row pairs with ``l[A] = r[B]``, both non-null.
+
+    The operand attribute sets must be disjoint (the planner renames every
+    range with a ``variable.`` prefix before joining), so the tuple join
+    always exists.  Rows null on the compared attribute are dropped, which
+    is exactly the Section 5 lower-bound discipline: a comparison touching
+    ``ni`` evaluates to ``ni`` and the combination is not returned.
+    """
+    buckets: Dict[Any, List[XTuple]] = {}
+    for right in right_rows:
+        value = right[right_attr]
+        if is_ni(value):
+            continue
+        buckets.setdefault(value, []).append(right)
+    out: List[XTuple] = []
+    if not buckets:
+        return out
+    for left in left_rows:
+        value = left[left_attr]
+        if is_ni(value):
+            continue
+        bucket = buckets.get(value)
+        if not bucket:
+            continue
+        for right in bucket:
+            out.append(left.join(right))
+    return out

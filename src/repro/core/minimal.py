@@ -13,21 +13,26 @@ Two algorithms are provided and benchmarked against each other (experiment
 E12 in DESIGN.md):
 
 * :func:`reduce_rows_naive` — the textbook O(n²) pairwise scan, a direct
-  transliteration of the definition;
-* :func:`reduce_rows_hashed` — a signature-bucketing strategy in the
-  spirit of the paper's pointer to "combinatorial hashing" [Knuth 1973]:
-  a tuple can only be subsumed by a tuple whose non-null attribute set is
-  a superset of its own, so candidate dominators are looked up by hashing
-  on attribute-subset signatures instead of scanning every row.
+  transliteration of the definition, kept as the oracle the property tests
+  compare against;
+* :func:`reduce_rows_hashed` — the production path, delegating to the
+  signature-superset strategy of the dominance engine
+  (:func:`repro.core.engine.bulk_reduce`): a tuple can only be subsumed by
+  a tuple whose non-null attribute set is a *superset* of its own, so rows
+  are partitioned by attribute-set signature and candidate dominators are
+  found by hashing the superset partitions' projections — a handful of
+  dict probes per row instead of a scan (and instead of the retired
+  strategy that indexed all ``2^k`` attribute subsets of every row).
 
-Both return the same set of rows; property-based tests assert agreement.
+Both return the same set of rows; property-based tests
+(``tests/test_engine_properties.py``) assert agreement.
 """
 
 from __future__ import annotations
 
-from itertools import combinations
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import Iterable, List
 
+from .engine.dominance import bulk_reduce
 from .tuples import XTuple
 
 
@@ -54,60 +59,33 @@ def reduce_rows_naive(rows: Iterable[XTuple]) -> List[XTuple]:
     return result
 
 
-def _signature(t: XTuple) -> FrozenSet[str]:
-    return frozenset(t.attributes)
-
-
 def reduce_rows_hashed(rows: Iterable[XTuple], max_subset_width: int = 12) -> List[XTuple]:
-    """Signature-bucketed reduction to minimal form.
+    """Signature-partitioned reduction to minimal form.
 
-    Rows are grouped by the frozenset of their non-null attributes.  A row
-    with attribute set ``S`` can only be dominated by a row whose attribute
-    set is a superset of ``S`` *and* agrees with it on ``S``; we therefore
-    index rows by every subset of their attribute signature up to
-    *max_subset_width* attributes wide, falling back to the naive scan for
-    extremely wide tuples (where the subset lattice would explode).
+    A row with attribute set ``S`` can only be dominated by a row whose
+    attribute set is a *superset* of ``S`` and whose projection onto ``S``
+    equals the row exactly, so reduction only needs, per signature present
+    in the data, the pooled projections of the strictly-wider partitions —
+    see :func:`repro.core.engine.bulk_reduce`, which this delegates to.
 
-    For the narrow-schema relations typical of the paper's examples and of
-    our benchmarks this gives near-linear behaviour.
+    The *max_subset_width* parameter is retained for backward
+    compatibility but ignored: the engine's strategy enumerates only the
+    signatures actually present, never the ``2^k`` subsets of each row, so
+    wide tuples need no special-casing.
     """
-    unique = list(set(rows))
-    wide_rows = [t for t in unique if len(t) > max_subset_width]
-    if wide_rows:
-        # Mixed strategy would complicate the invariant; punt to the exact
-        # algorithm for correctness when any tuple is very wide.
-        return reduce_rows_naive(unique)
-
-    # Index: projection-signature -> set of full rows having that projection.
-    projection_index: Dict[Tuple[Tuple[str, object], ...], Set[XTuple]] = {}
-    for t in unique:
-        items = t.items()
-        n = len(items)
-        for width in range(n + 1):
-            for combo in combinations(items, width):
-                projection_index.setdefault(combo, set()).add(t)
-
-    result: List[XTuple] = []
-    for candidate in unique:
-        if candidate.is_null_tuple():
-            continue
-        holders = projection_index.get(candidate.items(), set())
-        # `holders` are exactly the rows whose bindings extend candidate's.
-        dominated = any(other != candidate for other in holders)
-        if not dominated:
-            result.append(candidate)
-    return result
+    return bulk_reduce(rows)
 
 
 def reduce_rows(rows: Iterable[XTuple]) -> List[XTuple]:
     """Default reduction strategy used by :meth:`Relation.minimal`.
 
-    Chooses the hashed strategy for collections large enough for it to pay
-    off, otherwise the naive scan.
+    Chooses the engine's signature-partitioned strategy for collections
+    large enough for it to pay off, otherwise the naive scan (whose
+    constant factor wins on tiny inputs).
     """
-    materialised = rows if isinstance(rows, (list, set, tuple)) else list(rows)
-    if len(materialised) > 64:
-        return reduce_rows_hashed(materialised)
+    materialised = rows if isinstance(rows, (list, set, tuple, frozenset)) else list(rows)
+    if len(materialised) > 32:
+        return bulk_reduce(materialised)
     return reduce_rows_naive(materialised)
 
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from .domains import ANY, Domain
+from .engine.dominance import DominanceIndex, bulk_reduce
 from .errors import AttributeNotFound, SchemaError
 from .nulls import NI, is_ni
 from .tuples import XTuple
@@ -192,6 +193,12 @@ class Relation:
             self.schema = RelationSchema(tuple(schema), name=name or "R")
         self._rows: Set[XTuple] = set()
         self._validate = validate
+        # Lazily-built dominance index over the current rows; see
+        # _dominance_index().  Invalidated by every mutation (the version
+        # counter) and by wholesale rebinding of _rows (the identity and
+        # length checks in _fresh_dominance).
+        self._version = 0
+        self._dominance: Optional[Tuple[Set[XTuple], int, int, DominanceIndex]] = None
         for row in rows:
             self.add(row)
 
@@ -238,6 +245,7 @@ class Relation:
         """Insert a row (given as an XTuple, mapping or positional sequence)."""
         t = self._coerce_row(row)
         self._rows.add(t)
+        self._version += 1
         return t
 
     def add_all(self, rows: Iterable[RowLike]) -> None:
@@ -249,11 +257,13 @@ class Relation:
         t = self._coerce_row(row)
         if t in self._rows:
             self._rows.remove(t)
+            self._version += 1
             return True
         return False
 
     def clear(self) -> None:
         self._rows.clear()
+        self._version += 1
 
     # -- basic container behaviour ----------------------------------------------------------
     @property
@@ -302,17 +312,61 @@ class Relation:
         return out
 
     # -- x-membership and subsumption (Section 4) ------------------------------------------------
+    def _fresh_dominance(self) -> Optional[DominanceIndex]:
+        """The cached dominance index, or ``None`` when stale/absent.
+
+        Freshness requires the same row-set object (wholesale rebinding of
+        ``_rows`` is the internal fast-construction idiom), the same
+        mutation version (:meth:`add` / :meth:`discard` / :meth:`clear`
+        bump it), and — belt and braces against direct in-place edits of
+        the set — the same length.
+        """
+        cached = self._dominance
+        if (
+            cached is not None
+            and cached[0] is self._rows
+            and cached[1] == self._version
+            and cached[2] == len(self._rows)
+        ):
+            return cached[3]
+        return None
+
+    def _dominance_index(self) -> DominanceIndex:
+        """The dominance engine's index over the current rows, built lazily."""
+        index = self._fresh_dominance()
+        if index is None:
+            index = DominanceIndex(self._rows)
+            self._dominance = (self._rows, self._version, len(self._rows), index)
+        return index
+
     def x_contains(self, row: RowLike) -> bool:
-        """Proposition 4.2: ``t ∈̂ R`` iff some row of R is more informative than t."""
+        """Proposition 4.2: ``t ∈̂ R`` iff some row of R is more informative than t.
+
+        Uses the cached dominance index when one is already built (a probe
+        is a handful of dict lookups); otherwise a single linear scan — a
+        one-off probe cannot beat O(n) anyway, so the index is only built
+        by the batch operations (:meth:`subsumes`, :meth:`equivalent_to`).
+        """
         t = row if isinstance(row, XTuple) else self._coerce_row(row)
+        index = self._fresh_dominance()
+        if index is not None:
+            return index.has_dominator(t)
         return any(r.more_informative_than(t) for r in self._rows)
 
     def subsumes(self, other: "Relation") -> bool:
-        """Definition 4.1: every non-null row of *other* is x-contained in *self*."""
+        """Definition 4.1: every non-null row of *other* is x-contained in *self*.
+
+        Batch form: *self* is indexed once by the dominance engine, then
+        every row of *other* is a signature-superset probe, exiting early
+        on the first miss.
+        """
+        if not other._rows:
+            return True
+        index = self._dominance_index()
         for t in other._rows:
             if t.is_null_tuple():
                 continue
-            if not self.x_contains(t):
+            if not index.has_dominator(t):
                 return False
         return True
 
@@ -353,15 +407,13 @@ class Relation:
 
     # -- minimal representation and scope (Definitions 4.6, 4.7) -----------------------------------------
     def is_minimal(self) -> bool:
-        """True when no row could be dropped without changing the x-relation."""
-        rows = list(self._rows)
-        for i, r in enumerate(rows):
-            if r.is_null_tuple():
-                return False
-            for j, t in enumerate(rows):
-                if i != j and t.more_informative_than(r):
-                    return False
-        return True
+        """True when no row could be dropped without changing the x-relation.
+
+        Reduction via the dominance engine drops exactly the null tuple
+        and the subsumed rows, so the relation is minimal iff reduction
+        keeps everything.
+        """
+        return len(bulk_reduce(self._rows)) == len(self._rows)
 
     def minimal(self, name: Optional[str] = None) -> "Relation":
         """The minimal representation: drop null rows and subsumed rows."""

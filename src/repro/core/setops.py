@@ -13,6 +13,23 @@ oracle) and the efficient forms (the production code path), always on
 representations (:class:`~repro.core.relation.Relation`); the x-relation
 wrapper in :mod:`repro.core.xrelation` delegates here.
 
+The production paths route through the dominance engine
+(:mod:`repro.core.engine`) — the "combinatorial hashing" the paper points
+at after (4.8):
+
+* :func:`difference` indexes the subtrahend once in a
+  :class:`~repro.core.engine.DominanceIndex` and answers the universal
+  quantification with one signature-superset probe per minuend row;
+* :func:`x_intersection` (when minimising, the default) enumerates only
+  the row pairs that agree on at least one bound item via
+  :func:`~repro.core.engine.pair_candidates` — every other pair meets to
+  the null tuple, which reduction drops anyway — instead of the full
+  ``|R1| · |R2|`` meet product.
+
+The pre-engine nested-loop forms survive as :func:`difference_naive` and
+:func:`x_intersection_naive`; benchmarks (E13) measure the gap and the
+property tests assert exact agreement.
+
 The result schema follows the scope remarks after (4.8): a union's schema
 is the union of the operand schemas; an x-intersection's and a
 difference's schemas are, respectively, the schema intersection and the
@@ -24,6 +41,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional
 
+from .engine.dominance import DominanceIndex
+from .engine.joins import meet_candidates
 from .minimal import reduce_rows
 from .relation import Relation, RelationSchema
 from .tuples import XTuple
@@ -70,11 +89,38 @@ def x_intersection(r1: Relation, r2: Relation, minimize: bool = True, name: Opti
         # (equivalent to) the empty x-relation; keep the minuend's first
         # attribute so the schema stays well formed.
         schema = RelationSchema(r1.schema.attributes[:1], name=name or f"({r1.name} ∩̂ {r2.name})")
-    meets: List[XTuple] = []
+    if minimize:
+        # Engine path: only pairs agreeing on some bound item can meet to a
+        # non-null tuple, and the null tuple never survives reduction.
+        meets: Iterable[XTuple] = meet_candidates(r1.tuples(), r2.tuples())
+        return _result_relation(schema, meets, schema.name, True)
+    return _result_relation(schema, _meet_product(r1, r2), schema.name, False)
+
+
+def _meet_product(r1: Relation, r2: Relation) -> set:
+    """The full pairwise meet product of (4.7) — the definitional form.
+
+    Accumulated as a set: the meets of a large product collapse heavily,
+    and the result relation stores a set of rows anyway.
+    """
+    meets: set = set()
     for a in r1.tuples():
         for b in r2.tuples():
-            meets.append(a.meet(b))
-    return _result_relation(schema, meets, schema.name, minimize)
+            meets.add(a.meet(b))
+    return meets
+
+
+def x_intersection_naive(r1: Relation, r2: Relation, minimize: bool = True, name: Optional[str] = None) -> Relation:
+    """The pre-engine x-intersection: the full ``|R1| · |R2|`` meet product.
+
+    Kept as the oracle/benchmark baseline for :func:`x_intersection`.
+    """
+    shared = [a for a in r1.schema.attributes if a in r2.schema]
+    if shared:
+        schema = r1.schema.project(shared, name=name or f"({r1.name} ∩̂ {r2.name})")
+    else:
+        schema = RelationSchema(r1.schema.attributes[:1], name=name or f"({r1.name} ∩̂ {r2.name})")
+    return _result_relation(schema, _meet_product(r1, r2), schema.name, minimize)
 
 
 # ---------------------------------------------------------------------------
@@ -88,6 +134,23 @@ def difference(r1: Relation, r2: Relation, minimize: bool = True, name: Optional
     informative than it.  Note the universal quantification: the paper
     points out (Section 6, query Q4) that difference carries a "for sure"
     universal flavour under incomplete information.
+
+    The subtrahend is indexed once in a
+    :class:`~repro.core.engine.DominanceIndex`; each minuend row then costs
+    one signature-superset probe instead of a scan of the subtrahend.
+    """
+    schema = RelationSchema(
+        r1.schema.attributes, r1.schema.domains(), name=name or f"({r1.name} − {r2.name})"
+    )
+    subtrahend = DominanceIndex(r2.tuples())
+    rows = [r for r in r1.tuples() if not subtrahend.has_dominator(r)]
+    return _result_relation(schema, rows, schema.name, minimize)
+
+
+def difference_naive(r1: Relation, r2: Relation, minimize: bool = True, name: Optional[str] = None) -> Relation:
+    """The pre-engine difference: a nested ``|R1| · |R2|`` dominance scan.
+
+    Kept as the oracle/benchmark baseline for :func:`difference`.
     """
     schema = RelationSchema(
         r1.schema.attributes, r1.schema.domains(), name=name or f"({r1.name} − {r2.name})"

@@ -9,9 +9,14 @@ query into a plan over the extended algebra operators of
 
 * rename every range relation with a ``variable.`` prefix,
 * push single-variable conjunctive selections down onto their relation,
-* combine the ranges with Cartesian products,
+* combine the ranges with **hash equi-joins** whenever the qualification
+  contains an equality between two range variables (the engine kernel
+  :func:`repro.core.engine.equi_join_rows` — each equality bucketises one
+  side and probes with the other, enumerating exactly the TRUE
+  combinations of the Section 5 lower-bound discipline), falling back to
+  Cartesian products for unlinked ranges,
 * apply the remaining (multi-variable or disjunctive) qualification as a
-  generalised selection on the product,
+  generalised selection on the combination,
 * project onto the target list (renaming to the output column names).
 
 The planner handles every query the front end accepts; the selection
@@ -27,6 +32,7 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core import algebra
+from ..core.engine.joins import equi_join_rows
 from ..core.query import And, AttributeRef, Comparison, Constant, Not, Or, Predicate, Query
 from ..core.relation import Relation
 from ..core.threevalued import compare
@@ -73,12 +79,38 @@ class Plan:
                 renamed[variable] = _apply_selection(renamed[variable], variable, conjunct)
                 self.steps.append(f"select {conjunct!r} on {variable}")
 
-        # Step 3: product of all ranges.
+        # Step 3: combine the ranges — hash equi-join when an equality
+        # conjunct links the next range to the ranges combined so far,
+        # Cartesian product otherwise.
+        equijoins, residual = _extract_equijoins(residual)
         variables = list(query.ranges)
         combined = renamed[variables[0]]
+        included = {variables[0]}
         for variable in variables[1:]:
-            combined = algebra.product(combined, renamed[variable])
-            self.steps.append(f"product with {variable}")
+            link = _pick_equijoin(equijoins, included, variable)
+            if link is not None:
+                equijoins.remove(link)
+                left_ref, right_ref = link.left, link.right
+                if right_ref.variable not in included:
+                    left_ref, right_ref = right_ref, left_ref
+                # right_ref now refers to the already-combined side.
+                combined = _hash_join(
+                    combined, renamed[variable],
+                    self._qualify(right_ref.variable, right_ref.attribute),
+                    self._qualify(left_ref.variable, left_ref.attribute),
+                )
+                self.steps.append(
+                    f"hash equi-join with {variable} on "
+                    f"{right_ref.variable}.{right_ref.attribute} = "
+                    f"{left_ref.variable}.{left_ref.attribute}"
+                )
+            else:
+                combined = algebra.product(combined, renamed[variable])
+                self.steps.append(f"product with {variable}")
+            included.add(variable)
+
+        # Equalities the join order could not use stay in the residual.
+        residual = _conjoin(equijoins + ([residual] if residual is not None else []))
 
         # Step 4: residual qualification as a generalised selection.
         if residual is not None:
@@ -121,6 +153,65 @@ def _split_conjuncts(predicate: Predicate) -> Tuple[Dict[str, List[Comparison]],
     if len(residual) == 1:
         return pushable, residual[0]
     return pushable, And(*residual)
+
+
+def _extract_equijoins(predicate: Optional[Predicate]) -> Tuple[List[Comparison], Optional[Predicate]]:
+    """Split equality conjuncts between two distinct variables from the rest.
+
+    Only top-level conjuncts of the shape ``t.A = m.B`` (both sides
+    attribute references, different range variables) are join candidates;
+    everything else stays in the residual.
+    """
+    if predicate is None:
+        return [], None
+    conjuncts: List[Predicate] = list(predicate.operands) if isinstance(predicate, And) else [predicate]
+    joins: List[Comparison] = []
+    rest: List[Predicate] = []
+    for conjunct in conjuncts:
+        if (
+            isinstance(conjunct, Comparison)
+            and conjunct.op in ("=", "==")
+            and isinstance(conjunct.left, AttributeRef)
+            and isinstance(conjunct.right, AttributeRef)
+            and conjunct.left.variable != conjunct.right.variable
+        ):
+            joins.append(conjunct)
+        else:
+            rest.append(conjunct)
+    return joins, _conjoin(rest)
+
+
+def _conjoin(predicates: List[Predicate]) -> Optional[Predicate]:
+    """Fold a list of conjuncts back into a predicate (None when empty)."""
+    if not predicates:
+        return None
+    if len(predicates) == 1:
+        return predicates[0]
+    return And(*predicates)
+
+
+def _pick_equijoin(joins: List[Comparison], included: set, variable: str) -> Optional[Comparison]:
+    """An unused equality linking *variable* to the already-combined ranges."""
+    for conjunct in joins:
+        mentioned = {conjunct.left.variable, conjunct.right.variable}
+        if variable in mentioned and (mentioned - {variable}) <= included:
+            return conjunct
+    return None
+
+
+def _hash_join(left: XRelation, right: XRelation, left_attr: str, right_attr: str) -> XRelation:
+    """Hash equi-join of two renamed (disjoint-schema) ranges.
+
+    Delegates to the engine kernel
+    :func:`repro.core.engine.joins.equi_join_rows`; rows null on the
+    compared attribute contribute nothing, exactly as the TRUE-only
+    discipline demands.
+    """
+    schema = left.schema.union(right.schema, name=f"({left.name} ⋈ {right.name})")
+    rows = equi_join_rows(left.rows(), right.rows(), left_attr, right_attr)
+    relation = Relation(schema, validate=False)
+    relation._rows = set(rows)
+    return XRelation(relation)
 
 
 def _apply_selection(relation: XRelation, variable: str, conjunct: Comparison) -> XRelation:

@@ -103,10 +103,7 @@ class Database(Mapping[str, Relation]):
 
     def restore(self, snapshot: Mapping[str, set]) -> None:
         for name, rows in snapshot.items():
-            table = self.catalog.table(name)
-            table.relation._rows = set(rows)
-            for index in table.indexes.values():
-                index.rebuild(table.relation.tuples())
+            self.catalog.table(name).reset_rows(rows)
 
     def __repr__(self) -> str:
         return f"Database({self.name!r}, tables={self.catalog.table_names()})"

@@ -16,10 +16,13 @@ that explicit (:meth:`HashIndex.probe` returns both parts).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import AbstractSet, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..core.nulls import is_ni
 from ..core.tuples import XTuple
+
+#: Shared empty result for misses, so probes never allocate.
+_EMPTY: AbstractSet[XTuple] = frozenset()
 
 
 class HashIndex:
@@ -73,17 +76,27 @@ class HashIndex:
         self._unindexed.clear()
 
     # -- queries ------------------------------------------------------------------
-    def lookup(self, values: Sequence) -> Set[XTuple]:
-        """Rows whose indexed attributes equal *values* exactly (nulls excluded)."""
-        return set(self._buckets.get(tuple(values), set()))
+    def lookup(self, values: Sequence) -> AbstractSet[XTuple]:
+        """Rows whose indexed attributes equal *values* exactly (nulls excluded).
 
-    def probe(self, values: Sequence) -> Tuple[Set[XTuple], Set[XTuple]]:
-        """Exact matches plus the null bucket (candidates for x-membership checks)."""
-        return self.lookup(values), set(self._unindexed)
+        Returns a **read-only view** of the live bucket (an empty
+        frozenset on a miss) — no per-probe copy is made, which keeps the
+        hot join/probe loops allocation-free.  Callers must not mutate the
+        result; copy it (``set(...)``) before holding it across index
+        mutations.
+        """
+        return self._buckets.get(tuple(values), _EMPTY)
 
-    def unindexed_rows(self) -> Set[XTuple]:
-        """Rows null on at least one indexed attribute."""
-        return set(self._unindexed)
+    def probe(self, values: Sequence) -> Tuple[AbstractSet[XTuple], AbstractSet[XTuple]]:
+        """Exact matches plus the null bucket (candidates for x-membership checks).
+
+        Both parts are read-only views, like :meth:`lookup`.
+        """
+        return self.lookup(values), self._unindexed
+
+    def unindexed_rows(self) -> AbstractSet[XTuple]:
+        """Rows null on at least one indexed attribute (a read-only view)."""
+        return self._unindexed
 
     # -- statistics ----------------------------------------------------------------
     def __len__(self) -> int:

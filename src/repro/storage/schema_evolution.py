@@ -77,6 +77,7 @@ def add_attribute(
             row.extend({attribute: default}) for row in table.relation.tuples()
         }
     table.relation = new_relation
+    table.dominance.rebuild(table.relation.tuples())
     for index in table.indexes.values():
         index.rebuild(table.relation.tuples())
     after = XRelation(table.relation.copy())
@@ -112,6 +113,7 @@ def drop_attribute(table: Table, attribute: str) -> EvolutionReport:
     new_relation = Relation(new_schema, validate=False)
     new_relation._rows = {row.project(remaining) for row in table.relation.tuples()}
     table.relation = new_relation
+    table.dominance.rebuild(table.relation.tuples())
     for index in table.indexes.values():
         if attribute in index.attributes:
             raise SchemaError(

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
-from ..core import setops
+from ..core.engine.dominance import DominanceIndex
 from ..core.errors import StorageError
 from ..core.relation import Relation, RelationSchema, RowLike
 from ..core.tuples import XTuple
@@ -55,6 +55,10 @@ class Table:
         self.relation = Relation(schema)
         self.constraints: List[TableConstraint] = list(constraints)
         self.indexes: Dict[str, HashIndex] = {}
+        # Live dominance index over the stored rows, maintained by every
+        # mutation path; powers x-membership probes and (4.8) deletion
+        # without scanning the table.
+        self.dominance = DominanceIndex()
 
     # -- convenience accessors ----------------------------------------------------
     @property
@@ -138,6 +142,7 @@ class Table:
         candidate = self.relation._coerce_row(row)
         self._check_insert(candidate)
         self.relation.add(candidate)
+        self.dominance.add(candidate)
         for index in self.indexes.values():
             index.insert(candidate)
         return candidate
@@ -145,35 +150,35 @@ class Table:
     def insert_many(self, rows: Iterable[RowLike]) -> List[XTuple]:
         return [self.insert(row) for row in rows]
 
+    def _remove_row(self, row: XTuple) -> None:
+        """Remove one stored row from the relation and every index."""
+        self.relation.discard(row)
+        self.dominance.discard(row)
+        for index in self.indexes.values():
+            index.remove(row)
+
     def delete(self, row: RowLike) -> int:
         """Delete by generalised difference with a singleton relation.
 
         Following (4.8), every stored row that the given row subsumes is
         removed — deleting ``(p1, s2)`` also removes ``(p1, -)`` if present,
         since the latter carries no information not carried by the former.
+        The dominated rows come straight from the live dominance index
+        (one probe per stored signature), so nothing is scanned or rebuilt.
         Returns the number of rows removed.
         """
         target = self.relation._coerce_row(row)
-        singleton = Relation(self.schema, validate=False)
-        singleton._rows = {target}
-        remaining = setops.difference(self.relation, singleton, minimize=False)
-        removed = len(self.relation) - len(remaining)
-        if removed:
-            self.relation._rows = set(remaining.tuples())
-            for index in self.indexes.values():
-                index.rebuild(self.relation.tuples())
-        return removed
+        doomed = self.dominance.probe_dominated(target)
+        for victim in doomed:
+            self._remove_row(victim)
+        return len(doomed)
 
     def delete_where(self, predicate: Callable[[XTuple], bool]) -> int:
         """Delete every row satisfying a Python predicate (a convenience form)."""
         doomed = [r for r in self.relation.tuples() if predicate(r)]
-        removed = 0
         for row in doomed:
-            self.relation._rows.discard(row)
-            removed += 1
-            for index in self.indexes.values():
-                index.remove(row)
-        return removed
+            self._remove_row(row)
+        return len(doomed)
 
     def update(self, old_row: RowLike, new_row: RowLike) -> XTuple:
         """Modification = deletion followed by addition (Section 7)."""
@@ -186,14 +191,35 @@ class Table:
         except Exception:
             # Restore the old row so a failed update leaves the table unchanged.
             self.relation.add(old)
+            self.dominance.add(old)
             for index in self.indexes.values():
                 index.insert(old)
             raise
 
     def truncate(self) -> None:
         self.relation.clear()
+        self.dominance.clear()
         for index in self.indexes.values():
             index.clear()
+
+    def reset_rows(self, rows: Iterable[XTuple]) -> None:
+        """Replace the stored rows wholesale and rebuild every index.
+
+        The supported path for snapshot restore / bulk load — it keeps the
+        hash indexes and the live dominance index consistent with the new
+        row set.
+        """
+        self.relation._rows = set(rows)
+        self.relation._dominance = None
+        self.dominance.rebuild(self.relation.tuples())
+        for index in self.indexes.values():
+            index.rebuild(self.relation.tuples())
+
+    # -- x-membership ------------------------------------------------------------------------
+    def x_contains(self, row: RowLike) -> bool:
+        """Proposition 4.2 against the live dominance index: ``t ∈̂ table``."""
+        t = row if isinstance(row, XTuple) else self.relation._coerce_row(row)
+        return self.dominance.has_dominator(t)
 
     # -- presentation ------------------------------------------------------------------------------
     def to_table(self) -> str:
