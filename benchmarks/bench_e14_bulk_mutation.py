@@ -1,0 +1,288 @@
+"""E14 — bulk mutation and composite-key joins against the seed paths.
+
+The bulk-mutation PR claims two speedups:
+
+* **bulk load** — :meth:`Table.insert_many` stages, checks and applies a
+  whole batch at once (one :meth:`DominanceIndex.bulk_add` /
+  :meth:`HashIndex.bulk_add` per structure, constraints checked with one
+  indexed pass) instead of the seed's row-at-a-time loop of
+  :meth:`Table.insert`, whose per-row key check scanned the whole table —
+  quadratic in the batch size;
+* **composite-key joins** — the planner fuses every equality conjunct
+  linking two ranges into one multi-attribute hash probe
+  (:func:`repro.core.engine.joins.equi_join_rows` with attribute lists)
+  instead of the seed's single-attribute join followed by a residual
+  three-valued selection over the much larger intermediate result.
+
+Baselines are the *seed* behaviours, reproduced verbatim below.  Every
+measurement first asserts that fast path and seed path produce identical
+rows, so the benchmark doubles as an information-preservation check.
+
+Run styles:
+
+* under pytest (quick sizes, used by CI as a smoke test):
+  ``PYTHONPATH=src python -m pytest benchmarks/bench_e14_bulk_mutation.py -q``
+* standalone (full sweep, writes results.json):
+  ``PYTHONPATH=src python benchmarks/bench_e14_bulk_mutation.py``
+  (pass ``--quick`` for the small sweep).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+import time
+from typing import Callable, List, Tuple
+
+from repro.constraints.keys import KeyConstraint
+from repro.core.engine.joins import equi_join_rows
+from repro.core.threevalued import compare
+from repro.core.tuples import XTuple
+from repro.datagen import random_partial_relation
+from repro.quel.evaluator import run_query
+from repro.storage.database import Database
+from repro.storage.table import Table
+
+ATTRIBUTES = ("A", "B", "C", "D", "E", "F")
+DOMAIN_SIZE = 64
+NULL_RATE = 0.3
+FULL_SIZES = (1_000, 10_000)
+QUICK_SIZES = (200, 500)
+#: Above this size the quadratic seed loops run once instead of best-of-3.
+SINGLE_SHOT_THRESHOLD = 2_000
+
+
+# ---------------------------------------------------------------------------
+# Seed baselines (verbatim reproductions of the pre-bulk code paths)
+# ---------------------------------------------------------------------------
+
+def seed_insert_many(table: Table, rows) -> List[XTuple]:
+    """The seed ``Table.insert_many``: a bare loop of ``insert``."""
+    return [table.insert(row) for row in rows]
+
+
+def seed_delete_many(table: Table, rows) -> int:
+    """The seed idiom for batch deletion: a loop of ``delete``."""
+    return sum(table.delete(row) for row in rows)
+
+
+def seed_two_attribute_join(left_rows, right_rows) -> List[XTuple]:
+    """The seed planner's strategy for ``l.A = r.A and l.B = r.B``:
+    a single-attribute hash join, then the second equality as a residual
+    three-valued selection over the (much larger) intermediate result."""
+    joined = equi_join_rows(left_rows, right_rows, "l.A", "r.A")
+    return [
+        row for row in joined
+        if compare(row["l.B"], "=", row["r.B"]).is_true()
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Workload builders
+# ---------------------------------------------------------------------------
+
+def keyed_rows(count: int, seed: int) -> List[Tuple]:
+    """(K, A, B): unique keys plus two low-cardinality payload columns."""
+    rng = random.Random(seed)
+    return [
+        (i, rng.randrange(DOMAIN_SIZE), rng.randrange(DOMAIN_SIZE))
+        for i in range(count)
+    ]
+
+
+def keyed_table() -> Table:
+    table = Table(["K", "A", "B"], constraints=[KeyConstraint(["K"])], name="KEYED")
+    table.create_index(["A"])
+    return table
+
+
+def partial_rows(count: int, seed: int) -> List[XTuple]:
+    relation = random_partial_relation(
+        ATTRIBUTES, DOMAIN_SIZE, count, NULL_RATE, seed=seed, name="P"
+    )
+    return list(relation.tuples())
+
+
+def plain_table() -> Table:
+    table = Table(ATTRIBUTES, name="PLAIN")
+    table.create_index(["A"])
+    table.create_index(["A", "B"])
+    return table
+
+
+def join_operands(count: int, seed: int):
+    """Prefix-renamed rows the way the planner presents them to the kernel.
+
+    ``A`` has ~count/10 distinct values (the single-key join fans out),
+    ``B`` has 10 (the composite key cuts the fan-out tenfold).
+    """
+    rng = random.Random(seed)
+    a_domain = max(count // 10, 1)
+    left = [
+        XTuple({"l.A": rng.randrange(a_domain), "l.B": rng.randrange(10), "l.X": i})
+        for i in range(count)
+    ]
+    right = [
+        XTuple({"r.A": rng.randrange(a_domain), "r.B": rng.randrange(10), "r.Y": i})
+        for i in range(count)
+    ]
+    return left, right
+
+
+# ---------------------------------------------------------------------------
+# Measurement harness
+# ---------------------------------------------------------------------------
+
+def _time(fn: Callable[[], object], single_shot: bool) -> Tuple[float, object]:
+    """Wall time of *fn* — best of three, or one shot for slow baselines."""
+    best = float("inf")
+    value = None
+    for _ in range(1 if single_shot else 3):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def run_experiments(sizes=FULL_SIZES, metric=None, line=None):
+    """Measure every op at every size, asserting bulk/seed agreement."""
+
+    def emit(op, variant, rows, seconds, **extra):
+        if metric is not None:
+            metric(op, seconds, variant=variant, rows=rows, **extra)
+
+    for size in sizes:
+        single_shot = size > SINGLE_SHOT_THRESHOLD
+
+        # -- bulk load, key-constrained table -------------------------------
+        rows = keyed_rows(size, seed=size)
+        seed_seconds, _ = _time(lambda: seed_insert_many(keyed_table(), rows), single_shot)
+        engine_seconds, _ = _time(lambda: keyed_table().insert_many(rows), False)
+        seed_table, bulk_table = keyed_table(), keyed_table()
+        seed_insert_many(seed_table, rows)
+        bulk_table.insert_many(rows)
+        assert set(seed_table.rows()) == set(bulk_table.rows())
+        emit("bulk_load_keyed", "seed", size, seed_seconds)
+        emit("bulk_load_keyed", "engine", size, engine_seconds,
+             speedup=round(seed_seconds / engine_seconds, 2))
+
+        # -- bulk load, unconstrained nullable table -------------------------
+        xrows = partial_rows(size, seed=size + 1)
+        seed_seconds, _ = _time(lambda: seed_insert_many(plain_table(), xrows), False)
+        engine_seconds, _ = _time(lambda: plain_table().insert_many(xrows), False)
+        seed_table, bulk_table = plain_table(), plain_table()
+        seed_insert_many(seed_table, xrows)
+        bulk_table.insert_many(xrows)
+        assert set(seed_table.rows()) == set(bulk_table.rows())
+        emit("bulk_load_plain", "seed", size, seed_seconds,
+             null_rate=NULL_RATE, attributes=len(ATTRIBUTES))
+        emit("bulk_load_plain", "engine", size, engine_seconds,
+             null_rate=NULL_RATE, attributes=len(ATTRIBUTES),
+             speedup=round(seed_seconds / engine_seconds, 2))
+
+        # -- bulk delete ------------------------------------------------------
+        victims = xrows[::2]
+
+        def timed_delete(delete_fn):
+            """Rebuild the table outside the clock; time only the deletes."""
+            best = float("inf")
+            removed = None
+            for _ in range(3):
+                table = plain_table()
+                table.insert_many(xrows)
+                start = time.perf_counter()
+                removed = delete_fn(table)
+                best = min(best, time.perf_counter() - start)
+            return best, removed
+
+        seed_seconds, seed_removed = timed_delete(lambda t: seed_delete_many(t, victims))
+        engine_seconds, bulk_removed = timed_delete(lambda t: t.delete_many(victims))
+        assert seed_removed == bulk_removed
+        emit("bulk_delete", "seed", size, seed_seconds)
+        emit("bulk_delete", "engine", size, engine_seconds,
+             speedup=round(seed_seconds / engine_seconds, 2))
+
+        # -- composite-key join vs single-key join + residual ----------------
+        left, right = join_operands(size, seed=size + 2)
+        seed_seconds, seed_joined = _time(
+            lambda: seed_two_attribute_join(left, right), single_shot
+        )
+        engine_seconds, engine_joined = _time(
+            lambda: equi_join_rows(left, right, ("l.A", "l.B"), ("r.A", "r.B")), False
+        )
+        assert set(seed_joined) == set(engine_joined)
+        emit("composite_join", "seed", size, seed_seconds,
+             matches=len(engine_joined))
+        emit("composite_join", "engine", size, engine_seconds,
+             matches=len(engine_joined),
+             speedup=round(seed_seconds / engine_seconds, 2))
+
+        if line is not None:
+            line(f"n={size}: bulk/seed rows identical on every op (metrics in results.json)")
+
+    # -- planner trace: the fused join is what actually runs ----------------
+    database = Database("e14")
+    supply = database.create_table("L", ["A", "B", "X"])
+    demand = database.create_table("R", ["A", "B", "Y"])
+    supply.insert_many([(i % 7, i % 3, i) for i in range(40)])
+    demand.insert_many([(i % 7, i % 5, i) for i in range(40)])
+    result = run_query(
+        "range of l is L range of r is R retrieve (l.X, r.Y) "
+        "where l.A = r.A and l.B = r.B",
+        database,
+        strategy="algebra",
+    )
+    joins = [step for step in result.plan.steps if "hash equi-join" in step]
+    assert len(joins) == 1 and "on [" in joins[0], result.plan.explain()
+    assert not any("residual" in step for step in result.plan.steps)
+    if line is not None:
+        line(f"planner emits one fused composite join: {joins[0]!r}")
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point (quick smoke + agreement assertions)
+# ---------------------------------------------------------------------------
+
+def test_bulk_vs_seed_quick(record):
+    """Quick-mode sweep: asserts bulk/seed agreement, records metrics."""
+    run_experiments(sizes=QUICK_SIZES, metric=record.metric, line=record.line)
+
+
+# ---------------------------------------------------------------------------
+# Standalone entry point (full sweep, writes benchmarks/results.json)
+# ---------------------------------------------------------------------------
+
+def main(argv: List[str]) -> int:
+    quick = "--quick" in argv
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    sys.path.insert(0, here)
+    import conftest  # the benchmark harness recorder/writer
+
+    recorder = conftest.ExperimentRecorder("e14_bulk_mutation")
+    run_experiments(sizes=sizes, metric=recorder.metric, line=recorder.line)
+
+    results_path = os.path.join(here, "results.json")
+    conftest.write_results_json(results_path)
+
+    metrics = conftest._METRICS["e14_bulk_mutation"]
+    by_key = {(m["op"], m["variant"], m["rows"]): m for m in metrics}
+    print(f"{'op':<18} {'rows':>6} {'seed s':>10} {'engine s':>10} {'speedup':>8}")
+    for op in ("bulk_load_keyed", "bulk_load_plain", "bulk_delete", "composite_join"):
+        for size in sizes:
+            seed = by_key.get((op, "seed", size))
+            engine = by_key.get((op, "engine", size))
+            if seed and engine:
+                print(
+                    f"{op:<18} {size:>6} {seed['seconds']:>10.4f} "
+                    f"{engine['seconds']:>10.4f} "
+                    f"{seed['seconds'] / engine['seconds']:>7.1f}x"
+                )
+    print(f"\nwrote {results_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -73,16 +73,26 @@ class ExperimentRecorder:
 
 
 def write_results_json(path: str) -> None:
-    """Write every experiment's lines and metrics as one JSON document."""
-    document = {
-        "experiments": {
-            experiment: {
-                "lines": _RESULTS.get(experiment, []),
-                "metrics": _METRICS.get(experiment, []),
-            }
-            for experiment in sorted(set(_RESULTS) | set(_METRICS))
+    """Write every experiment's lines and metrics as one JSON document.
+
+    Experiments not touched by this run are preserved from the existing
+    file, so a quick smoke of one benchmark cannot clobber another
+    benchmark's committed full-sweep results.
+    """
+    experiments: Dict[str, Any] = {}
+    try:
+        with open(path) as handle:
+            existing = json.load(handle)
+        if isinstance(existing, dict) and isinstance(existing.get("experiments"), dict):
+            experiments.update(existing["experiments"])
+    except (OSError, ValueError):
+        pass
+    for experiment in sorted(set(_RESULTS) | set(_METRICS)):
+        experiments[experiment] = {
+            "lines": _RESULTS.get(experiment, []),
+            "metrics": _METRICS.get(experiment, []),
         }
-    }
+    document = {"experiments": experiments}
     with open(path, "w") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -9,7 +9,7 @@ keys are rejected, matching the "match simple" rule.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import AbstractSet, Optional, Sequence, Tuple
 
 from ..core.errors import ReferentialViolation
 from ..core.nulls import is_ni
@@ -75,6 +75,39 @@ class ForeignKeyConstraint:
     def check_insert(self, referencing: Relation, row: XTuple, referenced: Relation) -> None:
         self.check_row(row, referenced)
 
+    def check_bulk_insert(
+        self, referencing: Relation, rows: Sequence[XTuple], referenced: Relation
+    ) -> None:
+        """Batch form of :meth:`check_insert`: index the referenced keys once.
+
+        Equivalent to checking the batch row by row in order while it is
+        being inserted: for a *self*-referencing key (``referencing is
+        referenced``) each staged row's referenced-key values become
+        visible to the rows after it, exactly as in the sequential loop.
+        """
+        keys = set()
+        for target in referenced.tuples():
+            key = tuple(target[a] for a in self.referenced_attributes)
+            if not any(is_ni(v) for v in key):
+                keys.add(key)
+        self_referencing = referencing is referenced
+        for row in rows:
+            kind = self._classify(row)
+            if kind == "partial":
+                raise ReferentialViolation(
+                    f"{self.name}: composite foreign key is partially null in {row!r}"
+                )
+            if kind == "total":
+                wanted = tuple(row[a] for a in self.attributes)
+                if wanted not in keys:
+                    raise ReferentialViolation(
+                        f"{self.name}: value {wanted!r} has no matching row in {referenced.name}"
+                    )
+            if self_referencing:
+                provided = tuple(row[a] for a in self.referenced_attributes)
+                if not any(is_ni(v) for v in provided):
+                    keys.add(provided)
+
     def check_delete(self, referencing: Relation, removed: XTuple, referenced: Relation) -> None:
         """Guard a delete from the *referenced* relation (restrict semantics)."""
         key = tuple(removed[a] for a in self.referenced_attributes)
@@ -84,6 +117,42 @@ class ForeignKeyConstraint:
             if self._classify(row) != "total":
                 continue
             if tuple(row[a] for a in self.attributes) == key:
+                raise ReferentialViolation(
+                    f"{self.name}: cannot delete {removed!r}; still referenced by {row!r}"
+                )
+
+    def check_bulk_delete(
+        self,
+        referencing: Relation,
+        removed_rows: Sequence[XTuple],
+        referenced: Relation,
+        exclude: AbstractSet[XTuple] = frozenset(),
+    ) -> None:
+        """Batch form of :meth:`check_delete`: index the referencing keys once.
+
+        One pass over the referencing relation builds the key index, then
+        each removed row is a single dict probe — O(|referencing| +
+        |batch|) instead of a full referencing scan per removed row.
+
+        *exclude* names referencing rows that this same batch removes (the
+        self-referencing-key case): a reference only restricts a delete if
+        the referencing row *survives* the batch, so a batch may delete a
+        row together with everything that references it — the deferred
+        reading of restrict semantics.
+        """
+        holders = {}
+        for row in referencing.tuples():
+            if row in exclude or self._classify(row) != "total":
+                continue
+            holders.setdefault(tuple(row[a] for a in self.attributes), row)
+        if not holders:
+            return
+        for removed in removed_rows:
+            key = tuple(removed[a] for a in self.referenced_attributes)
+            if any(is_ni(v) for v in key):
+                continue
+            row = holders.get(key)
+            if row is not None:
                 raise ReferentialViolation(
                     f"{self.name}: cannot delete {removed!r}; still referenced by {row!r}"
                 )

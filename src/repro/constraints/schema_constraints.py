@@ -53,6 +53,11 @@ class RowConstraint:
     def check_insert(self, relation: Relation, row: XTuple) -> None:
         self.check_row(row)
 
+    def check_bulk_insert(self, relation: Relation, rows: Sequence[XTuple]) -> None:
+        """Batch form of :meth:`check_insert` (per-row; nothing to amortise)."""
+        for row in rows:
+            self.check_row(row)
+
     def __repr__(self) -> str:
         return f"RowConstraint({self.relation_name!r}, {self.name!r})"
 

@@ -13,7 +13,13 @@ in the library:
   the signature-superset partitions instead of a full scan.  Used by
   :meth:`Relation.subsumes <repro.core.relation.Relation.subsumes>`,
   :func:`setops.difference <repro.core.setops.difference>` and the storage
-  layer's live per-table index.
+  layer's live per-table index.  The batch entry points ``bulk_add`` /
+  ``bulk_discard`` / ``bulk_probe_dominated`` partition once per batch
+  (one set union and one invalidation per touched partition, one
+  C-speed ``itemgetter`` per signature pair) — they are what makes
+  :meth:`Table.insert_many <repro.storage.table.Table.insert_many>` /
+  ``delete_many`` / ``load`` amortise index maintenance instead of paying
+  it per row.
 * :func:`~repro.core.engine.dominance.bulk_reduce` — one-shot minimal-form
   reduction (Definition 4.6) with the same signature-superset strategy;
   the backend of :func:`repro.core.minimal.reduce_rows`.
@@ -23,8 +29,10 @@ in the library:
   least one bound attribute value can have a non-null meet, so the full
   ``n × m`` meet product is never enumerated.
 * :func:`~repro.core.engine.joins.equi_join_rows` — the hash equi-join
-  kernel the QUEL planner picks when a qualification contains an equality
-  between two range variables.
+  kernel the QUEL planner picks when a qualification contains equalities
+  between two range variables; accepts attribute *lists*, so every
+  equality conjunct linking two ranges fuses into one composite-key
+  probe with no residual selection left behind.
 
 The naive, definitional forms are retained throughout the library as
 oracles; the property tests in ``tests/test_engine_properties.py`` assert

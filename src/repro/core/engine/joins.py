@@ -23,7 +23,7 @@ callers in :mod:`repro.core.setops`, :mod:`repro.core.algebra` and
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple, Union
 
 from ..nulls import is_ni
 from ..tuples import XTuple
@@ -77,31 +77,71 @@ def meet_candidates(
 def equi_join_rows(
     left_rows: Iterable[XTuple],
     right_rows: Iterable[XTuple],
-    left_attr: str,
-    right_attr: str,
+    left_attr: Union[str, Sequence[str]],
+    right_attr: Union[str, Sequence[str]],
 ) -> List[XTuple]:
-    """Hash equi-join: tuple joins of row pairs with ``l[A] = r[B]``, both non-null.
+    """Hash equi-join: tuple joins of row pairs with ``l[Aᵢ] = r[Bᵢ]`` for all i.
+
+    *left_attr* / *right_attr* name the key attributes — a single
+    attribute (the original form) or parallel sequences of attributes, in
+    which case **all** the equalities are fused into one composite-key
+    hash pass: one side is bucketed on its value *tuple*, the other side
+    probes with its own, so a k-attribute equality link costs one hash
+    probe per row instead of a join on one attribute followed by a
+    residual selection over the (much larger) single-key result.
 
     The operand attribute sets must be disjoint (the planner renames every
     range with a ``variable.`` prefix before joining), so the tuple join
-    always exists.  Rows null on the compared attribute are dropped, which
-    is exactly the Section 5 lower-bound discipline: a comparison touching
-    ``ni`` evaluates to ``ni`` and the combination is not returned.
+    always exists.  Rows null on *any* compared attribute are dropped,
+    which is exactly the Section 5 lower-bound discipline: a comparison
+    touching ``ni`` evaluates to ``ni``, a conjunction with an ``ni``
+    operand is never TRUE, and the combination is not returned.
     """
-    buckets: Dict[Any, List[XTuple]] = {}
-    for right in right_rows:
-        value = right[right_attr]
-        if is_ni(value):
-            continue
-        buckets.setdefault(value, []).append(right)
+    left_key = (left_attr,) if isinstance(left_attr, str) else tuple(left_attr)
+    right_key = (right_attr,) if isinstance(right_attr, str) else tuple(right_attr)
+    if len(left_key) != len(right_key):
+        raise ValueError(
+            f"join keys must pair up: {len(left_key)} left vs {len(right_key)} right attributes"
+        )
+    if not left_key:
+        raise ValueError("an equi-join needs at least one attribute pair")
     out: List[XTuple] = []
-    if not buckets:
+    if len(left_key) == 1:
+        # Single-attribute fast path: bare values as hash keys.
+        la, ra = left_key[0], right_key[0]
+        buckets: Dict[Any, List[XTuple]] = {}
+        for right in right_rows:
+            value = right[ra]
+            if is_ni(value):
+                continue
+            buckets.setdefault(value, []).append(right)
+        if not buckets:
+            return out
+        for left in left_rows:
+            value = left[la]
+            if is_ni(value):
+                continue
+            bucket = buckets.get(value)
+            if not bucket:
+                continue
+            for right in bucket:
+                out.append(left.join(right))
+        return out
+    composite: Dict[Tuple, List[XTuple]] = {}
+    for right in right_rows:
+        lookup = right._lookup
+        key = tuple(lookup.get(a) for a in right_key)
+        if None in key:  # _lookup stores only non-null bindings
+            continue
+        composite.setdefault(key, []).append(right)
+    if not composite:
         return out
     for left in left_rows:
-        value = left[left_attr]
-        if is_ni(value):
+        lookup = left._lookup
+        key = tuple(lookup.get(a) for a in left_key)
+        if None in key:
             continue
-        bucket = buckets.get(value)
+        bucket = composite.get(key)
         if not bucket:
             continue
         for right in bucket:

@@ -304,6 +304,14 @@ class Query:
         self._validate()
 
     def _validate(self) -> None:
+        seen_outputs: Dict[str, None] = {}
+        for output_name, _ in self.target:
+            if output_name in seen_outputs:
+                raise QuelSemanticError(
+                    f"duplicate output column {output_name!r} in the target list; "
+                    f"give each target a distinct name"
+                )
+            seen_outputs[output_name] = None
         for _, ref in self.target:
             if ref.variable not in self.ranges:
                 raise QuelSemanticError(

@@ -221,24 +221,51 @@ class Relation:
 
     # -- row conversion --------------------------------------------------------------
     def _coerce_row(self, row: RowLike) -> XTuple:
-        if isinstance(row, XTuple):
-            candidate = row
-        elif isinstance(row, Mapping):
-            candidate = XTuple(row)
-        else:
-            values = tuple(row)
-            if len(values) != len(self.schema):
-                raise SchemaError(
-                    f"row has {len(values)} values but schema {self.schema.name} "
-                    f"has {len(self.schema)} attributes"
-                )
-            candidate = XTuple.from_values(self.schema.attributes, values)
-        if self._validate:
-            for attribute in candidate.attributes:
-                if attribute not in self.schema:
-                    raise AttributeNotFound(attribute, self.schema.attributes)
-                self.schema.domain(attribute).validate(candidate[attribute], attribute)
-        return candidate
+        return self._coerce_rows((row,))[0]
+
+    def _coerce_rows(self, rows: Iterable[RowLike]) -> List[XTuple]:
+        """Coerce and validate a batch of rows (the one coercion implementation).
+
+        :meth:`_coerce_row` delegates here with a singleton batch.  The
+        schema width, attribute table and the (usually empty) set of
+        declared domains are bound once for the whole batch, so loading
+        n rows costs n tuple constructions plus one validation pass —
+        the entry point of the storage layer's bulk-mutation fast path.
+        """
+        attributes = self.schema.attributes
+        width = len(attributes)
+        known = self.schema._index
+        declared = self.schema._domains if self._validate else {}
+        validate = self._validate
+        from_values = XTuple.from_values
+        out: List[XTuple] = []
+        for row in rows:
+            if isinstance(row, XTuple):
+                candidate = row
+            elif isinstance(row, Mapping):
+                candidate = XTuple(row)
+            else:
+                values = tuple(row)
+                if len(values) != width:
+                    raise SchemaError(
+                        f"row has {len(values)} values but schema {self.schema.name} "
+                        f"has {len(self.schema)} attributes"
+                    )
+                candidate = from_values(attributes, values)
+            if validate:
+                if declared:
+                    for attribute in candidate.attributes:
+                        if attribute not in known:
+                            raise AttributeNotFound(attribute, attributes)
+                        domain = declared.get(attribute)
+                        if domain is not None:
+                            domain.validate(candidate[attribute], attribute)
+                elif not candidate._lookup.keys() <= known.keys():
+                    for attribute in candidate.attributes:
+                        if attribute not in known:
+                            raise AttributeNotFound(attribute, attributes)
+            out.append(candidate)
+        return out
 
     # -- mutation ------------------------------------------------------------------------
     def add(self, row: RowLike) -> XTuple:

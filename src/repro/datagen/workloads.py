@@ -122,7 +122,7 @@ def parts_suppliers_database() -> Database:
     """A Database holding the display (6.6) PARTS–SUPPLIERS relation."""
     database = Database("parts-suppliers")
     table = database.create_table("PS", ["S#", "P#"])
-    table.insert_many(list(parts_suppliers().tuples()))
+    table.load(parts_suppliers().tuples())
     return database
 
 
@@ -135,7 +135,7 @@ def scaled_employee_database(size: int, null_rate: float, seed: int = 0) -> Data
     database = Database(f"emp-{size}-{null_rate}")
     relation = employee_relation(size, null_rate=null_rate, seed=seed)
     table = database.create_table("EMP", relation.schema.attributes)
-    table.insert_many(list(relation.tuples()))
+    table.load(relation.tuples())
     return database
 
 
@@ -146,7 +146,7 @@ def scaled_parts_suppliers_database(
     database = Database(f"ps-{suppliers}x{parts}")
     relation = parts_suppliers_relation(suppliers, parts, rows, null_rate=null_rate, seed=seed)
     table = database.create_table("PS", relation.schema.attributes)
-    table.insert_many(list(relation.tuples()))
+    table.load(relation.tuples())
     return database
 
 

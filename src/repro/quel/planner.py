@@ -8,12 +8,15 @@ query into a plan over the extended algebra operators of
 :mod:`repro.core.algebra` —
 
 * rename every range relation with a ``variable.`` prefix,
-* push single-variable conjunctive selections down onto their relation,
+* push single-variable conjunctive selections down onto their relation —
+  *before* any join is chosen, so every join input is already filtered,
 * combine the ranges with **hash equi-joins** whenever the qualification
-  contains an equality between two range variables (the engine kernel
-  :func:`repro.core.engine.equi_join_rows` — each equality bucketises one
-  side and probes with the other, enumerating exactly the TRUE
-  combinations of the Section 5 lower-bound discipline), falling back to
+  contains equalities between two range variables (the engine kernel
+  :func:`repro.core.engine.equi_join_rows`): **all** equality conjuncts
+  linking the next range to the ranges combined so far fuse into one
+  composite-key join — one hash probe on the full attribute vector,
+  enumerating exactly the TRUE combinations of the Section 5 lower-bound
+  discipline, with no residual selection left behind — falling back to
   Cartesian products for unlinked ranges,
 * apply the remaining (multi-variable or disjunctive) qualification as a
   generalised selection on the combination,
@@ -79,31 +82,44 @@ class Plan:
                 renamed[variable] = _apply_selection(renamed[variable], variable, conjunct)
                 self.steps.append(f"select {conjunct!r} on {variable}")
 
-        # Step 3: combine the ranges — hash equi-join when an equality
-        # conjunct links the next range to the ranges combined so far,
-        # Cartesian product otherwise.
+        # Step 3: combine the ranges — the pushed-down selections above ran
+        # *before* any join is chosen, so the join inputs are already as
+        # small as the single-variable conjuncts can make them.  When one
+        # or more equality conjuncts link the next range to the ranges
+        # combined so far, ALL of them fuse into a single composite-key
+        # hash equi-join (one probe per row on the full attribute vector);
+        # unlinked ranges fall back to Cartesian products.
         equijoins, residual = _extract_equijoins(residual)
         variables = list(query.ranges)
         combined = renamed[variables[0]]
         included = {variables[0]}
         for variable in variables[1:]:
-            link = _pick_equijoin(equijoins, included, variable)
-            if link is not None:
-                equijoins.remove(link)
-                left_ref, right_ref = link.left, link.right
-                if right_ref.variable not in included:
-                    left_ref, right_ref = right_ref, left_ref
-                # right_ref now refers to the already-combined side.
+            links = _pick_equijoins(equijoins, included, variable)
+            if links:
+                combined_attrs: List[str] = []
+                range_attrs: List[str] = []
+                described: List[str] = []
+                for link in links:
+                    equijoins.remove(link)
+                    new_ref, old_ref = link.left, link.right
+                    if old_ref.variable not in included:
+                        new_ref, old_ref = old_ref, new_ref
+                    # old_ref now refers to the already-combined side.
+                    combined_attrs.append(self._qualify(old_ref.variable, old_ref.attribute))
+                    range_attrs.append(self._qualify(new_ref.variable, new_ref.attribute))
+                    described.append(
+                        f"{old_ref.variable}.{old_ref.attribute} = "
+                        f"{new_ref.variable}.{new_ref.attribute}"
+                    )
                 combined = _hash_join(
-                    combined, renamed[variable],
-                    self._qualify(right_ref.variable, right_ref.attribute),
-                    self._qualify(left_ref.variable, left_ref.attribute),
+                    combined, renamed[variable], combined_attrs, range_attrs
                 )
-                self.steps.append(
-                    f"hash equi-join with {variable} on "
-                    f"{right_ref.variable}.{right_ref.attribute} = "
-                    f"{left_ref.variable}.{left_ref.attribute}"
-                )
+                if len(described) == 1:
+                    self.steps.append(f"hash equi-join with {variable} on {described[0]}")
+                else:
+                    self.steps.append(
+                        f"hash equi-join with {variable} on [{', '.join(described)}]"
+                    )
             else:
                 combined = algebra.product(combined, renamed[variable])
                 self.steps.append(f"product with {variable}")
@@ -123,9 +139,25 @@ class Plan:
             (output, self._qualify(ref.variable, ref.attribute))
             for output, ref in query.target
         ]
-        projected = algebra.project(combined, [qualified for _, qualified in qualified_targets])
-        renaming = {qualified: output for output, qualified in qualified_targets}
-        result = algebra.rename(projected, renaming)
+        unique = list(dict.fromkeys(qualified for _, qualified in qualified_targets))
+        if len(unique) == len(qualified_targets):
+            projected = algebra.project(combined, unique)
+            renaming = {qualified: output for output, qualified in qualified_targets}
+            result = algebra.rename(projected, renaming)
+        else:
+            # The same column appears under several (distinct) output
+            # names, e.g. ``(a = e.NAME, b = e.NAME)``: project/rename
+            # cannot express a column duplication, so build the output
+            # rows directly.
+            out = Relation(query.output_schema(), validate=False)
+            out._rows = {
+                XTuple(
+                    (output, row[qualified])
+                    for output, qualified in qualified_targets
+                )
+                for row in combined.rows()
+            }
+            result = XRelation(out)
         self.steps.append(f"project onto {[o for o, _ in qualified_targets]}")
         return result
 
@@ -190,25 +222,36 @@ def _conjoin(predicates: List[Predicate]) -> Optional[Predicate]:
     return And(*predicates)
 
 
-def _pick_equijoin(joins: List[Comparison], included: set, variable: str) -> Optional[Comparison]:
-    """An unused equality linking *variable* to the already-combined ranges."""
+def _pick_equijoins(joins: List[Comparison], included: set, variable: str) -> List[Comparison]:
+    """Every unused equality linking *variable* to the already-combined ranges.
+
+    All of them are fused into one composite-key hash join; returning only
+    the first would leave the rest as residual selections over a larger
+    single-key join result.
+    """
+    picked: List[Comparison] = []
     for conjunct in joins:
         mentioned = {conjunct.left.variable, conjunct.right.variable}
         if variable in mentioned and (mentioned - {variable}) <= included:
-            return conjunct
-    return None
+            picked.append(conjunct)
+    return picked
 
 
-def _hash_join(left: XRelation, right: XRelation, left_attr: str, right_attr: str) -> XRelation:
-    """Hash equi-join of two renamed (disjoint-schema) ranges.
+def _hash_join(
+    left: XRelation,
+    right: XRelation,
+    left_attrs: Sequence[str],
+    right_attrs: Sequence[str],
+) -> XRelation:
+    """Composite-key hash equi-join of two renamed (disjoint-schema) ranges.
 
     Delegates to the engine kernel
-    :func:`repro.core.engine.joins.equi_join_rows`; rows null on the
+    :func:`repro.core.engine.joins.equi_join_rows`; rows null on any
     compared attribute contribute nothing, exactly as the TRUE-only
     discipline demands.
     """
     schema = left.schema.union(right.schema, name=f"({left.name} ⋈ {right.name})")
-    rows = equi_join_rows(left.rows(), right.rows(), left_attr, right_attr)
+    rows = equi_join_rows(left.rows(), right.rows(), left_attrs, right_attrs)
     relation = Relation(schema, validate=False)
     relation._rows = set(rows)
     return XRelation(relation)

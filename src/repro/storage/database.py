@@ -69,15 +69,46 @@ class Database(Mapping[str, Relation]):
         return table.insert(candidate)
 
     def insert_many(self, table_name: str, rows: Sequence[RowLike]) -> List[XTuple]:
-        return [self.insert(table_name, row) for row in rows]
+        """Insert a batch atomically, foreign keys included.
 
-    def delete(self, table_name: str, row: RowLike) -> int:
+        Referential checks run up front against a one-time index of the
+        referenced keys (self-referencing keys see earlier batch rows,
+        exactly as the sequential loop would); the rows are then applied
+        through :meth:`Table.insert_many`, so a failure anywhere in the
+        batch leaves every table untouched.
+        """
         table = self.catalog.table(table_name)
-        target = table.relation._coerce_row(row)
+        candidates = table.relation._coerce_rows(rows)
+        for fk in self.catalog.foreign_keys_of(table_name):
+            referenced = self.catalog.table(fk.referenced_relation).relation
+            fk.check_bulk_insert(table.relation, candidates, referenced)
+        return table.insert_many(candidates, _coerced=True)
+
+    def delete_many(self, table_name: str, rows: Sequence[RowLike]) -> int:
+        """Delete a batch (with (4.8) subsumption semantics) atomically.
+
+        Each restricting foreign key indexes its referencing relation once
+        (:meth:`ForeignKeyConstraint.check_bulk_delete`) instead of
+        scanning it per removed row.  For a self-referencing key, rows the
+        batch itself removes (including their (4.8) subsumption closure)
+        do not restrict the delete — only references that survive the
+        batch count, so a batch can take out a row together with all of
+        its referrers.
+        """
+        table = self.catalog.table(table_name)
+        targets = table.relation._coerce_rows(rows)
+        doomed = table.dominance.bulk_probe_dominated(targets)
         for owner, fk in self.catalog.foreign_keys_referencing(table_name):
             referencing = self.catalog.table(owner).relation
-            fk.check_delete(referencing, target, table.relation)
-        return table.delete(target)
+            exclude = doomed if owner == table_name else frozenset()
+            fk.check_bulk_delete(referencing, targets, table.relation, exclude=exclude)
+        return table.delete_many(targets, _coerced=True, _doomed=doomed)
+
+    def delete(self, table_name: str, row: RowLike) -> int:
+        """Delete one row — a singleton :meth:`delete_many`, so the FK
+        restrict semantics are identical: only references that survive
+        the delete (and its (4.8) closure) block it."""
+        return self.delete_many(table_name, [row])
 
     def update(self, table_name: str, old_row: RowLike, new_row: RowLike) -> XTuple:
         table = self.catalog.table(table_name)
@@ -102,6 +133,9 @@ class Database(Mapping[str, Relation]):
         return {name: set(self.catalog.table(name).rows()) for name in self.catalog.table_names()}
 
     def restore(self, snapshot: Mapping[str, set]) -> None:
+        """Wholesale restore: each table goes through the bulk-rebuild path
+        (:meth:`Table.reset_rows` — one partition pass per index, no
+        per-row maintenance)."""
         for name, rows in snapshot.items():
             self.catalog.table(name).reset_rows(rows)
 

@@ -65,11 +65,50 @@ class HashIndex:
             if not bucket:
                 del self._buckets[key]
 
+    def bulk_add(self, rows: Iterable[XTuple]) -> None:
+        """Insert a batch of rows with the per-row dispatch hoisted out.
+
+        Equivalent to ``for row in rows: self.insert(row)``; the batch form
+        binds the bucket table and key extractor once, which is what the
+        storage layer's bulk-mutation paths call.
+        """
+        buckets = self._buckets
+        unindexed = self._unindexed
+        key_of = self._key_of
+        for row in rows:
+            key = key_of(row)
+            if key is None:
+                unindexed.add(row)
+            else:
+                bucket = buckets.get(key)
+                if bucket is None:
+                    bucket = buckets[key] = set()
+                bucket.add(row)
+
+    def bulk_discard(self, rows: Iterable[XTuple]) -> None:
+        """Remove a batch of rows; the bulk counterpart of :meth:`remove`."""
+        buckets = self._buckets
+        unindexed = self._unindexed
+        key_of = self._key_of
+        emptied = []
+        for row in rows:
+            key = key_of(row)
+            if key is None:
+                unindexed.discard(row)
+                continue
+            bucket = buckets.get(key)
+            if bucket is not None:
+                bucket.discard(row)
+                if not bucket:
+                    emptied.append(key)
+        for key in emptied:
+            if key in buckets and not buckets[key]:
+                del buckets[key]
+
     def rebuild(self, rows: Iterable[XTuple]) -> None:
         self._buckets.clear()
         self._unindexed.clear()
-        for row in rows:
-            self.insert(row)
+        self.bulk_add(rows)
 
     def clear(self) -> None:
         self._buckets.clear()

@@ -7,12 +7,16 @@ set difference; a modification can be viewed as a deletion followed by an
 addition."  :class:`Table` implements exactly this discipline:
 
 * :meth:`insert` / :meth:`insert_many` — generalised union with the new
-  rows, after constraint checks;
-* :meth:`delete` / :meth:`delete_where` — generalised difference; note
-  that, per (4.8), deleting a row also removes every *less informative*
-  row it subsumes, which is the behaviour the information ordering
-  dictates;
+  rows, after constraint checks; the batch form is *atomic* (checks run
+  up front, nothing is applied on failure) and amortises dominance- and
+  hash-index maintenance through the engine's bulk entry points;
+* :meth:`delete` / :meth:`delete_many` / :meth:`delete_where` —
+  generalised difference; note that, per (4.8), deleting a row also
+  removes every *less informative* row it subsumes, which is the
+  behaviour the information ordering dictates;
 * :meth:`update` — deletion followed by insertion;
+* :meth:`load` — atomic checked replacement of the whole table, the bulk
+  loader behind the workload builders;
 * the Section 1 user expectation — after an insert, the new table
   x-contains the old one — holds by construction and is asserted in the
   tests.
@@ -96,11 +100,36 @@ class Table:
                 check(self.relation)
         self.constraints.append(constraint)
 
-    def _check_insert(self, row: XTuple) -> None:
+    def _check_insert(self, row: XTuple, relation: Optional[Relation] = None) -> None:
+        """Run every constraint's per-row insert guard against *relation*
+        (default: this table's stored relation)."""
+        against = self.relation if relation is None else relation
         for constraint in self.constraints:
             check_insert = getattr(constraint, "check_insert", None)
             if check_insert is not None:
-                check_insert(self.relation, row)
+                check_insert(against, row)
+
+    def _check_bulk_insert(self, relation: Relation, candidates: Sequence[XTuple]) -> bool:
+        """Run every constraint against a staged batch, before any mutation.
+
+        Returns True when every constraint offered a ``check_bulk_insert``
+        batch form (the amortised path, one pass over *relation* per
+        constraint).  Returns False when some constraint only knows
+        ``check_insert`` — the caller must then fall back to the
+        sequential row-at-a-time simulation, which is the only way to give
+        such a constraint the grows-as-you-insert view it expects.
+        """
+        batch_checks = []
+        for constraint in self.constraints:
+            check_bulk = getattr(constraint, "check_bulk_insert", None)
+            if check_bulk is None:
+                if getattr(constraint, "check_insert", None) is not None:
+                    return False
+                continue  # constraint guards nothing on insert
+            batch_checks.append(check_bulk)
+        for check_bulk in batch_checks:
+            check_bulk(relation, candidates)
+        return True
 
     def validate(self) -> None:
         """Re-check every constraint against the whole table."""
@@ -147,8 +176,93 @@ class Table:
             index.insert(candidate)
         return candidate
 
-    def insert_many(self, rows: Iterable[RowLike]) -> List[XTuple]:
-        return [self.insert(row) for row in rows]
+    def insert_many(self, rows: Iterable[RowLike], *, _coerced: bool = False) -> List[XTuple]:
+        """Insert a batch of rows atomically (union with a staged relation).
+
+        The batch is coerced and constraint-checked *up front*; only then
+        are the rows applied, with one :meth:`DominanceIndex.bulk_add` /
+        :meth:`HashIndex.bulk_add` per structure instead of per-row
+        maintenance.  On any constraint failure the table is left exactly
+        as it was — all-or-nothing, unlike a loop of :meth:`insert`, which
+        would leave the rows preceding the offender behind.
+
+        ``_coerced`` is internal: the :class:`~repro.storage.database.Database`
+        facade passes rows it already ran through
+        :meth:`Relation._coerce_rows` (for the foreign-key checks), so the
+        batch is not coerced and validated twice.
+        """
+        candidates = list(rows) if _coerced else self.relation._coerce_rows(rows)
+        if not candidates:
+            return []
+        if not self._check_bulk_insert(self.relation, candidates):
+            # Some constraint only understands sequential inserts: stage the
+            # rows one at a time and roll back wholesale on failure.
+            stored = self.relation.tuples()
+            staged: List[XTuple] = []
+            try:
+                for candidate in candidates:
+                    self._check_insert(candidate)
+                    if candidate not in stored:
+                        stored.add(candidate)
+                        staged.append(candidate)
+            except Exception:
+                for candidate in staged:
+                    stored.discard(candidate)
+                self.relation._version += 1
+                raise
+            self.relation._version += 1
+            fresh = staged
+        else:
+            stored = self.relation.tuples()
+            fresh = [c for c in dict.fromkeys(candidates) if c not in stored]
+            stored.update(fresh)
+            self.relation._version += 1
+        self.dominance.bulk_add(fresh)
+        for index in self.indexes.values():
+            index.bulk_add(fresh)
+        return candidates
+
+    def delete_many(
+        self,
+        rows: Iterable[RowLike],
+        *,
+        _coerced: bool = False,
+        _doomed: Optional[set] = None,
+    ) -> int:
+        """Delete a batch of rows by generalised difference, in one pass.
+
+        Per (4.8) each given row removes every stored row it subsumes; the
+        doomed set is the union over the batch, collected from the live
+        dominance index before anything is touched, then removed with one
+        bulk update per structure.  Returns the number of rows removed.
+        (``_coerced`` as in :meth:`insert_many`; ``_doomed`` lets the
+        :class:`~repro.storage.database.Database` facade pass the closure
+        it already probed for its foreign-key checks.)
+        """
+        targets = list(rows) if _coerced else self.relation._coerce_rows(rows)
+        doomed = self.dominance.bulk_probe_dominated(targets) if _doomed is None else _doomed
+        if not doomed:
+            return 0
+        self._apply_bulk_remove(doomed)
+        return len(doomed)
+
+    def load(self, rows: Iterable[RowLike]) -> List[XTuple]:
+        """Atomically replace the table's contents with *rows*.
+
+        The bulk-load entry point: rows are coerced and checked against an
+        empty table (so the batch only has to be consistent with itself),
+        and the stored state — rows, dominance index, hash indexes — is
+        swapped in wholesale on success.  On failure the current contents
+        are untouched.
+        """
+        candidates = self.relation._coerce_rows(rows)
+        scratch = Relation(self.schema, validate=False)
+        if not self._check_bulk_insert(scratch, candidates):
+            for candidate in candidates:
+                self._check_insert(candidate, scratch)
+                scratch._rows.add(candidate)
+        self.reset_rows(candidates)
+        return candidates
 
     def _remove_row(self, row: XTuple) -> None:
         """Remove one stored row from the relation and every index."""
@@ -156,6 +270,14 @@ class Table:
         self.dominance.discard(row)
         for index in self.indexes.values():
             index.remove(row)
+
+    def _apply_bulk_remove(self, doomed: set) -> None:
+        """Drop a set of *stored* rows with one bulk update per structure."""
+        self.relation.tuples().difference_update(doomed)
+        self.relation._version += 1
+        self.dominance.bulk_discard(doomed)
+        for index in self.indexes.values():
+            index.bulk_discard(doomed)
 
     def delete(self, row: RowLike) -> int:
         """Delete by generalised difference with a singleton relation.
@@ -174,10 +296,16 @@ class Table:
         return len(doomed)
 
     def delete_where(self, predicate: Callable[[XTuple], bool]) -> int:
-        """Delete every row satisfying a Python predicate (a convenience form)."""
-        doomed = [r for r in self.relation.tuples() if predicate(r)]
-        for row in doomed:
-            self._remove_row(row)
+        """Delete every row satisfying a Python predicate (a convenience form).
+
+        The matching rows come straight out of the stored set, so unlike
+        :meth:`delete` no (4.8) subsumption closure applies; removal goes
+        through the same bulk maintenance as :meth:`delete_many`.
+        """
+        doomed = {r for r in self.relation.tuples() if predicate(r)}
+        if not doomed:
+            return 0
+        self._apply_bulk_remove(doomed)
         return len(doomed)
 
     def update(self, old_row: RowLike, new_row: RowLike) -> XTuple:
@@ -205,15 +333,19 @@ class Table:
     def reset_rows(self, rows: Iterable[XTuple]) -> None:
         """Replace the stored rows wholesale and rebuild every index.
 
-        The supported path for snapshot restore / bulk load — it keeps the
-        hash indexes and the live dominance index consistent with the new
-        row set.
+        The supported path for snapshot restore — it keeps the hash
+        indexes and the live dominance index consistent with the new row
+        set, rebuilding each through its bulk entry point (one partition
+        pass per structure).  Constraints are *not* re-checked: the rows
+        are trusted, coming from a snapshot of this very table.  For a
+        checked bulk load from external rows use :meth:`load`.
         """
         self.relation._rows = set(rows)
+        self.relation._version += 1
         self.relation._dominance = None
-        self.dominance.rebuild(self.relation.tuples())
+        self.dominance.rebuild(self.relation._rows)
         for index in self.indexes.values():
-            index.rebuild(self.relation.tuples())
+            index.rebuild(self.relation._rows)
 
     # -- x-membership ------------------------------------------------------------------------
     def x_contains(self, row: RowLike) -> bool:

@@ -1,0 +1,147 @@
+"""Plan.explain() traces: the composite-key join fusion must be visible.
+
+The planner's contract after the bulk-mutation PR: every equality
+conjunct linking two ranges is consumed by *one* fused multi-attribute
+hash join — the trace reports ``hash equi-join … on [A = …, B = …]`` and
+no residual selection is left behind.  These tests pin the trace shape
+(what ``EXPLAIN`` shows users) alongside the answers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.quel.evaluator import run_query
+from repro.storage.database import Database
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database("shipments")
+    supply = database.create_table("SUPPLY", ["S#", "P#", "QTY"])
+    demand = database.create_table("DEMAND", ["S#", "P#", "NEED"])
+    supply.insert_many([
+        ("s1", "p1", 10),
+        ("s1", "p2", 20),
+        ("s2", "p1", 30),
+        ("s2", None, 5),
+    ])
+    demand.insert_many([
+        ("s1", "p1", 7),
+        ("s1", "p3", 2),
+        ("s2", "p1", 9),
+        (None, "p1", 4),
+    ])
+    return database
+
+
+def join_steps(plan):
+    return [step for step in plan.steps if "hash equi-join" in step]
+
+
+def residual_steps(plan):
+    return [step for step in plan.steps if "residual" in step]
+
+
+class TestCompositeJoinTraces:
+    def test_two_attribute_link_is_one_fused_join(self, db):
+        text = (
+            "range of s is SUPPLY range of d is DEMAND "
+            "retrieve (s.QTY, d.NEED) where s.S# = d.S# and s.P# = d.P#"
+        )
+        result = run_query(text, db, strategy="algebra")
+        joins = join_steps(result.plan)
+        assert len(joins) == 1
+        # One fused composite-key join: both pairs inside one bracketed step.
+        assert "on [" in joins[0]
+        assert "s.S# = d.S#" in joins[0] and "s.P# = d.P#" in joins[0]
+        # ... and nothing left over to re-check after the join.
+        assert residual_steps(result.plan) == []
+        assert "product" not in result.plan.explain()
+        assert result.answer == run_query(text, db, strategy="tuple").answer
+
+    def test_single_attribute_link_keeps_plain_trace(self, db):
+        text = (
+            "range of s is SUPPLY range of d is DEMAND "
+            "retrieve (s.QTY) where s.S# = d.S#"
+        )
+        result = run_query(text, db, strategy="algebra")
+        joins = join_steps(result.plan)
+        assert len(joins) == 1
+        assert "on s.S# = d.S#" in joins[0]
+        assert "on [" not in joins[0]
+        assert result.answer == run_query(text, db, strategy="tuple").answer
+
+    def test_fused_join_filters_composite_key(self, db):
+        """The fused join returns exactly the both-attribute matches — the
+        single-key join would have paired (s1,p2) with (s1,p3)."""
+        text = (
+            "range of s is SUPPLY range of d is DEMAND "
+            "retrieve (s.S#, s.P#) where s.S# = d.S# and s.P# = d.P#"
+        )
+        answer = run_query(text, db, strategy="algebra").answer
+        pairs = {(t["s_S#"], t["s_P#"]) for t in answer.rows()}
+        assert pairs == {("s1", "p1"), ("s2", "p1")}
+
+    def test_non_equality_conjunct_stays_residual(self, db):
+        text = (
+            "range of s is SUPPLY range of d is DEMAND "
+            "retrieve (s.QTY) where s.S# = d.S# and s.QTY > d.NEED"
+        )
+        result = run_query(text, db, strategy="algebra")
+        joins = join_steps(result.plan)
+        assert len(joins) == 1
+        assert "s.QTY" not in joins[0]
+        assert len(residual_steps(result.plan)) == 1
+        assert result.answer == run_query(text, db, strategy="tuple").answer
+
+    def test_pushed_selections_precede_join_choice(self, db):
+        text = (
+            "range of s is SUPPLY range of d is DEMAND "
+            'retrieve (s.QTY) where s.S# = d.S# and s.P# = d.P# and d.NEED > 3 and s.QTY > 5'
+        )
+        result = run_query(text, db, strategy="algebra")
+        steps = result.plan.steps
+        select_positions = [i for i, s in enumerate(steps) if s.startswith("select") and "residual" not in s]
+        join_positions = [i for i, s in enumerate(steps) if "hash equi-join" in s]
+        assert select_positions and join_positions
+        assert max(select_positions) < min(join_positions)
+        assert len(join_positions) == 1 and "on [" in steps[join_positions[0]]
+        assert residual_steps(result.plan) == []
+        assert result.answer == run_query(text, db, strategy="tuple").answer
+
+    def test_three_ranges_chain_mixes_fused_and_plain_joins(self, db):
+        text = (
+            "range of s is SUPPLY range of d is DEMAND range of e is DEMAND "
+            "retrieve (s.QTY, e.NEED) "
+            "where s.S# = d.S# and s.P# = d.P# and d.P# = e.P#"
+        )
+        result = run_query(text, db, strategy="algebra")
+        joins = join_steps(result.plan)
+        assert len(joins) == 2
+        fused = [j for j in joins if "on [" in j]
+        assert len(fused) == 1  # s–d is composite, d–e is single-attribute
+        assert residual_steps(result.plan) == []
+        assert result.answer == run_query(text, db, strategy="tuple").answer
+
+    def test_unlinked_ranges_fall_back_to_product(self, db):
+        text = (
+            "range of s is SUPPLY range of d is DEMAND "
+            "retrieve (s.QTY, d.NEED)"
+        )
+        result = run_query(text, db, strategy="algebra")
+        assert join_steps(result.plan) == []
+        assert any("product" in step for step in result.plan.steps)
+        assert result.answer == run_query(text, db, strategy="tuple").answer
+
+    def test_null_rows_never_join(self, db):
+        """Rows null on any fused key attribute are dropped by the join —
+        the Section 5 TRUE-only discipline on every conjunct at once."""
+        text = (
+            "range of s is SUPPLY range of d is DEMAND "
+            "retrieve (s.S#) where s.S# = d.S# and s.P# = d.P#"
+        )
+        answer = run_query(text, db, strategy="algebra").answer
+        # (s2, ni) and (ni, p1) carry a null key component: no contribution.
+        assert all(t["s_S#"] in {"s1", "s2"} for t in answer.rows())
+        assert len(answer) == 2
