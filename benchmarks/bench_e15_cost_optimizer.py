@@ -1,0 +1,223 @@
+"""E15 — the cost-based optimizer against the previous (PR 2) planner.
+
+The statistics PR claims two speedups, both measured here against the
+prior planner reproduced exactly by ``Plan(query, cost_based=False,
+use_indexes=False)`` (syntactic join order, constant pushdown only,
+residual last, hash buckets rebuilt per query):
+
+* **join reordering** — on a 3-range chain query whose last-declared
+  range is highly selective, the greedy cost order starts from the
+  selective range and walks the chain outward, so the intermediate
+  results stay near the final answer's size; the syntactic order builds
+  the large BIG1 ⋈ BIG2 intermediate first;
+* **persistent-index reuse** — on a repeated-query workload joining a
+  small filtered range against a large indexed table, the optimizer
+  emits an index-nested-loop join probing the table's live
+  :class:`~repro.storage.index.HashIndex`; the baseline renames and
+  re-buckets all of the large table on every query.
+
+Every measurement first asserts that the optimized and baseline plans
+produce information-wise identical answers (``XRelation`` equality), so
+the benchmark doubles as a differential check.
+
+Run styles:
+
+* under pytest (quick sizes, used by CI as a smoke test):
+  ``PYTHONPATH=src python -m pytest benchmarks/bench_e15_cost_optimizer.py -q``
+* standalone (full sweep, writes results.json):
+  ``PYTHONPATH=src python benchmarks/bench_e15_cost_optimizer.py``
+  (pass ``--quick`` for the small sweep).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+import time
+from typing import Callable, List, Tuple
+
+from repro.quel.evaluator import compile_query
+from repro.quel.planner import Plan
+from repro.storage.database import Database
+
+FULL_SIZES = (1_000, 10_000)
+QUICK_SIZES = (200, 500)
+#: Queries per measurement of the repeated-query (index-reuse) workload.
+REPEATS = 5
+
+CHAIN_QUERY = (
+    "range of b1 is BIG1 range of b2 is BIG2 range of sel is SEL "
+    "retrieve (b1.X, sel.C) "
+    "where b1.A = b2.A and b2.B = sel.B and sel.C = 1"
+)
+
+INDEX_QUERY = (
+    "range of s is SMALL range of b is BIG "
+    "retrieve (s.K, b.B) where s.A = b.A"
+)
+
+
+# ---------------------------------------------------------------------------
+# Workload builders
+# ---------------------------------------------------------------------------
+
+def chain_database(size: int, seed: int) -> Database:
+    """BIG1 –A– BIG2 –B– SEL: the selective filter sits on the last range.
+
+    ``A`` has ~size/10 distinct values, ``B`` ~size/100, and ``SEL.C``
+    ranges over ~size values so ``sel.C = 1`` keeps a handful of rows —
+    the shape where join order dominates the cost.
+    """
+    rng = random.Random(seed)
+    a_domain = max(size // 10, 2)
+    b_domain = max(size // 100, 2)
+    c_domain = max(size, 2)
+    database = Database("e15-chain")
+    big1 = database.create_table("BIG1", ["A", "X"])
+    big2 = database.create_table("BIG2", ["A", "B"])
+    sel = database.create_table("SEL", ["B", "C"])
+    big1.insert_many([(rng.randrange(a_domain), i) for i in range(size)])
+    big2.insert_many([(rng.randrange(a_domain), rng.randrange(b_domain)) for _ in range(size)])
+    sel.insert_many([(rng.randrange(b_domain), rng.randrange(c_domain)) for _ in range(size)])
+    # Guarantee the filter matches something at every size.
+    sel.insert((0, 1))
+    return database
+
+
+def indexed_database(size: int, seed: int) -> Database:
+    """A small probe table against a big table indexed on the join key."""
+    rng = random.Random(seed)
+    a_domain = max(size // 2, 2)
+    database = Database("e15-index")
+    small = database.create_table("SMALL", ["K", "A"])
+    big = database.create_table("BIG", ["A", "B"])
+    small.insert_many([(i, rng.randrange(a_domain)) for i in range(64)])
+    big.insert_many([(rng.randrange(a_domain), i) for i in range(size)])
+    big.create_index(["A"], name="big_a")
+    return database
+
+
+# ---------------------------------------------------------------------------
+# Measurement harness
+# ---------------------------------------------------------------------------
+
+def _time(fn: Callable[[], object], repeat: int = 3) -> Tuple[float, object]:
+    """Wall time of *fn* — best of *repeat* runs."""
+    best = float("inf")
+    value = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def _baseline(query, database):
+    return Plan(query, database, cost_based=False, use_indexes=False).execute()
+
+
+def _optimized(query, database):
+    return Plan(query, database).execute()
+
+
+def run_experiments(sizes=FULL_SIZES, metric=None, line=None):
+    """Measure both workloads at every size, asserting plan agreement."""
+
+    def emit(op, variant, rows, seconds, **extra):
+        if metric is not None:
+            metric(op, seconds, variant=variant, rows=rows, **extra)
+
+    for size in sizes:
+        # -- (a) 3-range join reordering -------------------------------------
+        database = chain_database(size, seed=size)
+        query = compile_query(CHAIN_QUERY, database).query
+        seed_seconds, seed_answer = _time(lambda: _baseline(query, database))
+        engine_seconds, engine_answer = _time(lambda: _optimized(query, database))
+        assert engine_answer == seed_answer
+        emit("join_reorder_3way", "seed", size, seed_seconds)
+        emit("join_reorder_3way", "engine", size, engine_seconds,
+             speedup=round(seed_seconds / engine_seconds, 2))
+
+        # The optimizer really did start from the selective range.
+        plan = Plan(query, database)
+        plan.execute()
+        joins = [step for step in plan.steps if "join with" in step]
+        assert "sel." in joins[0], plan.explain()
+
+        # -- (b) repeated queries reusing a persistent index ------------------
+        database = indexed_database(size, seed=size + 1)
+        query = compile_query(INDEX_QUERY, database).query
+
+        def repeat_baseline():
+            answers = [_baseline(query, database) for _ in range(REPEATS)]
+            return answers[-1]
+
+        def repeat_optimized():
+            answers = [_optimized(query, database) for _ in range(REPEATS)]
+            return answers[-1]
+
+        seed_seconds, seed_answer = _time(repeat_baseline)
+        engine_seconds, engine_answer = _time(repeat_optimized)
+        assert engine_answer == seed_answer
+        emit("index_reuse_repeated", "seed", size, seed_seconds, repeats=REPEATS)
+        emit("index_reuse_repeated", "engine", size, engine_seconds, repeats=REPEATS,
+             speedup=round(seed_seconds / engine_seconds, 2))
+
+        # The optimized plan probes the live index instead of re-bucketing.
+        plan = Plan(query, database)
+        plan.execute()
+        assert any("index-nested-loop join" in step and "big_a" in step
+                   for step in plan.steps), plan.explain()
+
+        if line is not None:
+            line(f"n={size}: optimized/baseline answers identical on both "
+                 f"workloads (metrics in results.json)")
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point (quick smoke + agreement assertions)
+# ---------------------------------------------------------------------------
+
+def test_optimizer_vs_baseline_quick(record):
+    """Quick-mode sweep: asserts plan agreement, records metrics."""
+    run_experiments(sizes=QUICK_SIZES, metric=record.metric, line=record.line)
+
+
+# ---------------------------------------------------------------------------
+# Standalone entry point (full sweep, writes benchmarks/results.json)
+# ---------------------------------------------------------------------------
+
+def main(argv: List[str]) -> int:
+    quick = "--quick" in argv
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    sys.path.insert(0, here)
+    import conftest  # the benchmark harness recorder/writer
+
+    recorder = conftest.ExperimentRecorder("e15_cost_optimizer")
+    run_experiments(sizes=sizes, metric=recorder.metric, line=recorder.line)
+
+    results_path = os.path.join(here, "results.json")
+    conftest.write_results_json(results_path)
+
+    metrics = conftest._METRICS["e15_cost_optimizer"]
+    by_key = {(m["op"], m["variant"], m["rows"]): m for m in metrics}
+    print(f"{'op':<22} {'rows':>6} {'seed s':>10} {'engine s':>10} {'speedup':>8}")
+    for op in ("join_reorder_3way", "index_reuse_repeated"):
+        for size in sizes:
+            seed = by_key.get((op, "seed", size))
+            engine = by_key.get((op, "engine", size))
+            if seed and engine:
+                print(
+                    f"{op:<22} {size:>6} {seed['seconds']:>10.4f} "
+                    f"{engine['seconds']:>10.4f} "
+                    f"{seed['seconds'] / engine['seconds']:>7.1f}x"
+                )
+    print(f"\nwrote {results_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

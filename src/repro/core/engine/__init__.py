@@ -33,6 +33,12 @@ in the library:
   between two range variables; accepts attribute *lists*, so every
   equality conjunct linking two ranges fuses into one composite-key
   probe with no residual selection left behind.
+* :func:`~repro.core.engine.joins.index_probe_join_rows` — the
+  index-nested-loop variant: when a persistent
+  :class:`~repro.storage.index.HashIndex` already covers the fused join
+  key, each outer row probes the live index instead of rebuilding hash
+  buckets per query; the cost-based planner emits it for indexed,
+  unfiltered ranges.
 
 The naive, definitional forms are retained throughout the library as
 oracles; the property tests in ``tests/test_engine_properties.py`` assert
@@ -41,11 +47,12 @@ Definitions 3.1 / 4.1–4.8.
 """
 
 from .dominance import DominanceIndex, bulk_reduce
-from .joins import equi_join_rows, pair_candidates
+from .joins import equi_join_rows, index_probe_join_rows, pair_candidates
 
 __all__ = [
     "DominanceIndex",
     "bulk_reduce",
     "equi_join_rows",
+    "index_probe_join_rows",
     "pair_candidates",
 ]

@@ -23,7 +23,7 @@ callers in :mod:`repro.core.setops`, :mod:`repro.core.algebra` and
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Sequence, Tuple, Union
 
 from ..nulls import is_ni
 from ..tuples import XTuple
@@ -146,4 +146,46 @@ def equi_join_rows(
             continue
         for right in bucket:
             out.append(left.join(right))
+    return out
+
+
+def index_probe_join_rows(
+    left_rows: Iterable[XTuple],
+    probe_attrs: Sequence[str],
+    lookup: Callable[[Tuple], Iterable[XTuple]],
+    transform: Callable[[XTuple], XTuple],
+) -> List[XTuple]:
+    """Index-nested-loop equi-join: probe a *live* hash index per left row.
+
+    Instead of bucketing the right operand per query (the
+    :func:`equi_join_rows` build phase — O(|right|) work and allocation
+    every time), each left row probes *lookup* — typically the bound
+    :meth:`repro.storage.index.HashIndex.lookup` of a persistent index the
+    table already maintains — with its values on *probe_attrs*, ordered to
+    match the index's key layout.  Matched rows pass through *transform*
+    (the planner's ``variable.``-prefix rename), memoised per distinct row
+    so a row matched by many probes is renamed once.
+
+    Left rows null on any probe attribute are skipped — a comparison
+    touching ``ni`` is never TRUE (Section 5) — and the index's own
+    null-bucket rows are simply never returned by an exact lookup, so the
+    TRUE-only discipline holds on both sides.  Output rows may include
+    joins against stored rows a minimal representation would drop; each
+    such row is dominated by the corresponding join against the dominating
+    stored row, so the result is information-wise identical after
+    reduction (which every plan applies).
+    """
+    out: List[XTuple] = []
+    cache: Dict[XTuple, XTuple] = {}
+    probe_key = tuple(probe_attrs)
+    for left in left_rows:
+        bindings = left._lookup
+        key = tuple(bindings.get(a) for a in probe_key)
+        if None in key:  # _lookup stores only non-null bindings
+            continue
+        for right in lookup(key):
+            renamed = cache.get(right)
+            if renamed is None:
+                renamed = cache[right] = transform(right)
+            out.append(left.join(renamed))
     return out

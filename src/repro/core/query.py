@@ -344,9 +344,22 @@ class Query:
 
     # -- binding enumeration -----------------------------------------------------
     def bindings(self) -> Iterable[Dict[str, XTuple]]:
-        """All combinations of rows for the range variables."""
+        """All combinations of rows for the range variables.
+
+        Rows that are the *null tuple* are skipped: a tuple binding no
+        attribute carries no information, Definition 4.6 drops it from
+        every minimal representation, and the paper uses a relation and
+        its minimal form interchangeably — so a binding drawn from it
+        must not contribute to any answer.  Skipping it here makes the
+        tuple-at-a-time evaluations representation-invariant: evaluating
+        over ``R`` and over ``min(R)`` yields information-wise equal
+        answers, which is exactly the planner's differential contract.
+        """
         variables = list(self.ranges)
-        row_lists = [list(self.ranges[v].tuples()) for v in variables]
+        row_lists = [
+            [t for t in self.ranges[v].tuples() if not t.is_null_tuple()]
+            for v in variables
+        ]
         for combo in iter_product(*row_lists):
             yield dict(zip(variables, combo))
 

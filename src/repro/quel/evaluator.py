@@ -79,7 +79,10 @@ def run_query(
         answer = evaluate_lower_bound(analyzed.query)
         return QueryResult(answer, analyzed, strategy)
     if strategy == "algebra":
-        plan = Plan(analyzed.query)
+        # Handing the plan the database (when it is a storage Database)
+        # gives the optimizer each range's live statistics and persistent
+        # indexes; a plain mapping degrades gracefully to ad-hoc stats.
+        plan = Plan(analyzed.query, database)
         answer = plan.execute()
         return QueryResult(answer, analyzed, strategy, plan=plan)
     raise QuelError(f"unknown execution strategy {strategy!r}; use 'tuple' or 'algebra'")

@@ -1,53 +1,199 @@
-"""A small algebraic planner for QUEL queries.
+"""A cost-based algebraic planner for QUEL queries.
 
 Section 8 of the paper stresses that the generalised model keeps "the
 well-known correspondence between the relational calculus and the
 relational algebra", which is what makes query evaluation efficient.  The
-planner makes that correspondence concrete: it translates an analysed
-query into a plan over the extended algebra operators of
-:mod:`repro.core.algebra` —
+planner makes that correspondence concrete — and, since the statistics
+PR, *chooses between* the equivalent algebraic strategies with a
+System-R-style cost model (:mod:`repro.stats`):
 
-* rename every range relation with a ``variable.`` prefix,
+* rename every range relation with a ``variable.`` prefix (lazily — a
+  range that ends up probed through a persistent index is never
+  materialised),
 * push single-variable conjunctive selections down onto their relation —
-  *before* any join is chosen, so every join input is already filtered,
-* combine the ranges with **hash equi-joins** whenever the qualification
-  contains equalities between two range variables (the engine kernel
-  :func:`repro.core.engine.equi_join_rows`): **all** equality conjuncts
-  linking the next range to the ranges combined so far fuse into one
-  composite-key join — one hash probe on the full attribute vector,
-  enumerating exactly the TRUE combinations of the Section 5 lower-bound
-  discipline, with no residual selection left behind — falling back to
-  Cartesian products for unlinked ranges,
-* apply the remaining (multi-variable or disjunctive) qualification as a
-  generalised selection on the combination,
+  *before* any join is chosen, so every join input is already filtered;
+  this covers constant comparisons (as before) and now any residual
+  conjunct mentioning a single range variable,
+* combine the ranges with equi-joins in **greedy cost order**: start from
+  the estimated-smallest range, then repeatedly join the linked range
+  with the smallest estimated output cardinality (equality selectivities
+  from per-table distinct-value counts, null partitions discounted —
+  under the Section 5 lower-bound discipline a null never satisfies an
+  equality), leaving Cartesian products (smallest first) for last.  All
+  equality conjuncts linking the next range fuse into one composite-key
+  join.  When the next range is an unfiltered stored table carrying a
+  persistent :class:`~repro.storage.index.HashIndex` on exactly the fused
+  key, the plan emits an **index-nested-loop join**
+  (:func:`repro.core.engine.joins.index_probe_join_rows`) that probes the
+  live index instead of rebuilding hash buckets per query,
+* apply every remaining conjunct as soon as the ranges it mentions have
+  been combined — residual selections are pushed *through* the joins
+  rather than evaluated once over the final combination,
 * project onto the target list (renaming to the output column names).
 
-The planner handles every query the front end accepts; the selection
-push-down is only an optimisation, and the produced result is always
-information-wise equal to the tuple-at-a-time evaluation of
+Every executed step is annotated with the optimizer's estimated and the
+measured row count (``est=…, rows=…``), so ``Plan.explain()`` doubles as
+a cost-model audit.  ``Plan(query, cost_based=False)`` reproduces the
+previous planner (syntactic join order, residual evaluated last, no
+index reuse) — the benchmarks use it as their baseline, the differential
+tests run both modes against the Section 5 oracle.
+
+The planner handles every query the front end accepts; the optimisation
+changes strategy only, and the produced result is always information-wise
+equal to the tuple-at-a-time evaluation of
 :func:`repro.core.query.evaluate_lower_bound` (asserted by the
-integration tests).  :class:`Plan` retains a human-readable list of steps
-so examples and tests can display the chosen strategy.
+differential harness in ``tests/test_differential_planner.py``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from ..core import algebra
-from ..core.engine.joins import equi_join_rows
+from ..core.engine.joins import equi_join_rows, index_probe_join_rows
 from ..core.query import And, AttributeRef, Comparison, Constant, Not, Or, Predicate, Query
 from ..core.relation import Relation
 from ..core.threevalued import compare
 from ..core.tuples import XTuple
 from ..core.xrelation import XRelation
+from ..stats import CostModel, DEFAULT_COST_MODEL, TableStatistics
+
+
+class _RangeContext:
+    """Per-range planning state: lazy renamed relation, table, statistics.
+
+    Renaming a range costs one new tuple per row plus a reduction to
+    minimal form, so the context defers it as long as possible: pushed
+    selections filter the *unrenamed* base rows, hash joins can bucket
+    the unrenamed rows and rename only the matched ones, and an
+    index-nested-loop join never materialises the range at all — most of
+    the optimizer's win on large tables is never paying O(|range|)
+    renames per query.
+    """
+
+    __slots__ = (
+        "variable", "relation", "table", "filtered", "est",
+        "_renamed", "_filtered_base", "_stats",
+    )
+
+    def __init__(self, variable: str, relation: Relation, table) -> None:
+        self.variable = variable
+        self.relation = relation
+        self.table = table
+        self.filtered = False
+        #: The optimizer's running cardinality estimate for this range.
+        self.est: float = float(len(relation))
+        self._renamed: Optional[XRelation] = None
+        #: Pushed-selection result over the *unrenamed* base rows.
+        self._filtered_base: Optional[XRelation] = None
+        self._stats: Optional[TableStatistics] = None
+
+    @property
+    def mapping(self) -> Dict[str, str]:
+        return {a: f"{self.variable}.{a}" for a in self.relation.schema.attributes}
+
+    def _base(self) -> Union[Relation, XRelation]:
+        return self._filtered_base if self._filtered_base is not None else self.relation
+
+    def materialized(self) -> XRelation:
+        if self._renamed is None:
+            self._renamed = algebra.rename(self._base(), self.mapping)
+        return self._renamed
+
+    def unrenamed_rows(self):
+        """The current (possibly filtered) rows under their bare attributes."""
+        base = self._base()
+        return base.rows() if isinstance(base, XRelation) else base.tuples()
+
+    def push_constant(self, conjunct: Comparison) -> None:
+        """Apply a pushable constant comparison on the unrenamed base —
+        selection commutes with renaming, and filtering first makes any
+        later rename cheaper.  A previously materialised rename (none of
+        the current call paths produce one before the pushes run) is
+        invalidated and rebuilt lazily from the filtered base."""
+        attribute, op, constant = _constant_parts(conjunct)
+        self._filtered_base = algebra.select_constant(self._base(), attribute, op, constant)
+        self._renamed = None
+        self.filtered = True
+
+    def push_predicate(self, conjunct: Predicate) -> None:
+        """Apply a single-variable residual conjunct, likewise pre-rename."""
+        variable = self.variable
+
+        def row_predicate(row: XTuple, _c=conjunct, _v=variable):
+            return _c.evaluate({_v: row})
+
+        self._filtered_base = algebra.select_predicate(self._base(), row_predicate)
+        self._renamed = None
+        self.filtered = True
+
+    @property
+    def cardinality(self) -> int:
+        if self._renamed is not None:
+            return len(self._renamed)
+        if self._filtered_base is not None:
+            return len(self._filtered_base)
+        return len(self.relation)
+
+    def stats(self) -> TableStatistics:
+        """The base statistics: the table's live counters when this range
+        is a stored table (no per-query scan), a one-off analyze of the
+        base rows otherwise."""
+        if self._stats is None:
+            if self.table is not None:
+                self._stats = self.table.statistics
+            else:
+                self._stats = TableStatistics(self.relation.tuples())
+        return self._stats
+
+    def distinct(self, attribute: str) -> float:
+        """Distinct non-null values on a (bare) attribute, capped by the
+        current (possibly filtered) cardinality."""
+        count = self.stats().distinct_count(attribute)
+        return float(min(count, self.cardinality)) if count else 0.0
+
+    def null_fraction(self, attribute: str) -> float:
+        return self.stats().null_fraction(attribute)
 
 
 class Plan:
-    """An executable query plan with a readable trace of its steps."""
+    """An executable query plan with a readable, cost-annotated trace.
 
-    def __init__(self, query: Query):
+    Parameters
+    ----------
+    query:
+        The analysed core query.
+    database:
+        Optional database the ranges came from.  When it exposes
+        ``table_for_relation`` (``repro.storage.Database`` does), the
+        planner reaches each range's live :class:`TableStatistics` and
+        persistent indexes through it; with ``None`` (or a plain mapping)
+        per-range statistics are computed on the fly.
+    cost_based:
+        ``True`` (default) enables cost-ordered joins, selection
+        push-through and index reuse; ``False`` reproduces the previous
+        planner exactly (syntactic join order, residual last).
+    use_indexes:
+        Whether an unfiltered table range may be joined by probing a
+        persistent index covering the fused join key.
+    cost_model:
+        The :class:`~repro.stats.CostModel` used for the estimates.
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        database=None,
+        *,
+        cost_based: bool = True,
+        use_indexes: bool = True,
+        cost_model: Optional[CostModel] = None,
+    ):
         self.query = query
+        self.database = database
+        self.cost_based = cost_based
+        self.use_indexes = use_indexes
+        self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
         self.steps: List[str] = []
 
     def explain(self) -> str:
@@ -58,37 +204,343 @@ class Plan:
     def _qualify(variable: str, attribute: str) -> str:
         return f"{variable}.{attribute}"
 
+    def _table_of(self, relation: Relation):
+        finder = getattr(self.database, "table_for_relation", None)
+        if finder is None:
+            return None
+        return finder(relation)
+
+    # -- execution -----------------------------------------------------------
     def execute(self) -> XRelation:
         """Build and run the algebraic plan, returning the answer x-relation."""
+        if not self.cost_based:
+            return self._execute_syntactic()
+        return self._execute_cost_based()
+
+    # -- the cost-based optimizer -------------------------------------------
+    def _execute_cost_based(self) -> XRelation:
+        query = self.query
+        model = self.cost_model
+        self.steps = []
+
+        pushable, residual = _split_conjuncts(query.where)
+
+        # Classify the residual conjuncts: equality links between two
+        # ranges feed the join enumeration; single-variable conjuncts are
+        # pushed onto their range ahead of any join; the rest is deferred
+        # and applied as soon as its variables have all been combined.
+        equijoins: List[Comparison] = []
+        single_variable: Dict[str, List[Predicate]] = {}
+        deferred: List[Predicate] = []
+        for conjunct in _flatten(residual):
+            if _is_equijoin(conjunct):
+                equijoins.append(conjunct)
+                continue
+            references = conjunct.references()
+            if len(references) == 1:
+                single_variable.setdefault(references[0], []).append(conjunct)
+            else:
+                deferred.append(conjunct)
+
+        variables = list(query.ranges)
+        declaration = {variable: i for i, variable in enumerate(variables)}
+        contexts = {
+            variable: _RangeContext(variable, relation, self._table_of(relation))
+            for variable, relation in query.ranges.items()
+        }
+
+        # Step 1: rename each range with a variable prefix (lazily — the
+        # step records the logical operation, the rows materialise only
+        # when a later step needs them).
+        for variable, relation in query.ranges.items():
+            self.steps.append(f"rename {relation.name} as {variable}(…)")
+
+        # Step 2: push single-variable selections — constant comparisons
+        # first (estimated from the per-attribute statistics), then any
+        # residual conjunct confined to one range.
+        for variable, conjuncts in pushable.items():
+            context = contexts[variable]
+            for conjunct in conjuncts:
+                attribute, op, _ = _constant_parts(conjunct)
+                estimate = model.estimate_selection(
+                    context.stats(), attribute, op, cardinality=context.est
+                )
+                context.push_constant(conjunct)
+                context.est = estimate
+                self.steps.append(
+                    f"select {conjunct!r} on {variable} "
+                    f"[est={estimate:.0f}, rows={context.cardinality}]"
+                )
+        for variable, conjuncts in single_variable.items():
+            context = contexts[variable]
+            for conjunct in conjuncts:
+                estimate = context.est * self._residual_factor(conjunct)
+                context.push_predicate(conjunct)
+                context.est = estimate
+                self.steps.append(
+                    f"select residual {conjunct!r} on {variable} "
+                    f"[est={estimate:.0f}, rows={context.cardinality}]"
+                )
+
+        # Step 3: greedy cost-ordered combination.  Start from the
+        # smallest range; at each step join the linked range with the
+        # smallest estimated output, falling back to the smallest
+        # remaining range as a product when nothing is linked.
+        start = min(variables, key=lambda v: (contexts[v].cardinality, declaration[v]))
+        combined = contexts[start].materialized()
+        included: Set[str] = {start}
+        remaining = [v for v in variables if v != start]
+        current = float(len(combined))
+        distincts: Dict[str, float] = {}
+
+        combined, current = self._apply_deferred(
+            combined, current, deferred, included, variables
+        )
+
+        while remaining:
+            best = None
+            for variable in remaining:
+                links = _pick_equijoins(equijoins, included, variable)
+                if not links:
+                    continue
+                pairs = _orient_links(links, included)
+                estimate = self._join_estimate(
+                    current, distincts, contexts, contexts[variable], pairs
+                )
+                key = (estimate, declaration[variable])
+                if best is None or key < best[0]:
+                    best = (key, variable, links, pairs, estimate)
+            if best is None:
+                variable = min(
+                    remaining, key=lambda v: (contexts[v].cardinality, declaration[v])
+                )
+                context = contexts[variable]
+                estimate = model.product_cardinality(current, context.cardinality)
+                combined = algebra.product(combined, context.materialized())
+                self.steps.append(
+                    f"product with {variable} [est={estimate:.0f}, rows={len(combined)}]"
+                )
+            else:
+                _, variable, links, pairs, estimate = best
+                for link in links:
+                    equijoins.remove(link)
+                combined = self._execute_join(
+                    combined, contexts[variable], pairs, estimate
+                )
+                actual = float(len(combined))
+                for old_ref, new_ref in pairs:
+                    old_key = self._qualify(old_ref.variable, old_ref.attribute)
+                    new_key = self._qualify(new_ref.variable, new_ref.attribute)
+                    old_distinct = distincts.get(old_key) or contexts[
+                        old_ref.variable
+                    ].distinct(old_ref.attribute)
+                    new_distinct = contexts[new_ref.variable].distinct(new_ref.attribute)
+                    shared = max(
+                        1.0,
+                        min(old_distinct or actual, new_distinct or actual, actual),
+                    )
+                    distincts[old_key] = distincts[new_key] = shared
+            included.add(variable)
+            remaining.remove(variable)
+            current = float(len(combined))
+            combined, current = self._apply_deferred(
+                combined, current, deferred, included, variables
+            )
+
+        # Safety net: any equality conjunct the enumeration did not
+        # consume (not reachable in practice) is applied as a selection.
+        for conjunct in equijoins + deferred:
+            estimate = current * self._residual_factor(conjunct)
+            combined = algebra.select_predicate(
+                combined, _bind_residual(conjunct, variables)
+            )
+            current = float(len(combined))
+            self.steps.append(
+                f"select residual {conjunct!r} [est={estimate:.0f}, rows={len(combined)}]"
+            )
+
+        return self._project(combined)
+
+    def _apply_deferred(
+        self,
+        combined: XRelation,
+        current: float,
+        deferred: List[Predicate],
+        included: Set[str],
+        variables: Sequence[str],
+    ) -> Tuple[XRelation, float]:
+        """Push residual conjuncts through: apply each as soon as every
+        range it mentions has been combined."""
+        for conjunct in list(deferred):
+            references = conjunct.references()
+            if references and not set(references) <= included:
+                continue
+            deferred.remove(conjunct)
+            estimate = current * self._residual_factor(conjunct)
+            combined = algebra.select_predicate(
+                combined, _bind_residual(conjunct, variables)
+            )
+            current = float(len(combined))
+            self.steps.append(
+                f"select residual {conjunct!r} [est={estimate:.0f}, rows={len(combined)}]"
+            )
+        return combined, current
+
+    def _residual_factor(self, conjunct: Predicate) -> float:
+        if isinstance(conjunct, Comparison):
+            return self.cost_model.residual_selectivity([conjunct.op])
+        return self.cost_model.theta_selectivity
+
+    def _join_estimate(
+        self,
+        current: float,
+        distincts: Dict[str, float],
+        contexts: Dict[str, _RangeContext],
+        context: _RangeContext,
+        pairs: Sequence[Tuple[AttributeRef, AttributeRef]],
+    ) -> float:
+        key_distincts = []
+        null_fractions = []
+        for old_ref, new_ref in pairs:
+            old_key = self._qualify(old_ref.variable, old_ref.attribute)
+            old_distinct = distincts.get(old_key)
+            if old_distinct is None:
+                old_distinct = contexts[old_ref.variable].distinct(old_ref.attribute)
+                if old_distinct:
+                    old_distinct = min(old_distinct, current)
+            new_distinct = context.distinct(new_ref.attribute)
+            key_distincts.append((old_distinct, new_distinct))
+            null_fractions.append((0.0, context.null_fraction(new_ref.attribute)))
+        return self.cost_model.join_cardinality(
+            current, context.cardinality, key_distincts, null_fractions
+        )
+
+    def _execute_join(
+        self,
+        combined: XRelation,
+        context: _RangeContext,
+        pairs: Sequence[Tuple[AttributeRef, AttributeRef]],
+        estimate: float,
+    ) -> XRelation:
+        variable = context.variable
+        described = [
+            f"{old.variable}.{old.attribute} = {new.variable}.{new.attribute}"
+            for old, new in pairs
+        ]
+        on = described[0] if len(described) == 1 else "[" + ", ".join(described) + "]"
+
+        mapping = context.mapping
+
+        def transform(row: XTuple, _mapping=mapping) -> XTuple:
+            return XTuple((_mapping[a], value) for a, value in row.items())
+
+        def wrap(rows) -> XRelation:
+            right_schema = context.relation.schema.rename(mapping, name=variable)
+            schema = combined.schema.union(
+                right_schema, name=f"({combined.name} ⋈ {variable})"
+            )
+            relation = Relation(schema, validate=False)
+            relation._rows = set(rows)
+            return XRelation(relation)
+
+        index = None
+        if self.use_indexes and context.table is not None and not context.filtered:
+            index = context.table.find_index([new.attribute for _, new in pairs])
+        if index is not None:
+            # Index-nested-loop join: probe the table's live index with the
+            # combined side's key values; the range is never renamed or
+            # bucketed wholesale — only matched rows are renamed, once each.
+            bare_to_combined = {
+                new.attribute: self._qualify(old.variable, old.attribute)
+                for old, new in pairs
+            }
+            probe_attrs = [bare_to_combined[a] for a in index.attributes]
+            result = wrap(index_probe_join_rows(
+                combined.rows(), probe_attrs, index.lookup, transform
+            ))
+            self.steps.append(
+                f"index-nested-loop join with {variable} using index "
+                f"{index.name} on {on} [est={estimate:.0f}, rows={len(result)}]"
+            )
+            return result
+
+        # Late-rename hash join: bucket the (possibly filtered) unrenamed
+        # rows on the bare key, probe with the combined side's qualified
+        # values, and rename only the matched rows — the bulk of a big
+        # range is never copied.
+        bare_attrs = [new.attribute for _, new in pairs]
+        buckets: Dict[Tuple, List[XTuple]] = {}
+        for row in context.unrenamed_rows():
+            bindings = row._lookup
+            key = tuple(bindings.get(a) for a in bare_attrs)
+            if None in key:  # _lookup stores only non-null bindings
+                continue
+            buckets.setdefault(key, []).append(row)
+        probe_attrs = [self._qualify(old.variable, old.attribute) for old, _ in pairs]
+        empty: Tuple[XTuple, ...] = ()
+        result = wrap(index_probe_join_rows(
+            combined.rows(), probe_attrs,
+            lambda key: buckets.get(key, empty), transform,
+        ))
+        self.steps.append(
+            f"hash equi-join with {variable} on {on} "
+            f"[est={estimate:.0f}, rows={len(result)}]"
+        )
+        return result
+
+    def _project(self, combined: XRelation) -> XRelation:
+        """Step 5: projection onto the target list with output renaming."""
+        query = self.query
+        qualified_targets = [
+            (output, self._qualify(ref.variable, ref.attribute))
+            for output, ref in query.target
+        ]
+        unique = list(dict.fromkeys(qualified for _, qualified in qualified_targets))
+        if len(unique) == len(qualified_targets):
+            projected = algebra.project(combined, unique)
+            renaming = {qualified: output for output, qualified in qualified_targets}
+            result = algebra.rename(projected, renaming)
+        else:
+            # The same column appears under several (distinct) output
+            # names, e.g. ``(a = e.NAME, b = e.NAME)``: project/rename
+            # cannot express a column duplication, so build the output
+            # rows directly.
+            out = Relation(query.output_schema(), validate=False)
+            out._rows = {
+                XTuple(
+                    (output, row[qualified])
+                    for output, qualified in qualified_targets
+                )
+                for row in combined.rows()
+            }
+            result = XRelation(out)
+        self.steps.append(
+            f"project onto {[o for o, _ in qualified_targets]} [rows={len(result)}]"
+        )
+        return result
+
+    # -- the pre-statistics planner, kept as the differential baseline -------
+    def _execute_syntactic(self) -> XRelation:
+        """The previous planner, verbatim: syntactic join order, constant
+        pushdown only, residual qualification applied after all joins, no
+        index reuse.  The benchmarks measure the optimizer against it and
+        the differential tests run both against the oracle."""
         query = self.query
         self.steps = []
 
-        # Split the qualification into per-variable conjuncts (pushable) and
-        # the rest (applied after the product).
         pushable, residual = _split_conjuncts(query.where)
 
-        # Step 1: rename each range with a variable prefix so products are
-        # always over disjoint attribute sets (needed for self-joins like
-        # the paper's Figure 2 query).
         renamed: Dict[str, XRelation] = {}
         for variable, relation in query.ranges.items():
             mapping = {a: self._qualify(variable, a) for a in relation.schema.attributes}
             renamed[variable] = algebra.rename(relation, mapping)
             self.steps.append(f"rename {relation.name} as {variable}(…)")
 
-        # Step 2: push single-variable selections.
         for variable, conjuncts in pushable.items():
             for conjunct in conjuncts:
                 renamed[variable] = _apply_selection(renamed[variable], variable, conjunct)
                 self.steps.append(f"select {conjunct!r} on {variable}")
 
-        # Step 3: combine the ranges — the pushed-down selections above ran
-        # *before* any join is chosen, so the join inputs are already as
-        # small as the single-variable conjuncts can make them.  When one
-        # or more equality conjuncts link the next range to the ranges
-        # combined so far, ALL of them fuse into a single composite-key
-        # hash equi-join (one probe per row on the full attribute vector);
-        # unlinked ranges fall back to Cartesian products.
         equijoins, residual = _extract_equijoins(residual)
         variables = list(query.ranges)
         combined = renamed[variables[0]]
@@ -128,13 +580,11 @@ class Plan:
         # Equalities the join order could not use stay in the residual.
         residual = _conjoin(equijoins + ([residual] if residual is not None else []))
 
-        # Step 4: residual qualification as a generalised selection.
         if residual is not None:
             predicate = _bind_residual(residual, variables)
             combined = algebra.select_predicate(combined, predicate)
             self.steps.append(f"select residual {residual!r}")
 
-        # Step 5: projection onto the target list with output renaming.
         qualified_targets = [
             (output, self._qualify(ref.variable, ref.attribute))
             for output, ref in query.target
@@ -145,10 +595,6 @@ class Plan:
             renaming = {qualified: output for output, qualified in qualified_targets}
             result = algebra.rename(projected, renaming)
         else:
-            # The same column appears under several (distinct) output
-            # names, e.g. ``(a = e.NAME, b = e.NAME)``: project/rename
-            # cannot express a column duplication, so build the output
-            # rows directly.
             out = Relation(query.output_schema(), validate=False)
             out._rows = {
                 XTuple(
@@ -160,6 +606,54 @@ class Plan:
             result = XRelation(out)
         self.steps.append(f"project onto {[o for o, _ in qualified_targets]}")
         return result
+
+
+def _flatten(predicate: Optional[Predicate]) -> List[Predicate]:
+    """Top-level conjuncts of a (possibly None) residual predicate."""
+    if predicate is None:
+        return []
+    if isinstance(predicate, And):
+        return list(predicate.operands)
+    return [predicate]
+
+
+def _is_equijoin(conjunct: Predicate) -> bool:
+    """True for a top-level ``t.A = m.B`` equality between two ranges."""
+    return (
+        isinstance(conjunct, Comparison)
+        and conjunct.op in ("=", "==")
+        and isinstance(conjunct.left, AttributeRef)
+        and isinstance(conjunct.right, AttributeRef)
+        and conjunct.left.variable != conjunct.right.variable
+    )
+
+
+_FLIPPED_OPS = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "==": "==", "!=": "!="}
+
+
+def _constant_parts(conjunct: Comparison) -> Tuple[str, str, Any]:
+    """The (attribute, operator, constant) of a pushable constant
+    comparison, normalised so the attribute reads as the left side."""
+    if isinstance(conjunct.left, AttributeRef):
+        return conjunct.left.attribute, conjunct.op, conjunct.right.literal  # type: ignore[union-attr]
+    return (
+        conjunct.right.attribute,  # type: ignore[union-attr]
+        _FLIPPED_OPS[conjunct.op],
+        conjunct.left.literal,  # type: ignore[union-attr]
+    )
+
+
+def _orient_links(
+    links: Sequence[Comparison], included: Set[str]
+) -> List[Tuple[AttributeRef, AttributeRef]]:
+    """Orient each equality as (combined-side ref, new-range-side ref)."""
+    pairs: List[Tuple[AttributeRef, AttributeRef]] = []
+    for link in links:
+        new_ref, old_ref = link.left, link.right
+        if old_ref.variable not in included:
+            new_ref, old_ref = old_ref, new_ref
+        pairs.append((old_ref, new_ref))
+    return pairs
 
 
 def _split_conjuncts(predicate: Predicate) -> Tuple[Dict[str, List[Comparison]], Optional[Predicate]]:
@@ -200,13 +694,7 @@ def _extract_equijoins(predicate: Optional[Predicate]) -> Tuple[List[Comparison]
     joins: List[Comparison] = []
     rest: List[Predicate] = []
     for conjunct in conjuncts:
-        if (
-            isinstance(conjunct, Comparison)
-            and conjunct.op in ("=", "==")
-            and isinstance(conjunct.left, AttributeRef)
-            and isinstance(conjunct.right, AttributeRef)
-            and conjunct.left.variable != conjunct.right.variable
-        ):
+        if _is_equijoin(conjunct):
             joins.append(conjunct)
         else:
             rest.append(conjunct)
@@ -222,7 +710,7 @@ def _conjoin(predicates: List[Predicate]) -> Optional[Predicate]:
     return And(*predicates)
 
 
-def _pick_equijoins(joins: List[Comparison], included: set, variable: str) -> List[Comparison]:
+def _pick_equijoins(joins: List[Comparison], included: Set[str], variable: str) -> List[Comparison]:
     """Every unused equality linking *variable* to the already-combined ranges.
 
     All of them are fused into one composite-key hash join; returning only
@@ -265,8 +753,7 @@ def _apply_selection(relation: XRelation, variable: str, conjunct: Comparison) -
         return algebra.select_constant(relation, attribute, conjunct.op, constant)
     attribute = f"{conjunct.right.variable}.{conjunct.right.attribute}"  # type: ignore[union-attr]
     constant = conjunct.left.literal  # type: ignore[union-attr]
-    flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}[conjunct.op]
-    return algebra.select_constant(relation, attribute, flipped, constant)
+    return algebra.select_constant(relation, attribute, _FLIPPED_OPS[conjunct.op], constant)
 
 
 def _bind_residual(predicate: Predicate, variables: Sequence[str]):
@@ -297,6 +784,6 @@ class _RowView:
         return self._row[f"{self._variable}.{attribute}"]
 
 
-def plan_query(query: Query) -> Plan:
+def plan_query(query: Query, database=None, **options) -> Plan:
     """Build a :class:`Plan` for a core query."""
-    return Plan(query)
+    return Plan(query, database, **options)

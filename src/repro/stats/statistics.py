@@ -1,0 +1,223 @@
+"""Incrementally-maintained statistics over relations with null values.
+
+:class:`TableStatistics` tracks, for one table (or any bag of
+:class:`~repro.core.tuples.XTuple` rows):
+
+* the **row count**;
+* per attribute, the **non-null count** (and hence the null count — in
+  the canonical tuple form a row is null on an attribute exactly when it
+  does not bind it) and the **distinct-value count**, backed by an exact
+  value→multiplicity counter;
+* the **signature histogram**: how many rows carry each null pattern
+  (the same partitioning the dominance engine uses), which is what lets
+  a cost model reason about how much of a table is invisible to an
+  equality probe on a given attribute set.
+
+Maintenance is *exact and incremental*: the storage layer feeds every
+mutation path (insert / bulk insert / delete / bulk delete / update /
+truncate / load / restore) through :meth:`add_row` / :meth:`add_rows` /
+:meth:`remove_row` / :meth:`remove_rows`, always with the rows that were
+*actually* added to or removed from the stored set, so the counters never
+drift (pinned by the property tests against :meth:`analyze`).
+
+:meth:`analyze` is the full-refresh fallback: recount everything from the
+live rows.  Because the incremental path is exact, a refresh never
+changes the counters when maintenance was routed correctly; what it does
+reset is the **staleness tracker** — ``mutations_since_analyze`` counts
+incremental deltas applied since the last full scan, and :attr:`stale`
+trips once that churn exceeds a threshold, signalling that a verifying
+``ANALYZE`` is overdue (cheap insurance against out-of-band mutation of
+the underlying relation).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Tuple
+
+from ..core.tuples import XTuple
+
+#: A signature: the sorted attribute tuple a row binds (``XTuple.attributes``).
+Signature = Tuple[str, ...]
+
+#: Incremental deltas tolerated before :attr:`TableStatistics.stale` trips.
+DEFAULT_STALENESS_THRESHOLD = 256
+
+
+class TableStatistics:
+    """Exact, incrementally-maintained statistics for one table.
+
+    The public read surface — :attr:`row_count`, :meth:`distinct_count`,
+    :meth:`null_count`, :meth:`non_null_count`, :meth:`null_fraction`,
+    :meth:`signature_histogram` — is what the cost model consumes; the
+    mutation surface mirrors the storage layer's bulk entry points.
+    """
+
+    __slots__ = (
+        "row_count",
+        "_values",
+        "_non_null",
+        "_signatures",
+        "staleness_threshold",
+        "mutations_since_analyze",
+    )
+
+    def __init__(
+        self,
+        rows: Iterable[XTuple] = (),
+        staleness_threshold: int = DEFAULT_STALENESS_THRESHOLD,
+    ):
+        self.row_count = 0
+        # attribute -> value -> multiplicity (non-null values only)
+        self._values: Dict[str, Dict[Any, int]] = {}
+        # attribute -> number of rows binding it
+        self._non_null: Dict[str, int] = {}
+        # signature -> number of rows carrying it
+        self._signatures: Dict[Signature, int] = {}
+        self.staleness_threshold = staleness_threshold
+        self.mutations_since_analyze = 0
+        if rows:
+            self.analyze(rows)
+
+    # -- incremental maintenance -------------------------------------------
+    def add_row(self, row: XTuple) -> None:
+        """Count one row that was actually added to the stored set."""
+        self._count(row)
+        self.mutations_since_analyze += 1
+
+    def add_rows(self, rows: Iterable[XTuple]) -> None:
+        """Count a batch of actually-added rows (one staleness tick)."""
+        touched = False
+        for row in rows:
+            self._count(row)
+            touched = True
+        if touched:
+            self.mutations_since_analyze += 1
+
+    def remove_row(self, row: XTuple) -> None:
+        """Discount one row that was actually removed from the stored set."""
+        self._discount(row)
+        self.mutations_since_analyze += 1
+
+    def remove_rows(self, rows: Iterable[XTuple]) -> None:
+        """Discount a batch of actually-removed rows (one staleness tick)."""
+        touched = False
+        for row in rows:
+            self._discount(row)
+            touched = True
+        if touched:
+            self.mutations_since_analyze += 1
+
+    def clear(self) -> None:
+        """Reset to the statistics of an empty table (exact, so not stale)."""
+        self.row_count = 0
+        self._values.clear()
+        self._non_null.clear()
+        self._signatures.clear()
+        self.mutations_since_analyze = 0
+
+    def analyze(self, rows: Iterable[XTuple]) -> "TableStatistics":
+        """Full refresh: recount everything from *rows*, resetting staleness."""
+        self.clear()
+        for row in rows:
+            self._count(row)
+        self.mutations_since_analyze = 0
+        return self
+
+    # -- counting plumbing ---------------------------------------------------
+    def _count(self, row: XTuple) -> None:
+        self.row_count += 1
+        items = row.items()
+        signature = tuple(attribute for attribute, _ in items)
+        self._signatures[signature] = self._signatures.get(signature, 0) + 1
+        values = self._values
+        non_null = self._non_null
+        for attribute, value in items:
+            counter = values.get(attribute)
+            if counter is None:
+                counter = values[attribute] = {}
+            counter[value] = counter.get(value, 0) + 1
+            non_null[attribute] = non_null.get(attribute, 0) + 1
+
+    def _discount(self, row: XTuple) -> None:
+        self.row_count -= 1
+        items = row.items()
+        signature = tuple(attribute for attribute, _ in items)
+        remaining = self._signatures.get(signature, 0) - 1
+        if remaining > 0:
+            self._signatures[signature] = remaining
+        else:
+            self._signatures.pop(signature, None)
+        values = self._values
+        non_null = self._non_null
+        for attribute, value in items:
+            counter = values.get(attribute)
+            if counter is not None:
+                left = counter.get(value, 0) - 1
+                if left > 0:
+                    counter[value] = left
+                else:
+                    counter.pop(value, None)
+                    if not counter:
+                        del values[attribute]
+            count = non_null.get(attribute, 0) - 1
+            if count > 0:
+                non_null[attribute] = count
+            else:
+                non_null.pop(attribute, None)
+
+    # -- read surface ---------------------------------------------------------
+    def distinct_count(self, attribute: str) -> int:
+        """Distinct non-null values stored on *attribute*."""
+        counter = self._values.get(attribute)
+        return len(counter) if counter else 0
+
+    def non_null_count(self, attribute: str) -> int:
+        """Rows binding *attribute* (visible to an equality probe on it)."""
+        return self._non_null.get(attribute, 0)
+
+    def null_count(self, attribute: str) -> int:
+        """Rows null on *attribute* — never TRUE under any comparison on it."""
+        return self.row_count - self._non_null.get(attribute, 0)
+
+    def null_fraction(self, attribute: str) -> float:
+        """``null_count / row_count`` (0.0 for an empty table)."""
+        if self.row_count == 0:
+            return 0.0
+        return self.null_count(attribute) / self.row_count
+
+    def signature_histogram(self) -> Dict[Signature, int]:
+        """Null-pattern histogram: signature → number of rows carrying it."""
+        return dict(self._signatures)
+
+    @property
+    def stale(self) -> bool:
+        """True once incremental churn since the last full scan exceeds the
+        threshold — a prompt to :meth:`analyze`, not a correctness signal
+        (the incremental counters are exact as long as every mutation was
+        routed through this object)."""
+        return self.mutations_since_analyze > self.staleness_threshold
+
+    # -- equality (for the differential property tests) -----------------------
+    def same_counts_as(self, other: "TableStatistics") -> bool:
+        """Counter-for-counter equality, ignoring staleness bookkeeping."""
+        return (
+            self.row_count == other.row_count
+            and self._values == other._values
+            and self._non_null == other._non_null
+            and self._signatures == other._signatures
+        )
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, TableStatistics):
+            return NotImplemented
+        return self.same_counts_as(other)
+
+    __hash__ = None  # mutable; unhashable like other mutable containers
+
+    def __repr__(self) -> str:
+        return (
+            f"TableStatistics(rows={self.row_count}, "
+            f"attributes={sorted(self._non_null)}, "
+            f"signatures={len(self._signatures)}, "
+            f"stale={self.stale})"
+        )

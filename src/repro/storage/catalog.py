@@ -95,6 +95,27 @@ class Catalog:
     def __len__(self) -> int:
         return len(self._tables)
 
+    def index_specs(self) -> Dict[str, Dict[str, Tuple[str, ...]]]:
+        """Every table's persistent indexes, ``{table: {index: attributes}}``.
+
+        This is the catalog-level surface snapshots persist so a restore
+        can round-trip user-created indexes, not just rows.
+        """
+        return {name: table.index_specs() for name, table in self._tables.items()}
+
+    def table_for_relation(self, relation) -> Optional[Table]:
+        """The table whose stored relation *is* this object, if any.
+
+        The QUEL analyzer hands the planner bare
+        :class:`~repro.core.relation.Relation` objects; identity matching
+        is how the planner finds its way back to the owning table's live
+        statistics and persistent indexes.
+        """
+        for table in self._tables.values():
+            if table.relation is relation:
+                return table
+        return None
+
     # -- foreign keys ------------------------------------------------------------------
     def add_foreign_key(self, owner: str, constraint: ForeignKeyConstraint, validate_existing: bool = True) -> None:
         owner_table = self.table(owner)

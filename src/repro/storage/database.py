@@ -56,6 +56,19 @@ class Database(Mapping[str, Relation]):
     def table(self, name: str) -> Table:
         return self.catalog.table(name)
 
+    def table_for_relation(self, relation: Relation) -> Optional[Table]:
+        """The table whose stored relation *is* this object (identity), if any.
+
+        The planner uses this to reach a range's live statistics and
+        persistent indexes from the bare relation the analyzer resolved.
+        """
+        return self.catalog.table_for_relation(relation)
+
+    def analyze(self) -> None:
+        """Full-refresh every table's statistics (the ``ANALYZE`` verb)."""
+        for table in self.catalog.tables():
+            table.analyze()
+
     def add_foreign_key(self, owner: str, constraint: ForeignKeyConstraint) -> None:
         self.catalog.add_foreign_key(owner, constraint)
 
@@ -128,16 +141,41 @@ class Database(Mapping[str, Relation]):
         return self.catalog.table(name).as_xrelation()
 
     # -- snapshots ---------------------------------------------------------------------------------
-    def snapshot(self) -> Dict[str, set]:
-        """A cheap copy of every table's rows, keyed by table name."""
-        return {name: set(self.catalog.table(name).rows()) for name in self.catalog.table_names()}
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """A cheap copy of every table's rows *and* index definitions.
 
-    def restore(self, snapshot: Mapping[str, set]) -> None:
+        Each entry is ``{"rows": set of XTuple, "indexes": {name: attrs}}``
+        — carrying the index specs is what lets :meth:`restore` round-trip
+        user-created indexes instead of only the rows.
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        for name in self.catalog.table_names():
+            table = self.catalog.table(name)
+            out[name] = {"rows": set(table.rows()), "indexes": table.index_specs()}
+        return out
+
+    def restore(self, snapshot: Mapping[str, Any]) -> None:
         """Wholesale restore: each table goes through the bulk-rebuild path
         (:meth:`Table.reset_rows` — one partition pass per index, no
-        per-row maintenance)."""
-        for name, rows in snapshot.items():
-            self.catalog.table(name).reset_rows(rows)
+        per-row maintenance), and its index set is reconciled with the
+        snapshot's specs: indexes created since the snapshot are dropped,
+        dropped ones are recreated.  Legacy row-set snapshots
+        (``{name: set of rows}``) are still accepted and restore rows
+        only, leaving the current indexes in place."""
+        for name, entry in snapshot.items():
+            table = self.catalog.table(name)
+            if not isinstance(entry, Mapping):
+                table.reset_rows(entry)
+                continue
+            specs = entry.get("indexes", {})
+            for index_name in list(table.indexes):
+                spec = specs.get(index_name)
+                if spec is None or tuple(spec) != table.indexes[index_name].attributes:
+                    table.drop_index(index_name)
+            table.reset_rows(entry["rows"])
+            for index_name, attributes in specs.items():
+                if index_name not in table.indexes:
+                    table.create_index(attributes, name=index_name)
 
     def __repr__(self) -> str:
         return f"Database({self.name!r}, tables={self.catalog.table_names()})"

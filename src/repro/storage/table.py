@@ -37,6 +37,7 @@ from ..core.xrelation import XRelation
 from ..constraints.keys import KeyConstraint, NotNullConstraint
 from ..constraints.functional import FunctionalDependency
 from ..constraints.schema_constraints import RowConstraint
+from ..stats import TableStatistics
 from .index import HashIndex
 
 
@@ -63,6 +64,10 @@ class Table:
         # mutation path; powers x-membership probes and (4.8) deletion
         # without scanning the table.
         self.dominance = DominanceIndex()
+        # Live statistics (row/distinct/null counts, signature histogram),
+        # maintained through the same mutation paths; the cost-based
+        # planner reads them instead of scanning the table per query.
+        self.statistics = TableStatistics()
 
     # -- convenience accessors ----------------------------------------------------
     @property
@@ -148,17 +153,60 @@ class Table:
         self.indexes[index.name] = index
         return index
 
-    def drop_index(self, name: str) -> None:
-        if name not in self.indexes:
-            raise StorageError(f"no index named {name!r} on table {self.name!r}")
-        del self.indexes[name]
+    def drop_index(self, name_or_attributes: Union[str, Sequence[str]]) -> None:
+        """Drop an index by name, or by the attribute *set* it covers.
+
+        Dropping by attributes is order-insensitive: an index declared on
+        ``("B", "A")`` is found by ``drop_index(["A", "B"])``.
+        """
+        if isinstance(name_or_attributes, str):
+            if name_or_attributes not in self.indexes:
+                raise StorageError(
+                    f"no index named {name_or_attributes!r} on table {self.name!r}"
+                )
+            del self.indexes[name_or_attributes]
+            return
+        index = self.find_index(name_or_attributes)
+        if index is None:
+            raise StorageError(
+                f"no index on attributes {list(name_or_attributes)!r} "
+                f"on table {self.name!r}"
+            )
+        del self.indexes[index.name]
+
+    def find_index(self, attributes: Sequence[str]) -> Optional[HashIndex]:
+        """The index covering exactly this attribute *set*, if any.
+
+        Matching is order-insensitive — a hash index answers equality
+        probes on every permutation of its key, the caller just has to
+        permute the probe values into the index's declared order.
+        """
+        wanted = frozenset(attributes)
+        if len(wanted) != len(tuple(attributes)):
+            return None
+        for index in self.indexes.values():
+            if len(index.attributes) == len(wanted) and wanted == frozenset(index.attributes):
+                return index
+        return None
+
+    def index_specs(self) -> Dict[str, tuple]:
+        """The persistent indexes as ``{name: attribute tuple}`` — what
+        snapshots carry so :meth:`Database.restore` can round-trip them."""
+        return {name: index.attributes for name, index in self.indexes.items()}
 
     def lookup(self, attributes: Sequence[str], values: Sequence[Any]) -> List[XTuple]:
-        """Equality lookup, via an index when one exists on exactly these attributes."""
+        """Equality lookup, via an index when one covers these attributes.
+
+        Index matching is on the attribute *set*: an index declared on
+        ``("B", "A")`` serves a lookup on ``("A", "B")``, with the probe
+        values permuted into the index's key order.
+        """
         wanted = tuple(attributes)
-        for index in self.indexes.values():
-            if index.attributes == wanted:
-                return sorted(index.lookup(values), key=lambda r: r.items())
+        index = self.find_index(wanted)
+        if index is not None:
+            bound = dict(zip(wanted, values))
+            probe = [bound[a] for a in index.attributes]
+            return sorted(index.lookup(probe), key=lambda r: r.items())
         matches = [
             r for r in self.relation.tuples()
             if all(r[a] == v for a, v in zip(wanted, values))
@@ -170,10 +218,13 @@ class Table:
         """Insert one row (generalised union with a singleton relation)."""
         candidate = self.relation._coerce_row(row)
         self._check_insert(candidate)
+        is_new = candidate not in self.relation.tuples()
         self.relation.add(candidate)
         self.dominance.add(candidate)
         for index in self.indexes.values():
             index.insert(candidate)
+        if is_new:
+            self.statistics.add_row(candidate)
         return candidate
 
     def insert_many(self, rows: Iterable[RowLike], *, _coerced: bool = False) -> List[XTuple]:
@@ -220,6 +271,7 @@ class Table:
         self.dominance.bulk_add(fresh)
         for index in self.indexes.values():
             index.bulk_add(fresh)
+        self.statistics.add_rows(fresh)
         return candidates
 
     def delete_many(
@@ -270,6 +322,7 @@ class Table:
         self.dominance.discard(row)
         for index in self.indexes.values():
             index.remove(row)
+        self.statistics.remove_row(row)
 
     def _apply_bulk_remove(self, doomed: set) -> None:
         """Drop a set of *stored* rows with one bulk update per structure."""
@@ -278,6 +331,7 @@ class Table:
         self.dominance.bulk_discard(doomed)
         for index in self.indexes.values():
             index.bulk_discard(doomed)
+        self.statistics.remove_rows(doomed)
 
     def delete(self, row: RowLike) -> int:
         """Delete by generalised difference with a singleton relation.
@@ -322,6 +376,7 @@ class Table:
             self.dominance.add(old)
             for index in self.indexes.values():
                 index.insert(old)
+            self.statistics.add_row(old)
             raise
 
     def truncate(self) -> None:
@@ -329,6 +384,7 @@ class Table:
         self.dominance.clear()
         for index in self.indexes.values():
             index.clear()
+        self.statistics.clear()
 
     def reset_rows(self, rows: Iterable[XTuple]) -> None:
         """Replace the stored rows wholesale and rebuild every index.
@@ -346,6 +402,18 @@ class Table:
         self.dominance.rebuild(self.relation._rows)
         for index in self.indexes.values():
             index.rebuild(self.relation._rows)
+        self.statistics.analyze(self.relation._rows)
+
+    # -- statistics --------------------------------------------------------------------------
+    def analyze(self) -> TableStatistics:
+        """Full-refresh the table's statistics from the stored rows.
+
+        The incremental maintenance is exact, so this is a no-op on the
+        counters when every mutation went through this table's methods;
+        it resets the staleness tracker and repairs the statistics after
+        any out-of-band mutation of the underlying relation.
+        """
+        return self.statistics.analyze(self.relation.tuples())
 
     # -- x-membership ------------------------------------------------------------------------
     def x_contains(self, row: RowLike) -> bool:

@@ -17,8 +17,9 @@ All tests run derandomized (seeded) so CI failures reproduce exactly.
 
 from __future__ import annotations
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
+from repro.core.errors import QuelSemanticError
 from repro.core.query import (
     And,
     AttributeRef,
@@ -120,6 +121,43 @@ def test_plan_execute_matches_lower_bound_oracle(query):
     assert Plan(query).execute() == evaluate_lower_bound(query)
 
 
+def test_null_tuple_ranges_contribute_nothing_in_both_evaluations():
+    """Regression: a range row binding no attribute (the null tuple) is
+    information-free — Definition 4.6 drops it from every minimal form,
+    so neither the tuple-at-a-time oracle nor any plan may let it bind.
+    Before ``Query.bindings()`` skipped it, the oracle was
+    representation-sensitive and diverged from every planner mode here."""
+    v0 = Relation(ATTRIBUTES, name="R1", validate=False)
+    v0.add(XTuple({"A": 1}))
+    v1 = Relation(ATTRIBUTES, name="R2", validate=False)
+    v1.add(XTuple({}))
+    query = Query(
+        {"v0": v0, "v1": v1}, [("out0", AttributeRef("v0", "A"))], None, name="null"
+    )
+    oracle = evaluate_lower_bound(query)
+    assert len(oracle) == 0
+    assert Plan(query, cost_based=True).execute() == oracle
+    assert Plan(query, cost_based=False).execute() == oracle
+    # A real row alongside the null tuple contributes exactly itself.
+    v1.add(XTuple({"B": 2}))
+    oracle = evaluate_lower_bound(query)
+    assert len(oracle) == 1
+    assert Plan(query, cost_based=True).execute() == oracle
+    assert Plan(query, cost_based=False).execute() == oracle
+
+
+@settings(max_examples=120, deadline=None, derandomize=True)
+@given(queries())
+def test_cost_ordered_and_syntactic_plans_agree_with_oracle(query):
+    """The cost-based optimizer (greedy join reorder + selection
+    push-through) and the pre-statistics syntactic planner both stay
+    information-wise equal to the oracle — reordering joins and applying
+    residual conjuncts early are strategy changes only."""
+    oracle = evaluate_lower_bound(query)
+    assert Plan(query, cost_based=True).execute() == oracle
+    assert Plan(query, cost_based=False).execute() == oracle
+
+
 @settings(max_examples=120, deadline=None, derandomize=True)
 @given(queries())
 def test_plan_explain_never_leaks_fused_equalities(query):
@@ -184,3 +222,39 @@ def test_quel_strategies_agree(database, text):
     tuple_answer = run_query(text, database, strategy="tuple").answer
     algebra_answer = run_query(text, database, strategy="algebra").answer
     assert tuple_answer == algebra_answer
+
+
+INDEX_CHOICES = (("A",), ("B",), ("A", "B"), ("B", "C"), ("C", "A", "B"))
+
+
+@st.composite
+def indexed_databases(draw) -> Database:
+    """Databases carrying persistent hash indexes the optimizer may probe."""
+    database = Database("fuzz-indexed")
+    for name in ("R1", "R2"):
+        table = database.create_table(name, ATTRIBUTES)
+        table.load(draw(relations(name)).tuples())
+        for attributes in draw(
+            st.lists(st.sampled_from(INDEX_CHOICES), max_size=3, unique=True)
+        ):
+            table.create_index(attributes)
+    return database
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(indexed_databases(), quel_texts())
+def test_index_backed_plans_agree_with_oracle(database, text):
+    """With persistent indexes present the optimizer may emit
+    index-nested-loop joins that probe stored (unreduced) rows; the
+    answer must stay information-wise identical to the oracle and to the
+    same plan with index probing disabled."""
+    try:
+        tuple_answer = run_query(text, database, strategy="tuple").answer
+    except QuelSemanticError:
+        # e.g. a duplicate output column — rejected before any strategy runs
+        assume(False)
+    indexed = run_query(text, database, strategy="algebra")
+    assert indexed.answer == tuple_answer
+    query = indexed.analyzed.query
+    assert Plan(query, database, use_indexes=False).execute() == tuple_answer
+    assert Plan(query, database, cost_based=False).execute() == tuple_answer

@@ -9,9 +9,12 @@ no residual selection is left behind.  These tests pin the trace shape
 
 from __future__ import annotations
 
+import re
+
 import pytest
 
 from repro.quel.evaluator import run_query
+from repro.quel.planner import Plan
 from repro.storage.database import Database
 
 
@@ -145,3 +148,129 @@ class TestCompositeJoinTraces:
         # (s2, ni) and (ni, p1) carry a null key component: no contribution.
         assert all(t["s_S#"] in {"s1", "s2"} for t in answer.rows())
         assert len(answer) == 2
+
+
+class TestCostOptimizerTraces:
+    """The statistics PR's contract: joins run in estimated-cost order,
+    residual conjuncts are pushed through the joins, persistent indexes
+    turn joins into index-nested-loop probes, and every executed step is
+    annotated with ``est=…, rows=…``."""
+
+    @pytest.fixture
+    def chain_db(self) -> Database:
+        """BIG1 –A– BIG2 –B– SEL, with SEL highly selective on C."""
+        database = Database("chain")
+        big1 = database.create_table("BIG1", ["A", "X"])
+        big2 = database.create_table("BIG2", ["A", "B"])
+        sel = database.create_table("SEL", ["B", "C"])
+        big1.insert_many([(i % 4, i) for i in range(16)])
+        big2.insert_many([(i % 4, i % 8) for i in range(16)])
+        sel.insert_many([(i % 8, i) for i in range(16)])
+        return database
+
+    CHAIN_QUERY = (
+        "range of b1 is BIG1 range of b2 is BIG2 range of s is SEL "
+        "retrieve (b1.X, s.C) "
+        "where b1.A = b2.A and b2.B = s.B and s.C = 3"
+    )
+
+    def test_join_reorder_starts_from_selective_range(self, chain_db):
+        """The selection on SEL leaves one row, so cost ordering starts
+        there and walks the chain SEL → BIG2 → BIG1 — the syntactic order
+        would have built BIG1 ⋈ BIG2 first."""
+        result = run_query(self.CHAIN_QUERY, chain_db, strategy="algebra")
+        joins = join_steps(result.plan)
+        assert len(joins) == 2
+        assert "with b2" in joins[0] and "s.B = b2.B" in joins[0]
+        assert "with b1" in joins[1] and "b2.A = b1.A" in joins[1]
+        assert "product" not in result.plan.explain()
+        assert result.answer == run_query(self.CHAIN_QUERY, chain_db, strategy="tuple").answer
+
+    def test_syntactic_baseline_keeps_declaration_order(self, chain_db):
+        """cost_based=False reproduces the previous planner's trace."""
+        analyzed = run_query(self.CHAIN_QUERY, chain_db, strategy="algebra").analyzed
+        plan = Plan(analyzed.query, chain_db, cost_based=False)
+        answer = plan.execute()
+        joins = join_steps(plan)
+        assert len(joins) == 2
+        assert "with b2" in joins[0] and "b1.A = b2.A" in joins[0]
+        assert "with s" in joins[1]
+        assert "est=" not in plan.explain()
+        assert answer == run_query(self.CHAIN_QUERY, chain_db, strategy="tuple").answer
+
+    def test_steps_carry_estimates_and_actuals(self, chain_db):
+        plan = run_query(self.CHAIN_QUERY, chain_db, strategy="algebra").plan
+        for step in plan.steps:
+            if step.startswith(("select", "hash", "index-nested-loop", "product")):
+                assert re.search(r"\[est=\d+, rows=\d+\]$", step), step
+        assert re.search(r"\[rows=\d+\]$", plan.steps[-1])
+
+    def test_index_nested_loop_join_trace(self, db):
+        """A persistent index covering the fused join key turns the hash
+        join into an index-nested-loop probe of the live index."""
+        db.table("DEMAND").create_index(["S#", "P#"], name="demand_key")
+        text = (
+            "range of s is SUPPLY range of d is DEMAND "
+            "retrieve (s.S#, s.P#) where s.S# = d.S# and s.P# = d.P#"
+        )
+        result = run_query(text, db, strategy="algebra")
+        inl = [s for s in result.plan.steps if "index-nested-loop join" in s]
+        assert len(inl) == 1
+        assert "with d using index demand_key" in inl[0]
+        assert "s.S# = d.S#" in inl[0] and "s.P# = d.P#" in inl[0]
+        assert join_steps(result.plan) == []  # no bucket-rebuild join ran
+        pairs = {(t["s_S#"], t["s_P#"]) for t in result.answer.rows()}
+        assert pairs == {("s1", "p1"), ("s2", "p1")}
+        assert result.answer == run_query(text, db, strategy="tuple").answer
+
+    def test_index_matches_attribute_set_in_any_order(self, db):
+        db.table("DEMAND").create_index(["P#", "S#"], name="reversed_key")
+        text = (
+            "range of s is SUPPLY range of d is DEMAND "
+            "retrieve (s.QTY) where s.S# = d.S# and s.P# = d.P#"
+        )
+        result = run_query(text, db, strategy="algebra")
+        assert any("using index reversed_key" in s for s in result.plan.steps)
+        assert result.answer == run_query(text, db, strategy="tuple").answer
+
+    def test_filtered_range_does_not_probe_index(self, db):
+        """A pushed selection invalidates the stored index for that range:
+        the plan falls back to the hash join over the filtered rows."""
+        db.table("DEMAND").create_index(["S#"], name="demand_s")
+        text = (
+            "range of s is SUPPLY range of d is DEMAND "
+            "retrieve (s.QTY) where s.S# = d.S# and d.NEED > 3"
+        )
+        result = run_query(text, db, strategy="algebra")
+        assert not any("index-nested-loop" in s for s in result.plan.steps)
+        assert len(join_steps(result.plan)) == 1
+        assert result.answer == run_query(text, db, strategy="tuple").answer
+
+    def test_use_indexes_flag_disables_probing(self, db):
+        db.table("DEMAND").create_index(["S#"], name="demand_s")
+        text = (
+            "range of s is SUPPLY range of d is DEMAND "
+            "retrieve (s.QTY) where s.S# = d.S#"
+        )
+        analyzed = run_query(text, db, strategy="algebra").analyzed
+        plan = Plan(analyzed.query, db, use_indexes=False)
+        answer = plan.execute()
+        assert not any("index-nested-loop" in s for s in plan.steps)
+        assert len(join_steps(plan)) == 1
+        assert answer == run_query(text, db, strategy="tuple").answer
+
+    def test_residual_pushed_through_joins(self, db):
+        """A two-variable residual conjunct applies as soon as both its
+        ranges are combined — before later joins, not after them."""
+        text = (
+            "range of s is SUPPLY range of d is DEMAND range of e is DEMAND "
+            "retrieve (s.QTY, e.NEED) "
+            "where s.S# = d.S# and s.QTY > d.NEED and d.P# = e.P#"
+        )
+        result = run_query(text, db, strategy="algebra")
+        steps = result.plan.steps
+        residual_positions = [i for i, s in enumerate(steps) if "residual" in s]
+        join_with_e = [i for i, s in enumerate(steps) if "join with e" in s]
+        assert len(residual_positions) == 1 and len(join_with_e) == 1
+        assert residual_positions[0] < join_with_e[0]
+        assert result.answer == run_query(text, db, strategy="tuple").answer

@@ -253,6 +253,77 @@ class TestCatalogAndDatabase:
         assert isinstance(emp_db.xrelation("EMP"), XRelation)
 
 
+class TestIndexManagement:
+    """Order-insensitive index matching and snapshot round-trips."""
+
+    @pytest.fixture
+    def table(self) -> Table:
+        table = Table(["A", "B", "C"], name="T")
+        table.insert_many([(1, 2, 3), (1, 5, 6), (7, 2, 9), (None, 2, 1)])
+        return table
+
+    def test_lookup_uses_index_declared_in_other_order(self, table):
+        table.create_index(["B", "A"])
+        # No scan-order dependence: the set {A, B} matches the (B, A)
+        # index, with the probe values permuted into its key order.
+        hits = table.lookup(["A", "B"], [1, 2])
+        assert [r["C"] for r in hits] == [3]
+        assert table.lookup(["B", "A"], [2, 1]) == hits
+
+    def test_find_index_matches_attribute_set(self, table):
+        index = table.create_index(["C", "A"])
+        assert table.find_index(["A", "C"]) is index
+        assert table.find_index(["A"]) is None
+        assert table.find_index(["A", "A"]) is None  # duplicates never match
+
+    def test_drop_index_by_attributes(self, table):
+        table.create_index(["B", "A"], name="ba")
+        table.drop_index(["A", "B"])
+        assert table.indexes == {}
+        with pytest.raises(StorageError):
+            table.drop_index(["A", "B"])
+
+    def test_drop_index_by_name_still_works(self, table):
+        table.create_index(["A"], name="ia")
+        table.drop_index("ia")
+        assert table.indexes == {}
+        with pytest.raises(StorageError):
+            table.drop_index("ia")
+
+    def test_snapshot_round_trips_indexes(self):
+        db = Database("snap")
+        table = db.create_table("T", ["A", "B"])
+        table.insert_many([(1, 2), (3, 4)])
+        table.create_index(["A"], name="ia")
+        snapshot = db.snapshot()
+        # Mutate the index set after the snapshot: drop one, add another.
+        table.drop_index("ia")
+        table.create_index(["B"], name="ib")
+        db.insert("T", (5, 6))
+        db.restore(snapshot)
+        assert set(table.indexes) == {"ia"}
+        assert table.indexes["ia"].attributes == ("A",)
+        # The recreated index is live over the restored rows.
+        assert len(table.lookup(["A"], [1])) == 1
+        assert len(db["T"]) == 2
+
+    def test_restore_accepts_legacy_row_snapshots(self):
+        db = Database("legacy")
+        table = db.create_table("T", ["A"])
+        table.insert((1,))
+        table.create_index(["A"], name="ia")
+        db.restore({"T": {XTuple({"A": 7})}})
+        # Rows replaced; the (unsnapshotted) index survives and is rebuilt.
+        assert {r["A"] for r in table.rows()} == {7}
+        assert len(table.lookup(["A"], [7])) == 1
+
+    def test_catalog_index_specs(self):
+        catalog = Catalog()
+        table = catalog.create_table("T", ["A", "B"])
+        table.create_index(["B", "A"], name="ba")
+        assert catalog.index_specs() == {"T": {"ba": ("B", "A")}}
+
+
 class TestSchemaEvolution:
     def test_add_attribute_is_information_preserving(self):
         table = Table(["E#", "NAME"], name="EMP")

@@ -8,6 +8,11 @@ Two families of guarantees:
   and every :class:`HashIndex` are *identical* to a from-scratch rebuild
   over the stored rows — the incremental and bulk maintenance paths can
   never drift from the definitional state.
+* **Statistics consistency** — the incrementally-maintained
+  :class:`~repro.stats.TableStatistics` (row count, per-attribute
+  distinct/null counters, signature histogram) equals an
+  ``analyze()``-from-scratch recount after the same interleavings; the
+  incremental path can never drift from the definitional counts.
 * **Atomicity** — a constraint failure anywhere in a batch leaves the
   table (rows, dominance index, hash indexes) exactly as it was.  The
   seed ``insert_many`` was a bare loop of ``insert``, so a mid-batch key
@@ -33,6 +38,7 @@ from repro.core.errors import (
     StorageError,
 )
 from repro.core.tuples import XTuple
+from repro.stats import TableStatistics
 from repro.storage.database import Database
 from repro.storage.index import HashIndex
 from repro.storage.table import Table
@@ -88,6 +94,8 @@ def assert_indexes_match_rebuild(table: Table) -> None:
         rebuilt.rebuild(rows)
         assert index._buckets == rebuilt._buckets
         assert index._unindexed == rebuilt._unindexed
+    # Incremental statistics ≡ a full analyze() over the stored rows.
+    assert table.statistics == TableStatistics(rows)
 
 
 class TestMutationInterleavings:
@@ -152,6 +160,47 @@ class TestMutationInterleavings:
         assert removed == expected
         assert bulk_index._partitions == loop_index._partitions
         assert len(bulk_index) == len(loop_index)
+
+
+class TestStatisticsProperties:
+    @settings(max_examples=120, deadline=None, derandomize=True)
+    @given(st.lists(OPERATIONS, max_size=12))
+    def test_incremental_statistics_match_full_analyze(self, operations):
+        """After any mutation interleaving the live counters — row count,
+        per-attribute value counters, null counts, signature histogram —
+        equal a from-scratch analyze() of the stored rows."""
+        table = Table(ATTRIBUTES, name="T")
+        apply_operations(table, operations)
+        fresh = TableStatistics(set(table.rows()))
+        assert table.statistics == fresh
+        for attribute in ATTRIBUTES:
+            assert table.statistics.distinct_count(attribute) == fresh.distinct_count(attribute)
+            assert table.statistics.null_count(attribute) == fresh.null_count(attribute)
+        # analyze() is a no-op on the counters, and resets staleness.
+        table.analyze()
+        assert table.statistics == fresh
+        assert table.statistics.mutations_since_analyze == 0
+
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    @given(st.lists(ROWS, max_size=8), st.lists(ROWS, max_size=8))
+    def test_failed_batches_leave_statistics_untouched(self, first, second):
+        """Atomicity extends to the statistics: a mid-batch key violation
+        must not leak partial counts."""
+        table = Table(
+            ATTRIBUTES, constraints=[KeyConstraint(["A"]), NotNullConstraint(["A"])], name="T"
+        )
+        try:
+            table.insert_many(first)
+        except ConstraintViolation:
+            pass
+        before = TableStatistics(set(table.rows()))
+        assert table.statistics == before
+        try:
+            table.insert_many(second)
+        except ConstraintViolation:
+            assert table.statistics == before
+        else:
+            assert table.statistics == TableStatistics(set(table.rows()))
 
 
 class TestInsertManyAtomicity:
