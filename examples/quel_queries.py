@@ -2,9 +2,11 @@
 
 For each query this example shows:
 
-* the certain-answer lower bound computed tuple-at-a-time (Section 5),
-* the same answer computed through the calculus-to-algebra translation
-  (the planner), demonstrating the correspondence the paper relies on,
+* the certain-answer lower bound through the Session API
+  (``repro.connect`` — the cost-based planner, the default everywhere),
+* the same answer computed tuple-at-a-time (Section 5), the
+  definitional oracle, demonstrating the calculus↔algebra
+  correspondence the paper relies on,
 * the answer the "unknown" interpretation would require, computed with the
   tautology detector of the Appendix,
 * the exact certain answers from possible-worlds enumeration, as a check.
@@ -14,6 +16,7 @@ Run with::
     python examples/quel_queries.py
 """
 
+import repro
 from repro.datagen import FIGURE_1_QUERY, FIGURE_2_QUERY, employee_database
 from repro.quel import compile_query, run_query
 from repro.tautology import TautologyDetector, evaluate_unknown_lower_bound
@@ -24,19 +27,20 @@ def names(rows, attribute="e_NAME"):
     return sorted({t[attribute] for t in rows})
 
 
-def run_all(title: str, text: str, db, worlds_domains=None) -> None:
+def run_all(title: str, text: str, session, worlds_domains=None) -> None:
+    db = session.database
     print("=" * 72)
     print(title)
     print("=" * 72)
     print(text.strip())
     print()
 
+    session_result = session.execute(text)
     tuple_result = run_query(text, db, strategy="tuple")
-    algebra_result = run_query(text, db, strategy="algebra")
-    print(f"ni lower bound (tuple-at-a-time) : {names(tuple_result.rows)}")
-    print(f"ni lower bound (algebraic plan)  : {names(algebra_result.rows)}")
+    print(f"ni lower bound (session, planned): {names(session_result.rows)}")
+    print(f"ni lower bound (tuple oracle)    : {names(tuple_result.rows)}")
     print("plan:")
-    for line in algebra_result.plan.explain().splitlines():
+    for line in session_result.explain().splitlines():
         print(f"    {line}")
     print()
 
@@ -55,6 +59,7 @@ def run_all(title: str, text: str, db, worlds_domains=None) -> None:
 
 def main() -> None:
     db = employee_database()
+    session = repro.connect(db)
     print("The employee database (Table II plus the two managers):")
     print(db["EMP"].to_table())
     print()
@@ -62,7 +67,7 @@ def main() -> None:
     run_all(
         "Figure 1 — Q_A, as printed (strict inequalities)",
         FIGURE_1_QUERY,
-        db,
+        session,
         worlds_domains={"TEL#": [2633999, 2634000, 2634001]},
     )
 
@@ -70,7 +75,7 @@ def main() -> None:
     run_all(
         "Figure 1 — Q_A with ≥ (the complementary-conditions reading)",
         weak_variant,
-        db,
+        session,
         worlds_domains={"TEL#": [2633999, 2634000, 2634001]},
     )
     print("Note how BROWN appears in the unknown-interpretation answer of the")
@@ -78,7 +83,7 @@ def main() -> None:
     print("interpretation never needs — its answer is the same either way.")
     print()
 
-    run_all("Figure 2 — Q_B (male managers, no self/mutual management)", FIGURE_2_QUERY, db)
+    run_all("Figure 2 — Q_B (male managers, no self/mutual management)", FIGURE_2_QUERY, session)
 
 
 if __name__ == "__main__":

@@ -10,6 +10,7 @@ Run with::
     python examples/quickstart.py
 """
 
+import repro
 from repro import (
     NI,
     Relation,
@@ -20,8 +21,6 @@ from repro import (
     select_constant,
     union_join,
 )
-from repro.quel import run_query
-from repro.storage import Database
 
 
 def section(title: str) -> None:
@@ -72,22 +71,45 @@ def main() -> None:
     print("Projection on NAME, TEL# (note the null survives):")
     print(project(emp, ["NAME", "TEL#"]).to_table())
 
-    section("5. Lower-bound query evaluation (QUEL)")
-    db = Database("quickstart")
-    table = db.create_table("EMP", emp.schema.attributes)
-    table.insert_many(list(emp.tuples()))
+    section("5. Sessions: the QUEL client surface (repro.connect)")
+    session = repro.connect(name="quickstart")
+    db = session.database
+    db.create_table("EMP", emp.schema.attributes)
+    session.executemany(
+        "append to EMP (E# = $e, NAME = $n, SEX = $s, MGR# = $m, TEL# = $t)",
+        [dict(zip("ensmt", (r["E#"], r["NAME"], r["SEX"], r["MGR#"],
+                            None if r["TEL#"] is NI else r["TEL#"])))
+         for r in emp.tuples()],
+    )
     query = """
     range of e is EMP
     retrieve (e.NAME, e.E#)
     where (e.SEX = "F" and e.TEL# > 2634000)
        or (e.TEL# < 2634000)
     """
-    result = db.query(query)
+    result = session.execute(query)
     print("Figure 1 query — only rows that are TRUE for sure are returned:")
     print(result.to_table())
     print()
     print("BROWN has a null TEL#, so she is not in the certain answer;")
     print("no tautology detection machinery was needed to decide that.")
+
+    section("5b. DML, prepared statements and transactions")
+    by_phone = session.prepare(
+        "range of e is EMP retrieve (e.NAME) where e.TEL# = $tel"
+    )
+    print(f"prepared lookup: {[r['e_NAME'] for r in by_phone.execute({'tel': 2634952})]}")
+    db.table("EMP").create_index(["TEL#"], name="emp_tel")
+    print(f"...after create_index the cached plan transparently re-plans:")
+    print("    " + by_phone.explain({"tel": 2634952}).replace("\n", "\n    "))
+    session.execute(
+        'range of e is EMP replace e (TEL# = 2639999) where e.NAME = "SMITH"'
+    )
+    with session.transaction() as txn:
+        session.execute('range of e is EMP delete e where e.SEX = "M"')
+        txn.rollback()  # changed our mind: nothing happened
+    print(f"after replace + rolled-back delete: {len(db['EMP'])} rows, "
+          f"SMITH now at {next(r['TEL#'] for r in db['EMP'].tuples() if r['NAME'] == 'SMITH')}")
 
     section("6. Division: who supplies every part s2 supplies (for sure)?")
     ps = XRelation.from_rows(

@@ -15,7 +15,12 @@ Subpackages:
     relational algebra, and lower-bound query evaluation.
 ``repro.quel``
     A QUEL front end (lexer, parser, analyser, evaluator, planner) able to
-    run the paper's Figure 1 and Figure 2 queries verbatim.
+    run the paper's Figure 1 and Figure 2 queries verbatim, plus the DML
+    statements (APPEND TO / DELETE / REPLACE) and ``$name`` parameters.
+``repro.api``
+    The client surface: ``repro.connect(db)`` returns a Session speaking
+    full QUEL (queries and mutations) through the cost-based planner,
+    with prepared-statement plan caching and transactions.
 ``repro.codd``
     The Codd 1979 baseline: MAYBE-flavoured three-valued logic, TRUE/MAYBE
     selections, joins and division, and null-substitution containment.
@@ -42,7 +47,11 @@ Subpackages:
 
 from .core import *  # noqa: F401,F403 — the core API is the package API
 from .core import __all__ as _core_all
+from .api import PreparedStatement, ResultSet, Session, Transaction, connect
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = list(_core_all) + ["__version__"]
+__all__ = list(_core_all) + [
+    "PreparedStatement", "ResultSet", "Session", "Transaction", "connect",
+    "__version__",
+]

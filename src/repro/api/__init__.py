@@ -1,0 +1,14 @@
+"""The Session API: one coherent client surface over the reproduction.
+
+:func:`connect` opens a :class:`Session` against a
+:class:`~repro.storage.database.Database`; the session speaks the full
+QUEL statement set (RETRIEVE / RETRIEVE INTO / APPEND TO / DELETE /
+REPLACE with ``$name`` parameters), caches prepared plans keyed by
+normalized AST + catalog epoch, and groups statements atomically through
+:meth:`Session.transaction`.  See :mod:`repro.api.session`.
+"""
+
+from .results import ResultSet
+from .session import PreparedStatement, Session, Transaction, connect
+
+__all__ = ["ResultSet", "PreparedStatement", "Session", "Transaction", "connect"]

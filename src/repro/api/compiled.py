@@ -1,0 +1,623 @@
+"""Compiled statement executors: what a prepared statement caches.
+
+:func:`compile_statement` turns a parsed QUEL statement into an object
+with ``execute(params) -> ResultSet`` and ``describe(params) -> str``.
+Compilation does all the per-statement work that does not depend on the
+bound parameter values — lexing and parsing already happened in the
+session, so this is name resolution, semantic analysis, strategy choice
+(e.g. which persistent index a single-range retrieve will probe) — and
+execution does only the per-call work: substitute the ``$name`` values
+and run.
+
+Mutations route through the storage layer's *atomic* bulk entry points
+(:meth:`Database.insert_many`, :meth:`Database.delete_many`, and
+delete-then-insert for REPLACE), so the constraint atomicity of the bulk
+mutation subsystem carries over to every QUEL DML statement.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import QuelSemanticError, StorageError
+from ..core.nulls import is_ni
+from ..core.query import (
+    And,
+    AttributeRef,
+    Comparison,
+    Parameter as CoreParameter,
+    TruthConstant,
+    bind_parameter,
+)
+from ..core.relation import Relation
+from ..core.threevalued import compare
+from ..core.tuples import XTuple
+from ..core.xrelation import XRelation
+from ..quel.analyzer import AnalyzedQuery, analyze
+from ..quel.ast_nodes import (
+    AppendStatement,
+    Assignment,
+    ColumnRef,
+    DeleteStatement,
+    Literal,
+    Parameter,
+    RangeDeclaration,
+    ReplaceStatement,
+    RetrieveStatement,
+    TargetItem,
+)
+from ..quel.planner import Plan
+from .results import ResultSet
+
+
+def compile_statement(database, statement) -> "CompiledStatement":
+    """Compile a parsed statement against *database* (name resolution,
+    analysis, physical strategy choice)."""
+    if isinstance(statement, RetrieveStatement):
+        analyzed = analyze(statement, database)
+        fast = _FastRetrieve.try_compile(database, analyzed)
+        if fast is not None:
+            return fast
+        return _PlanRetrieve(database, analyzed)
+    if isinstance(statement, AppendStatement):
+        return _CompiledAppend(database, statement)
+    if isinstance(statement, DeleteStatement):
+        return _CompiledDelete(database, statement)
+    if isinstance(statement, ReplaceStatement):
+        return _CompiledReplace(database, statement)
+    raise QuelSemanticError(f"cannot compile statement {statement!r}")
+
+
+def _resolve_table(database, name: str):
+    """The named table, resolved case-insensitively like the analyzer."""
+    catalog = database.catalog
+    if catalog.has_table(name):
+        return catalog.table(name)
+    for candidate in catalog.table_names():
+        if candidate.lower() == name.lower():
+            return catalog.table(candidate)
+    raise QuelSemanticError(
+        f"unknown relation {name!r}; available: "
+        f"{', '.join(catalog.table_names())}"
+    )
+
+
+def _resolver(operand, schema=None, variable=None) -> Callable[[XTuple, Mapping[str, Any]], Any]:
+    """A per-execution value resolver for an assignment operand.
+
+    Literals close over their value, parameters read the bound params,
+    column references (REPLACE only) read the current row.
+    """
+    if isinstance(operand, Literal):
+        value = operand.value
+        return lambda row, params, _v=value: _v
+    if isinstance(operand, Parameter):
+        name = operand.name
+        return lambda row, params, _n=name: bind_parameter(params, _n)
+    if isinstance(operand, ColumnRef):
+        if variable is None or operand.variable != variable:
+            raise QuelSemanticError(
+                f"replacement value {operand} may reference only the "
+                f"replaced range variable"
+                if variable is not None else
+                f"assignment value {operand} references a range variable, "
+                f"but no ranges are declared"
+            )
+        if schema is not None and operand.attribute not in schema:
+            raise QuelSemanticError(
+                f"unknown attribute {operand} in assignment"
+            )
+        attribute = operand.attribute
+        return lambda row, params, _a=attribute: row[_a]
+    raise QuelSemanticError(f"unsupported assignment value {operand!r}")
+
+
+def _check_assignments(table, assignments: Sequence[Assignment]) -> None:
+    seen = set()
+    for assignment in assignments:
+        if assignment.attribute not in table.schema:
+            raise QuelSemanticError(
+                f"relation {table.name!r} has no attribute "
+                f"{assignment.attribute!r} "
+                f"(attributes: {', '.join(table.schema.attributes)})"
+            )
+        if assignment.attribute in seen:
+            raise QuelSemanticError(
+                f"attribute {assignment.attribute!r} assigned more than once"
+            )
+        seen.add(assignment.attribute)
+
+
+class CompiledStatement:
+    """Base class: an executable, parameterisable compiled statement."""
+
+    #: Parameter names the statement template mentions.
+    parameters: Tuple[str, ...] = ()
+
+    def execute(self, params: Mapping[str, Any]) -> ResultSet:
+        raise NotImplementedError
+
+    def describe(self, params: Optional[Mapping[str, Any]] = None) -> str:
+        """A human-readable account of the chosen strategy."""
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# RETRIEVE
+# ---------------------------------------------------------------------------
+
+class _PlanRetrieve(CompiledStatement):
+    """The general retrieve path: cached analysis + cost-based plan."""
+
+    def __init__(self, database, analyzed: AnalyzedQuery):
+        self.database = database
+        self.analyzed = analyzed
+        self.parameters = analyzed.parameters
+        self.into = analyzed.into
+
+    def execute(self, params: Mapping[str, Any]) -> ResultSet:
+        query = self.analyzed.bind(params)
+        plan = Plan(query, self.database)
+        answer = plan.execute()
+        rows_affected = 0
+        if self.into:
+            rows_affected = _materialize_into(self.database, self.into, answer)
+            plan.steps.append(
+                f"materialize {rows_affected} row(s) into new table {self.into}"
+            )
+        return ResultSet(answer, rows_affected=rows_affected, steps=plan.steps)
+
+    def describe(self, params: Optional[Mapping[str, Any]] = None) -> str:
+        # Unbound placeholders are described with null stand-ins (an
+        # equality against null qualifies nothing, so the trace still
+        # shows the chosen strategy) — explain() never requires params.
+        bound = dict(params or {})
+        for name in self.parameters:
+            bound.setdefault(name, None)
+        plan = Plan(self.analyzed.bind(bound), self.database)
+        plan.execute()
+        return "\n".join(plan.steps)
+
+
+def _materialize_into(database, name: str, answer: XRelation) -> int:
+    """RETRIEVE INTO: create the result table and bulk-load the answer."""
+    if database.catalog.has_table(name):
+        raise StorageError(
+            f"retrieve into: table {name!r} already exists"
+        )
+    table = database.create_table(name, answer.schema.attributes)
+    rows = list(answer.rows())
+    table.insert_many(rows)
+    return len(rows)
+
+
+class _FastRetrieve(CompiledStatement):
+    """The prepared-statement fast path: a fully compiled single-range
+    conjunctive retrieve.
+
+    Eligibility: one range bound to a stored table, a where clause that
+    is a conjunction of ``column θ (literal | $param)`` comparisons (or
+    absent), and no INTO.  Compilation picks the physical access path
+    once — a persistent hash index covering the equality attributes, or
+    a scan — and execution is a bucket probe / filter plus direct output
+    row construction, with none of the per-call analyze/plan machinery.
+    """
+
+    def __init__(
+        self,
+        database,
+        table,
+        variable: str,
+        targets: Tuple[Tuple[str, str], ...],
+        eq_probes: Tuple[Tuple[str, Callable], ...],
+        residual: Tuple[Tuple[str, str, Callable], ...],
+        index,
+        parameters: Tuple[str, ...],
+    ):
+        self.database = database
+        self.table = table
+        self.variable = variable
+        self.targets = targets
+        self.eq_probes = eq_probes
+        self.residual = residual
+        self.index = index
+        self.parameters = parameters
+        self.output_attributes = tuple(output for output, _ in targets)
+
+    # -- compilation ----------------------------------------------------------
+    @classmethod
+    def try_compile(cls, database, analyzed: AnalyzedQuery):
+        query = analyzed.query
+        if analyzed.into is not None or len(query.ranges) != 1:
+            return None
+        table_finder = getattr(database, "table_for_relation", None)
+        if table_finder is None:
+            return None
+        (variable, relation), = query.ranges.items()
+        table = table_finder(relation)
+        if table is None:
+            return None
+
+        where = query.where
+        if isinstance(where, TruthConstant):
+            conjuncts: List[Comparison] = [] if where.truth.is_true() else None
+            if conjuncts is None:
+                return None
+        elif isinstance(where, And):
+            operands = where.operands
+            if not all(isinstance(o, Comparison) for o in operands):
+                return None
+            conjuncts = list(operands)
+        elif isinstance(where, Comparison):
+            conjuncts = [where]
+        else:
+            return None
+
+        # Each conjunct must compare one column of the range against a
+        # literal or parameter; normalise so the column reads on the left.
+        flat: List[Tuple[str, str, Any]] = []
+        for conjunct in conjuncts:
+            left, right = conjunct.left, conjunct.right
+            op = conjunct.op
+            if isinstance(left, AttributeRef) and not isinstance(right, AttributeRef):
+                flat.append((left.attribute, op, right))
+            elif isinstance(right, AttributeRef) and not isinstance(left, AttributeRef):
+                flat.append((right.attribute, _FLIPPED[op], left))
+            else:
+                return None  # column-to-column or degenerate: generic path
+
+        def value_resolver(term):
+            if isinstance(term, CoreParameter):
+                return lambda params, _n=term.name: bind_parameter(params, _n)
+            value = term.literal
+            return lambda params, _v=value: _v
+
+        eq_attrs: Dict[str, Tuple[str, str, Any]] = {}
+        for entry in flat:
+            attribute, op, _term = entry
+            if op in ("=", "==") and attribute not in eq_attrs:
+                eq_attrs[attribute] = entry
+        # The same physical choice the cost-based planner makes for its
+        # pushed selections (one shared matcher — they cannot diverge).
+        index, consumed_attrs = table.find_equality_index(list(eq_attrs))
+        eq_attrs = {attribute: eq_attrs[attribute] for attribute in consumed_attrs}
+
+        consumed = {id(entry) for entry in eq_attrs.values()}
+        eq_probes = tuple(
+            (attribute, value_resolver(eq_attrs[attribute][2]))
+            for attribute in (index.attributes if index is not None else ())
+        )
+        residual = tuple(
+            (entry[0], entry[1], value_resolver(entry[2]))
+            for entry in flat
+            if id(entry) not in consumed
+        )
+        targets = tuple(
+            (output, ref.attribute) for output, ref in query.target
+        )
+        return cls(
+            database, table, variable, targets, eq_probes, residual,
+            index, analyzed.parameters,
+        )
+
+    # -- execution ------------------------------------------------------------
+    def execute(self, params: Mapping[str, Any]) -> ResultSet:
+        if self.index is not None:
+            probe = [resolve(params) for _, resolve in self.eq_probes]
+            rows = self.index.lookup(probe)
+        else:
+            rows = self.table.relation.tuples()
+        residual = [
+            (attribute, op, resolve(params))
+            for attribute, op, resolve in self.residual
+        ]
+        targets = self.targets
+        out = set()
+        for row in rows:
+            if row.is_null_tuple():
+                continue
+            satisfied = True
+            for attribute, op, value in residual:
+                if not compare(row[attribute], op, value).is_true():
+                    satisfied = False
+                    break
+            if satisfied:
+                out.add(XTuple(
+                    (output, row[attribute]) for output, attribute in targets
+                ))
+        relation = Relation(self.output_attributes, name="Q", validate=False)
+        relation._rows = out
+        answer = XRelation(relation)
+        return ResultSet(answer, steps=self._steps(len(answer)))
+
+    def _steps(self, result_rows: Optional[int] = None) -> List[str]:
+        steps = []
+        if self.index is not None:
+            described = " and ".join(
+                f"{self.variable}.{a} = ?" for a, _ in self.eq_probes
+            )
+            steps.append(
+                f"index select {described} using index {self.index.name} "
+                f"[prepared fast path]"
+            )
+        else:
+            steps.append(f"scan {self.table.name} [prepared fast path]")
+        for attribute, op, _resolve in self.residual:
+            steps.append(f"filter {self.variable}.{attribute} {op} ?")
+        tail = f"project onto {list(self.output_attributes)}"
+        if result_rows is not None:
+            tail += f" [rows={result_rows}]"
+        steps.append(tail)
+        return steps
+
+    def describe(self, params: Optional[Mapping[str, Any]] = None) -> str:
+        return "\n".join(self._steps())
+
+
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "==": "==", "!=": "!="}
+
+
+# ---------------------------------------------------------------------------
+# DML
+# ---------------------------------------------------------------------------
+
+def _matching_rows_query(
+    database,
+    ranges: Tuple[RangeDeclaration, ...],
+    variable: str,
+    where,
+    attributes: Tuple[str, ...],
+) -> AnalyzedQuery:
+    """An analysed query whose answer is the *variable*-rows matching
+    *where*: the target list projects every attribute of the variable's
+    relation under its bare name, so each output row IS a stored row."""
+    targets = tuple(
+        TargetItem(ColumnRef(variable, attribute), label=attribute)
+        for attribute in attributes
+    )
+    statement = RetrieveStatement(ranges, targets, where)
+    return analyze(statement, database)
+
+
+class _CompiledDelete(CompiledStatement):
+    """``delete v [where …]`` → matching rows → atomic ``delete_many``.
+
+    Per Section 7, deletion is generalised difference: each matching row
+    also removes every stored row it subsumes ((4.8)), and the whole
+    batch is applied through the bulk path with referential checks."""
+
+    def __init__(self, database, statement: DeleteStatement):
+        self.database = database
+        self.statement = statement
+        declared = {d.variable: d for d in statement.ranges}
+        if statement.variable not in declared:
+            raise QuelSemanticError(
+                f"delete target {statement.variable!r} is not a declared "
+                f"range variable (declared: {', '.join(declared) or 'none'})"
+            )
+        self.table = _resolve_table(database, declared[statement.variable].relation)
+        self.analyzed = _matching_rows_query(
+            database, statement.ranges, statement.variable,
+            statement.where, self.table.schema.attributes,
+        )
+        self.parameters = self.analyzed.parameters
+
+    def _matching(self, params: Mapping[str, Any]) -> List[XTuple]:
+        query = self.analyzed.bind(params)
+        return list(Plan(query, self.database).execute().rows())
+
+    def execute(self, params: Mapping[str, Any]) -> ResultSet:
+        doomed = self._matching(params)
+        if not doomed:
+            return ResultSet(rows_affected=0, steps=[self.describe(params)])
+        count = self.database.delete_many(self.table.name, doomed)
+        return ResultSet(rows_affected=count, steps=[self.describe(params)])
+
+    def describe(self, params: Optional[Mapping[str, Any]] = None) -> str:
+        where = f" where {self.statement.where}" if self.statement.where else ""
+        return (
+            f"delete from {self.table.name}{where} "
+            f"via atomic delete_many (4.8 subsumption, FK-checked)"
+        )
+
+
+class _CompiledAppend(CompiledStatement):
+    """``append to R (…)`` → one atomic ``insert_many`` batch."""
+
+    def __init__(self, database, statement: AppendStatement):
+        self.database = database
+        self.statement = statement
+        self.table = _resolve_table(database, statement.relation)
+        _check_assignments(self.table, statement.assignments)
+        self.analyzed: Optional[AnalyzedQuery] = None
+        #: (attribute, column-label or None, resolver or None) per assignment.
+        self.columns: List[Tuple[str, Optional[str], Optional[Callable]]] = []
+        parameters: List[str] = []
+
+        if statement.ranges:
+            # The binding-enumeration sub-query projects EVERY attribute
+            # of every declared range.  The answer is an x-relation
+            # (minimal form): a qualifying binding always carries at
+            # least one non-null attribute per range (null-tuple rows
+            # never bind), so its full projection is never the null
+            # tuple and cannot be minimized away — whereas projecting
+            # only the assignment columns could collapse a qualifying
+            # binding whose assigned columns are all null into the null
+            # tuple and silently drop the append.  A full-projection row
+            # dominated by another yields a dominated (redundant) append
+            # row, so minimization stays harmless.
+            targets: List[TargetItem] = []
+            for declaration in statement.ranges:
+                for attribute in _resolve_table(database, declaration.relation).schema.attributes:
+                    targets.append(TargetItem(
+                        ColumnRef(declaration.variable, attribute),
+                        label=f"{declaration.variable}__{attribute}",
+                    ))
+            declared = {
+                d.variable: _resolve_table(database, d.relation)
+                for d in statement.ranges
+            }
+            for assignment in statement.assignments:
+                if isinstance(assignment.value, ColumnRef):
+                    reference = assignment.value
+                    if reference.variable not in declared:
+                        raise QuelSemanticError(
+                            f"assignment value {reference} references an "
+                            f"undeclared range variable "
+                            f"(declared: {', '.join(declared)})"
+                        )
+                    if reference.attribute not in declared[reference.variable].schema:
+                        raise QuelSemanticError(
+                            f"assignment value {reference} names an unknown "
+                            f"attribute"
+                        )
+                    self.columns.append((
+                        assignment.attribute,
+                        f"{reference.variable}__{reference.attribute}",
+                        None,
+                    ))
+                else:
+                    resolver = _resolver(assignment.value)
+                    self.columns.append((assignment.attribute, None, resolver))
+                    if isinstance(assignment.value, Parameter):
+                        parameters.append(assignment.value.name)
+            self.analyzed = analyze(
+                RetrieveStatement(statement.ranges, tuple(targets), statement.where),
+                database,
+            )
+            parameters.extend(
+                n for n in self.analyzed.parameters if n not in parameters
+            )
+        else:
+            if statement.where is not None:
+                raise QuelSemanticError(
+                    "append without range variables cannot have a where clause"
+                )
+            for assignment in statement.assignments:
+                if isinstance(assignment.value, ColumnRef):
+                    raise QuelSemanticError(
+                        f"assignment value {assignment.value} references a "
+                        f"range variable, but no ranges are declared"
+                    )
+                resolver = _resolver(assignment.value)
+                self.columns.append((assignment.attribute, None, resolver))
+                if isinstance(assignment.value, Parameter):
+                    parameters.append(assignment.value.name)
+        self.parameters = tuple(dict.fromkeys(parameters))
+
+    def _build_rows(self, params: Mapping[str, Any]) -> List[XTuple]:
+        if self.analyzed is None:
+            values = {}
+            for attribute, _label, resolver in self.columns:
+                value = resolver(None, params)
+                if not is_ni(value):
+                    values[attribute] = value
+            return [XTuple(values)]
+        query = self.analyzed.bind(params)
+        answer = Plan(query, self.database).execute()
+        rows: List[XTuple] = []
+        for source in answer.rows():
+            values = {}
+            for attribute, label, resolver in self.columns:
+                value = source[label] if label is not None else resolver(source, params)
+                if not is_ni(value):
+                    values[attribute] = value
+            rows.append(XTuple(values))
+        return list(dict.fromkeys(rows))
+
+    def execute(self, params: Mapping[str, Any]) -> ResultSet:
+        rows = self._build_rows(params)
+        if not rows:
+            return ResultSet(rows_affected=0, steps=[self.describe(params)])
+        self.database.insert_many(self.table.name, rows)
+        return ResultSet(rows_affected=len(rows), steps=[self.describe(params)])
+
+    def describe(self, params: Optional[Mapping[str, Any]] = None) -> str:
+        source = "from query ranges" if self.statement.ranges else "one literal row"
+        return (
+            f"append to {self.table.name} ({source}) "
+            f"via atomic insert_many (constraints checked up front)"
+        )
+
+
+class _CompiledReplace(CompiledStatement):
+    """``replace v (…) [where …]`` → delete-then-insert, wholesale rollback.
+
+    Section 7: "a modification can be viewed as a deletion followed by an
+    addition".  The matching rows are removed through the (4.8) bulk
+    difference, the replacements inserted through the atomic bulk union,
+    and foreign keys are re-checked against the *post* state — on any
+    failure the table is restored to its pre-statement rows.
+    """
+
+    def __init__(self, database, statement: ReplaceStatement):
+        self.database = database
+        self.statement = statement
+        declared = {d.variable: d for d in statement.ranges}
+        if statement.variable not in declared:
+            raise QuelSemanticError(
+                f"replace target {statement.variable!r} is not a declared "
+                f"range variable (declared: {', '.join(declared) or 'none'})"
+            )
+        self.table = _resolve_table(database, declared[statement.variable].relation)
+        _check_assignments(self.table, statement.assignments)
+        self.assignments: List[Tuple[str, Callable]] = []
+        parameters: List[str] = []
+        for assignment in statement.assignments:
+            resolver = _resolver(
+                assignment.value,
+                schema=self.table.schema,
+                variable=statement.variable,
+            )
+            self.assignments.append((assignment.attribute, resolver))
+            if isinstance(assignment.value, Parameter):
+                parameters.append(assignment.value.name)
+        self.analyzed = _matching_rows_query(
+            database, statement.ranges, statement.variable,
+            statement.where, self.table.schema.attributes,
+        )
+        parameters.extend(n for n in self.analyzed.parameters if n not in parameters)
+        self.parameters = tuple(dict.fromkeys(parameters))
+
+    def execute(self, params: Mapping[str, Any]) -> ResultSet:
+        query = self.analyzed.bind(params)
+        matched = list(Plan(query, self.database).execute().rows())
+        if not matched:
+            return ResultSet(rows_affected=0, steps=[self.describe(params)])
+        replacements: List[XTuple] = []
+        for old in matched:
+            values = dict(old.items())
+            for attribute, resolver in self.assignments:
+                value = resolver(old, params)
+                if is_ni(value):
+                    values.pop(attribute, None)
+                else:
+                    values[attribute] = value
+            replacements.append(XTuple(values))
+        replacements = list(dict.fromkeys(replacements))
+
+        table, catalog = self.table, self.database.catalog
+        saved = set(table.rows())
+        try:
+            table.delete_many(matched)
+            table.insert_many(replacements)
+            # Referential integrity holds on the *post* state: the new
+            # rows may legitimately re-satisfy keys the deletion removed.
+            for fk in catalog.foreign_keys_of(table.name):
+                fk.check(
+                    table.relation,
+                    catalog.table(fk.referenced_relation).relation,
+                )
+            for owner, fk in catalog.foreign_keys_referencing(table.name):
+                fk.check(catalog.table(owner).relation, table.relation)
+        except Exception:
+            table.reset_rows(saved)
+            raise
+        return ResultSet(rows_affected=len(matched), steps=[self.describe(params)])
+
+    def describe(self, params: Optional[Mapping[str, Any]] = None) -> str:
+        where = f" where {self.statement.where}" if self.statement.where else ""
+        return (
+            f"replace in {self.table.name}{where} via delete_many + "
+            f"insert_many (deletion followed by addition, post-state FK check)"
+        )

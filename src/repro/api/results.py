@@ -1,0 +1,110 @@
+"""Result sets: the uniform answer shape of the Session API.
+
+Every :meth:`repro.api.Session.execute` call — RETRIEVE, RETRIEVE INTO,
+APPEND, DELETE, REPLACE — returns a :class:`ResultSet`.  Query statements
+carry rows (iterable, with ``.columns`` and ``.to_relation()``); mutation
+statements carry ``.rows_affected``; both carry the executed plan trace
+through :meth:`ResultSet.explain`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from ..core.tuples import XTuple
+from ..core.xrelation import XRelation
+
+
+class ResultSet:
+    """The answer to one executed statement.
+
+    Parameters
+    ----------
+    relation:
+        The answer x-relation for row-producing statements, ``None`` for
+        pure mutations.
+    rows_affected:
+        Rows inserted / deleted / replaced (0 for a plain RETRIEVE).
+    steps:
+        The executed plan's step trace (what :meth:`explain` renders).
+    """
+
+    def __init__(
+        self,
+        relation: Optional[XRelation] = None,
+        *,
+        rows_affected: int = 0,
+        steps: Tuple[str, ...] = (),
+    ):
+        self._relation = relation
+        self.rows_affected = rows_affected
+        self._steps: Tuple[str, ...] = tuple(steps)
+
+    # -- rows -----------------------------------------------------------------
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        """The output column names (empty for a pure mutation)."""
+        if self._relation is None:
+            return ()
+        return self._relation.attributes
+
+    @property
+    def rows(self) -> List[XTuple]:
+        """The answer rows in a stable (sorted) order."""
+        if self._relation is None:
+            return []
+        return self._relation.representation.sorted_rows()
+
+    def __iter__(self) -> Iterator[XTuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return 0 if self._relation is None else len(self._relation)
+
+    def first(self) -> Optional[XTuple]:
+        """The first row in sorted order, or ``None`` on an empty answer."""
+        rows = self.rows
+        return rows[0] if rows else None
+
+    def scalar(self):
+        """The single value of a one-row, one-column answer (else an error)."""
+        rows = self.rows
+        if len(rows) != 1 or len(self.columns) != 1:
+            raise ValueError(
+                f"scalar() needs exactly one row and one column, "
+                f"got {len(rows)} row(s) × {len(self.columns)} column(s)"
+            )
+        return rows[0][self.columns[0]]
+
+    # -- conversions ----------------------------------------------------------
+    def to_relation(self) -> Optional[XRelation]:
+        """The answer as an :class:`XRelation` (``None`` for a mutation)."""
+        return self._relation
+
+    @property
+    def answer(self) -> Optional[XRelation]:
+        """Compatibility alias of :meth:`to_relation` (mirrors
+        :class:`repro.quel.QueryResult`)."""
+        return self._relation
+
+    def to_table(self) -> str:
+        if self._relation is None:
+            return f"({self.rows_affected} row(s) affected)"
+        return self._relation.representation.to_table()
+
+    # -- provenance -----------------------------------------------------------
+    @property
+    def steps(self) -> Tuple[str, ...]:
+        return self._steps
+
+    def explain(self) -> str:
+        """The executed plan, one numbered step per line."""
+        return "\n".join(f"{i + 1}. {step}" for i, step in enumerate(self._steps))
+
+    def __repr__(self) -> str:
+        if self._relation is None:
+            return f"ResultSet(rows_affected={self.rows_affected})"
+        return (
+            f"ResultSet(rows={len(self)}, columns={list(self.columns)}, "
+            f"rows_affected={self.rows_affected})"
+        )

@@ -1,0 +1,282 @@
+"""Sessions: the single client surface of the reproduction.
+
+``repro.connect(database)`` returns a :class:`Session` that speaks the
+full QUEL statement set — RETRIEVE (with INTO materialisation), APPEND
+TO, DELETE, REPLACE, all with ``$name`` parameters — through one method::
+
+    session = repro.connect(db)
+    session.execute('append to EMP (E# = $e, NAME = $n)', {"e": 1, "n": "SMITH"})
+    rows = session.execute('range of e is EMP retrieve (e.NAME)')
+
+Every statement runs lexer → parser → analyzer → cost-based plan →
+execution; mutations route through the storage layer's atomic bulk
+paths.  :meth:`Session.prepare` returns a :class:`PreparedStatement`
+whose compiled plan lives in a session LRU keyed by the statement's
+*normalized AST* and stamped with the database's catalog/index/stats
+epoch — re-executing skips lexing, parsing, analysis and planning
+entirely, and any DDL, index change or ANALYZE transparently re-plans on
+the next execution.  :meth:`Session.transaction` gives all-or-nothing
+multi-statement groups (snapshot-based undo); outside a transaction each
+statement autocommits.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Iterable, List, Mapping, Optional, Tuple
+
+from ..core.errors import StorageError
+from ..quel.ast_nodes import Statement, normalize_statement
+from ..quel.parser import parse_statement
+from .compiled import CompiledStatement, compile_statement
+from .results import ResultSet
+
+
+class PreparedStatement:
+    """A statement compiled once, executable many times.
+
+    The compiled form (analysis + physical strategy) is stamped with the
+    database epoch at compile time; :meth:`execute` re-compiles
+    transparently when the epoch moved (any DDL, index or ANALYZE change
+    since), so a cached plan can never silently use a dropped index or
+    miss a new one.
+    """
+
+    def __init__(self, session: "Session", text: str, statement: Statement):
+        self.session = session
+        self.text = text
+        self.statement = statement
+        self._compiled: Optional[CompiledStatement] = None
+        self._epoch: Optional[int] = None
+        #: How many times this statement was (re)compiled — observable
+        #: evidence of plan-cache hits and epoch invalidations.
+        self.compile_count = 0
+
+    def _ensure_compiled(self) -> CompiledStatement:
+        database = self.session.database
+        epoch = getattr(database, "epoch", None)
+        if self._compiled is None or epoch != self._epoch:
+            self._compiled = compile_statement(database, self.statement)
+            self._epoch = epoch
+            self.compile_count += 1
+        return self._compiled
+
+    @property
+    def parameters(self) -> Tuple[str, ...]:
+        """The ``$name`` placeholders the statement expects."""
+        return self._ensure_compiled().parameters
+
+    def execute(self, params: Optional[Mapping[str, Any]] = None) -> ResultSet:
+        return self._ensure_compiled().execute(params or {})
+
+    def explain(self, params: Optional[Mapping[str, Any]] = None) -> str:
+        """The currently chosen strategy (re-planned if the epoch moved)."""
+        return self._ensure_compiled().describe(params)
+
+    def __repr__(self) -> str:
+        return f"PreparedStatement({self.text.strip()!r})"
+
+
+class Transaction:
+    """An all-or-nothing group of statements (a context manager).
+
+    Entering takes a snapshot of every table's rows, index definitions
+    and the foreign-key list; leaving normally commits (discards the
+    snapshot), leaving through an exception — or calling
+    :meth:`rollback` — restores the snapshot wholesale through the bulk
+    rebuild path, drops any table created inside the group and removes
+    any foreign key added inside it.  Tables *dropped* inside the group
+    cannot be recreated from the row snapshot and make the rollback fail
+    loudly rather than silently diverge.
+    """
+
+    def __init__(self, session: "Session"):
+        self.session = session
+        self._snapshot: Optional[Mapping[str, Any]] = None
+        self._tables: Tuple[str, ...] = ()
+        self._foreign_keys: Optional[list] = None
+        self._active = False
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def __enter__(self) -> "Transaction":
+        if self._active:
+            raise StorageError("transaction already entered")
+        database = self.session.database
+        self._snapshot = database.snapshot()
+        self._tables = tuple(database.catalog.table_names())
+        self._foreign_keys = database.catalog.foreign_key_entries()
+        self._active = True
+        self.session._transactions.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._active:
+            if exc_type is not None:
+                self._restore()
+            self._close()
+        return False  # never swallow the exception
+
+    def commit(self) -> None:
+        """Keep the group's effects and end the transaction."""
+        if not self._active:
+            raise StorageError("transaction is not active")
+        self._close()
+
+    def rollback(self) -> None:
+        """Undo the group's effects and end the transaction."""
+        if not self._active:
+            raise StorageError("transaction is not active")
+        self._restore()
+        self._close()
+
+    def _close(self) -> None:
+        self._active = False
+        if self in self.session._transactions:
+            self.session._transactions.remove(self)
+
+    def _restore(self) -> None:
+        database = self.session.database
+        before = set(self._tables)
+        created = [
+            name for name in database.catalog.table_names() if name not in before
+        ]
+        # Tables created inside the group go away; drop in passes so
+        # foreign keys between created tables cannot wedge the order.
+        while created:
+            progressed = False
+            for name in list(created):
+                try:
+                    database.drop_table(name)
+                except StorageError:
+                    continue
+                created.remove(name)
+                progressed = True
+            if not progressed:
+                raise StorageError(
+                    f"cannot roll back: created table(s) {created} are "
+                    f"referenced by surviving foreign keys"
+                )
+        missing = [
+            name for name in self._tables if not database.catalog.has_table(name)
+        ]
+        if missing:
+            raise StorageError(
+                f"cannot roll back: table(s) {missing} were dropped inside "
+                f"the transaction (schema undo beyond creation is not supported)"
+            )
+        # Foreign keys revert to the entry snapshot — additions made
+        # inside the group go away with it.  (Drops and renames also
+        # rewrite the entry list, but a table dropped inside the group
+        # already failed loudly above, and renames re-enter under the
+        # new owner name, which the restore filter tolerates.)
+        database.catalog.restore_foreign_keys(self._foreign_keys)
+        database.restore(self._snapshot)
+
+
+class Session:
+    """A connection-like object over a :class:`repro.storage.Database`.
+
+    Parameters
+    ----------
+    database:
+        The database to speak to (``repro.storage.Database``).
+    cache_size:
+        Capacity of the prepared-statement LRU (0 disables caching).
+    """
+
+    def __init__(self, database, cache_size: int = 128):
+        if not hasattr(database, "catalog"):
+            raise TypeError(
+                f"connect() needs a repro.storage.Database, got {database!r}"
+            )
+        self.database = database
+        self.cache_size = cache_size
+        self._statements: "OrderedDict[Any, PreparedStatement]" = OrderedDict()
+        self._transactions: List[Transaction] = []
+
+    # -- statements -----------------------------------------------------------
+    def prepare(self, text: str) -> PreparedStatement:
+        """Parse *text* once and return its (cached) prepared statement.
+
+        The cache key is the statement's normalized AST, so texts
+        differing only in whitespace, comments or source positions share
+        one compiled plan; ``$name`` placeholders normalize by name, so
+        one template serves every binding.
+        """
+        statement = parse_statement(text)
+        key = normalize_statement(statement)
+        cached = self._statements.get(key)
+        if cached is not None:
+            self._statements.move_to_end(key)
+            return cached
+        prepared = PreparedStatement(self, text, statement)
+        if self.cache_size > 0:
+            self._statements[key] = prepared
+            while len(self._statements) > self.cache_size:
+                self._statements.popitem(last=False)
+        return prepared
+
+    def execute(
+        self, text: str, params: Optional[Mapping[str, Any]] = None
+    ) -> ResultSet:
+        """Run any QUEL statement; see the module docstring for the surface."""
+        return self.prepare(text).execute(params)
+
+    def executemany(
+        self, text: str, param_sequence: Iterable[Mapping[str, Any]]
+    ) -> int:
+        """Execute one prepared statement per parameter set; the total
+        ``rows_affected``.  The statement compiles once."""
+        prepared = self.prepare(text)
+        total = 0
+        for params in param_sequence:
+            total += prepared.execute(params).rows_affected
+        return total
+
+    def explain(
+        self, text: str, params: Optional[Mapping[str, Any]] = None
+    ) -> str:
+        """The strategy the session would use for *text*, without running it
+        (retrieves are evaluated to annotate the trace; mutations are not
+        applied)."""
+        return self.prepare(text).explain(params)
+
+    # -- transactions ---------------------------------------------------------
+    def transaction(self) -> Transaction:
+        """A new all-or-nothing statement group (use as a context manager)."""
+        return Transaction(self)
+
+    @property
+    def in_transaction(self) -> bool:
+        return any(t.active for t in self._transactions)
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def cached_statements(self) -> int:
+        """How many prepared statements the LRU currently holds."""
+        return len(self._statements)
+
+    def clear_statement_cache(self) -> None:
+        self._statements.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"Session({self.database!r}, cached_statements="
+            f"{self.cached_statements}, in_transaction={self.in_transaction})"
+        )
+
+
+def connect(database=None, name: str = "db", cache_size: int = 128) -> Session:
+    """Open a :class:`Session` — the single client entry point.
+
+    ``repro.connect(db)`` wraps an existing
+    :class:`~repro.storage.database.Database`; ``repro.connect()``
+    creates a fresh in-memory one (reachable as ``session.database``).
+    """
+    if database is None:
+        from ..storage.database import Database
+        database = Database(name)
+    return Session(database, cache_size=cache_size)

@@ -77,12 +77,15 @@ from .query import (
     Constant,
     Not,
     Or,
+    Parameter,
     Predicate,
     Query,
     Term,
     TruthConstant,
+    collect_parameters,
     evaluate_lower_bound,
     evaluate_truth_partition,
+    substitute_parameters,
 )
 from .errors import (
     AlgebraError,
@@ -125,7 +128,8 @@ __all__ = [
     "select_attributes", "select_constant", "select_predicate", "theta_join", "union_join",
     # query
     "ALWAYS_FALSE", "ALWAYS_TRUE", "And", "AttributeRef", "Comparison", "Constant", "Not", "Or",
-    "Predicate", "Query", "Term", "TruthConstant", "evaluate_lower_bound", "evaluate_truth_partition",
+    "Parameter", "Predicate", "Query", "Term", "TruthConstant", "collect_parameters",
+    "evaluate_lower_bound", "evaluate_truth_partition", "substitute_parameters",
     # errors
     "AlgebraError", "AttributeNotFound", "ConstraintViolation", "DomainError", "KeyViolation",
     "NotJoinableError", "NotNullViolation", "QuelError", "QuelLexError", "QuelParseError",

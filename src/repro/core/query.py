@@ -104,6 +104,35 @@ class Constant(Term):
         return hash(("Constant", self.literal))
 
 
+class Parameter(Term):
+    """A named ``$parameter`` placeholder awaiting a per-execution value.
+
+    Prepared statements analyse and plan a query *template* once;
+    :func:`substitute_parameters` turns the template into an executable
+    query by replacing each placeholder with a :class:`Constant`.
+    Evaluating an unbound placeholder is an error.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def value(self, binding: Mapping[str, XTuple]) -> Any:
+        raise QuelSemanticError(
+            f"unbound parameter ${self.name}; supply params={{...}} at execution"
+        )
+
+    def __repr__(self) -> str:
+        return f"${self.name}"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Parameter) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Parameter", self.name))
+
+
 # ---------------------------------------------------------------------------
 # Predicates (the where clause)
 # ---------------------------------------------------------------------------
@@ -388,6 +417,71 @@ def evaluate_lower_bound(query: Query, minimize: bool = True) -> XRelation:
             ))
     result = XRelation(out)
     return result if minimize else XRelation(out)
+
+
+def collect_parameters(predicate: Optional[Predicate]) -> Tuple[str, ...]:
+    """The distinct parameter names a predicate mentions, in first-use order."""
+    if predicate is None:
+        return ()
+    seen: Dict[str, None] = {}
+    for comparison in predicate.comparisons():
+        for term in (comparison.left, comparison.right):
+            if isinstance(term, Parameter):
+                seen[term.name] = None
+    return tuple(seen)
+
+
+def substitute_parameters(
+    predicate: Predicate, params: Mapping[str, Any]
+) -> Predicate:
+    """A copy of *predicate* with every :class:`Parameter` bound to a constant.
+
+    Nodes containing no placeholders are shared, not copied, so repeated
+    substitution of a mostly-parameter-free template is cheap.  A
+    placeholder missing from *params* raises :class:`QuelSemanticError`.
+    """
+    if isinstance(predicate, Comparison):
+        left, right = predicate.left, predicate.right
+        bound_left = _bind_term(left, params)
+        bound_right = _bind_term(right, params)
+        if bound_left is left and bound_right is right:
+            return predicate
+        return Comparison(bound_left, predicate.op, bound_right)
+    if isinstance(predicate, And):
+        operands = [substitute_parameters(o, params) for o in predicate.operands]
+        if all(n is o for n, o in zip(operands, predicate.operands)):
+            return predicate
+        return And(*operands)
+    if isinstance(predicate, Or):
+        operands = [substitute_parameters(o, params) for o in predicate.operands]
+        if all(n is o for n, o in zip(operands, predicate.operands)):
+            return predicate
+        return Or(*operands)
+    if isinstance(predicate, Not):
+        operand = substitute_parameters(predicate.operand, params)
+        return predicate if operand is predicate.operand else Not(operand)
+    return predicate
+
+
+def bind_parameter(params: Mapping[str, Any], name: str) -> Any:
+    """The value bound to ``$name``, or a uniform missing-value error.
+
+    The one lookup-or-raise implementation shared by predicate
+    substitution and the session's compiled assignment/probe resolvers,
+    so the binding semantics (and the error message) cannot drift.
+    """
+    if name not in params:
+        raise QuelSemanticError(
+            f"missing value for parameter ${name} "
+            f"(supplied: {sorted(params) if params else 'none'})"
+        )
+    return params[name]
+
+
+def _bind_term(term: Term, params: Mapping[str, Any]) -> Term:
+    if isinstance(term, Parameter):
+        return Constant(bind_parameter(params, term.name))
+    return term
 
 
 def evaluate_truth_partition(query: Query) -> Dict[str, List[Dict[str, XTuple]]]:

@@ -1,17 +1,24 @@
-"""Flat-file round-trips (CSV, JSON) with explicit null markers."""
+"""Flat-file round-trips (CSV, JSON) with explicit null markers.
 
-from .csvio import from_csv_text, read_csv, to_csv_text, write_csv
+The ``*_into`` importers load files into existing database tables
+through the storage layer's atomic bulk paths: the whole file is parsed
+before any row is applied, so a malformed row mid-file can no longer
+strand the rows before it.
+"""
+
+from .csvio import from_csv_text, read_csv, read_csv_into, to_csv_text, write_csv
 from .jsonio import (
     database_from_dict,
     database_to_dict,
     read_json,
+    read_json_into,
     relation_from_dict,
     relation_to_dict,
     write_json,
 )
 
 __all__ = [
-    "from_csv_text", "read_csv", "to_csv_text", "write_csv",
-    "database_from_dict", "database_to_dict", "read_json",
+    "from_csv_text", "read_csv", "read_csv_into", "to_csv_text", "write_csv",
+    "database_from_dict", "database_to_dict", "read_json", "read_json_into",
     "relation_from_dict", "relation_to_dict", "write_json",
 ]

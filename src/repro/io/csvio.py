@@ -59,6 +59,34 @@ def write_csv(
         _write(destination)
 
 
+def _parse_csv_rows(
+    handle: TextIO,
+    types: Optional[Mapping[str, Callable[[str], Any]]],
+    null_markers: Sequence[str],
+):
+    """Parse a whole CSV stream up front: (header, fully-parsed rows).
+
+    Parsing everything before anything is loaded is what makes the table
+    import paths atomic — a malformed cell raises here, before a single
+    row has touched any relation or table.
+    """
+    reader = csv.reader(handle)
+    try:
+        header = tuple(next(reader))
+    except StopIteration:
+        raise ValueError("empty CSV input: no header row") from None
+    type_map = dict(types or {})
+    rows = []
+    for line in reader:
+        if not line:
+            continue
+        rows.append([
+            _parse_cell(cell, type_map.get(attribute), null_markers)
+            for attribute, cell in zip(header, line)
+        ])
+    return header, rows
+
+
 def read_csv(
     source: Union[str, TextIO],
     name: str = "R",
@@ -68,28 +96,53 @@ def read_csv(
     """Read a relation from CSV written by :func:`write_csv` (or by hand)."""
 
     def _read(handle: TextIO) -> Relation:
-        reader = csv.reader(handle)
-        try:
-            header = next(reader)
-        except StopIteration:
-            raise ValueError("empty CSV input: no header row") from None
-        schema = RelationSchema(tuple(header), name=name)
+        header, rows = _parse_csv_rows(handle, types, null_markers)
+        schema = RelationSchema(header, name=name)
         relation = Relation(schema, validate=False)
-        type_map = dict(types or {})
-        for line in reader:
-            if not line:
-                continue
-            values = [
-                _parse_cell(cell, type_map.get(attribute), null_markers)
-                for attribute, cell in zip(header, line)
-            ]
-            relation.add(values)
+        relation.add_all(rows)
         return relation
 
     if isinstance(source, str):
         with open(source, newline="") as handle:
             return _read(handle)
     return _read(source)
+
+
+def read_csv_into(
+    database,
+    table_name: str,
+    source: Union[str, TextIO],
+    types: Optional[Mapping[str, Callable[[str], Any]]] = None,
+    null_markers: Sequence[str] = (DEFAULT_NULL_MARKER, ""),
+    replace: bool = False,
+) -> int:
+    """Atomically import a CSV file into an existing database table.
+
+    The whole file is parsed first, then the rows go through the storage
+    layer's atomic bulk paths — :meth:`Table.load` when *replace* is
+    true, :meth:`Database.insert_many` (foreign keys included) otherwise
+    — so a malformed cell or a constraint violation anywhere in the file
+    leaves the table exactly as it was: no stranded prefix of rows.
+    The CSV header must be a subset of the table's attributes (missing
+    attributes read as null).  Returns the number of imported rows.
+    """
+
+    def _rows(handle: TextIO):
+        header, rows = _parse_csv_rows(handle, types, null_markers)
+        table = database.table(table_name)
+        table.schema.require(header)
+        return [dict(zip(header, values)) for values in rows]
+
+    if isinstance(source, str):
+        with open(source, newline="") as handle:
+            rows = _rows(handle)
+    else:
+        rows = _rows(source)
+    if replace:
+        database.table(table_name).load(rows)
+    else:
+        database.insert_many(table_name, rows)
+    return len(rows)
 
 
 def to_csv_text(relation: Relation, null_marker: str = DEFAULT_NULL_MARKER) -> str:

@@ -65,6 +65,39 @@ def read_json(source: Union[str, TextIO]) -> Relation:
     return relation_from_dict(payload)
 
 
+def read_json_into(database, table_name: str, source: Union[str, TextIO], replace: bool = False) -> int:
+    """Atomically import a JSON relation payload into an existing table.
+
+    Mirrors :func:`repro.io.csvio.read_csv_into`: the whole payload is
+    parsed and schema-checked first, then loaded through the atomic bulk
+    paths (:meth:`Table.load` with *replace*, otherwise
+    :meth:`Database.insert_many` with foreign-key checks), so a malformed
+    row or constraint violation anywhere in the file leaves the table
+    untouched.  Returns the number of imported rows.
+    """
+    if isinstance(source, str):
+        with open(source) as handle:
+            payload = json.load(handle)
+    else:
+        payload = json.load(source)
+    table = database.table(table_name)
+    try:
+        rows = payload["rows"]
+    except (TypeError, KeyError):
+        raise ValueError("malformed relation payload: missing key 'rows'") from None
+    staged: List[XTuple] = []
+    for row in rows:
+        unknown = [a for a in row if a not in table.schema]
+        if unknown:
+            raise ValueError(f"row mentions attributes {unknown} not in the schema")
+        staged.append(XTuple(row))
+    if replace:
+        table.load(staged)
+    else:
+        database.insert_many(table_name, staged)
+    return len(staged)
+
+
 def database_to_dict(database) -> Dict[str, Any]:
     """Serialise every table of a :class:`repro.storage.Database`."""
     return {

@@ -1,23 +1,33 @@
 """A QUEL front end able to run the paper's Figure 1 and Figure 2 queries.
 
 The pipeline is lexer → parser → analyzer → (tuple evaluator | algebraic
-planner).  :func:`run_query` is the one-call entry point.
+planner).  :func:`run_query` is the one-call entry point for RETRIEVE
+text; the full statement surface — APPEND TO / DELETE / REPLACE /
+RETRIEVE INTO with ``$name`` parameters — runs through
+:func:`repro.connect` sessions (:mod:`repro.api`).
 """
 
 from .tokens import Token, TokenType
 from .lexer import Lexer, tokenize
 from .ast_nodes import (
     AndExpr,
+    AppendStatement,
+    Assignment,
     ColumnRef,
     ComparisonExpr,
+    DeleteStatement,
     Literal,
     NotExpr,
     OrExpr,
+    Parameter,
     RangeDeclaration,
+    ReplaceStatement,
     RetrieveStatement,
+    Statement,
     TargetItem,
+    normalize_statement,
 )
-from .parser import Parser, parse
+from .parser import Parser, parse, parse_statement
 from .analyzer import AnalyzedQuery, analyze
 from .planner import Plan, plan_query
 from .evaluator import QueryResult, compile_query, run_query
@@ -25,7 +35,10 @@ from .evaluator import QueryResult, compile_query, run_query
 __all__ = [
     "Token", "TokenType", "Lexer", "tokenize",
     "AndExpr", "ColumnRef", "ComparisonExpr", "Literal", "NotExpr", "OrExpr",
+    "Parameter", "Assignment",
     "RangeDeclaration", "RetrieveStatement", "TargetItem",
-    "Parser", "parse", "AnalyzedQuery", "analyze",
+    "AppendStatement", "DeleteStatement", "ReplaceStatement", "Statement",
+    "normalize_statement",
+    "Parser", "parse", "parse_statement", "AnalyzedQuery", "analyze",
     "Plan", "plan_query", "QueryResult", "compile_query", "run_query",
 ]

@@ -16,7 +16,19 @@ from __future__ import annotations
 from typing import Dict, Mapping, Optional, Tuple, Union
 
 from ..core.errors import QuelSemanticError
-from ..core.query import And, AttributeRef, Comparison, Constant, Not, Or, Predicate, Query
+from ..core.query import (
+    And,
+    AttributeRef,
+    Comparison,
+    Constant,
+    Not,
+    Or,
+    Parameter as CoreParameter,
+    Predicate,
+    Query,
+    collect_parameters,
+    substitute_parameters,
+)
 from ..core.relation import Relation
 from ..core.xrelation import XRelation
 from .ast_nodes import (
@@ -27,6 +39,7 @@ from .ast_nodes import (
     Literal,
     NotExpr,
     OrExpr,
+    Parameter,
     RetrieveStatement,
 )
 
@@ -41,6 +54,25 @@ class AnalyzedQuery:
         self.statement = statement
         self.unique = statement.unique
         self.into = statement.into
+        #: Parameter names (``$name`` placeholders) the query template
+        #: mentions; execution must bind all of them.
+        self.parameters = collect_parameters(query.where)
+
+    def bind(self, params: Optional[Mapping[str, object]] = None) -> Query:
+        """The analysed query with every ``$name`` bound to a constant.
+
+        Parameter-free templates are returned as-is (no copy); a missing
+        value raises :class:`QuelSemanticError`.  This is the one
+        substitution point shared by :func:`repro.quel.run_query` and the
+        session's compiled statements.
+        """
+        if not self.parameters:
+            return self.query
+        query = self.query
+        where = substitute_parameters(query.where, params or {})
+        if where is query.where:
+            return query
+        return Query(query.ranges, query.target, where, name=query.name)
 
     def __repr__(self) -> str:
         return f"AnalyzedQuery({self.query!r})"
@@ -89,24 +121,27 @@ def analyze(statement: RetrieveStatement, database: DatabaseLike, name: str = "Q
             )
         return AttributeRef(reference.variable, reference.attribute)
 
+    def lower_operand(operand):
+        if isinstance(operand, ColumnRef):
+            return resolve_column(operand)
+        if isinstance(operand, Parameter):
+            return CoreParameter(operand.name)
+        return Constant(operand.value)
+
     def lower(expression: Expression) -> Predicate:
         if isinstance(expression, ComparisonExpr):
-            if isinstance(expression.left, Literal) and isinstance(expression.right, Literal):
+            if not isinstance(expression.left, ColumnRef) and not isinstance(
+                expression.right, ColumnRef
+            ):
                 raise QuelSemanticError(
-                    f"comparison {expression} relates two literals; "
+                    f"comparison {expression} relates no columns; "
                     f"at least one side must be a column reference"
                 )
-            left = (
-                resolve_column(expression.left)
-                if isinstance(expression.left, ColumnRef)
-                else Constant(expression.left.value)
+            return Comparison(
+                lower_operand(expression.left),
+                expression.op,
+                lower_operand(expression.right),
             )
-            right = (
-                resolve_column(expression.right)
-                if isinstance(expression.right, ColumnRef)
-                else Constant(expression.right.value)
-            )
-            return Comparison(left, expression.op, right)
         if isinstance(expression, AndExpr):
             return And(*[lower(o) for o in expression.operands])
         if isinstance(expression, OrExpr):

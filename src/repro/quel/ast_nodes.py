@@ -42,7 +42,23 @@ class Literal:
         return repr(self.value)
 
 
-Operand = Union[ColumnRef, Literal]
+@dataclass(frozen=True)
+class Parameter:
+    """A ``$name`` placeholder, bound at execution time.
+
+    Parameters are what make a statement *preparable*: the session parses
+    and plans the template once and substitutes values per execution.
+    """
+
+    name: str
+    line: int = 0
+    column: int = 0
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+Operand = Union[ColumnRef, Literal, Parameter]
 
 
 @dataclass(frozen=True)
@@ -149,3 +165,143 @@ class RetrieveStatement:
         if self.where is not None:
             lines.append(f"where {self.where}")
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """``attribute = operand`` inside an APPEND or REPLACE target list."""
+
+    attribute: str
+    value: Operand
+
+    def __str__(self) -> str:
+        return f"{self.attribute} = {self.value}"
+
+
+@dataclass(frozen=True)
+class AppendStatement:
+    """``append to <relation> (attr = expr, ...) [where ...]``.
+
+    Without range declarations the assignments must be literals or
+    parameters and exactly one row is appended.  With ranges, column
+    references drive an append-from-query: one row per qualifying
+    binding, all inserted through the atomic bulk path.
+    """
+
+    ranges: Tuple[RangeDeclaration, ...]
+    relation: str
+    assignments: Tuple[Assignment, ...]
+    where: Optional[Expression] = None
+
+    def __str__(self) -> str:
+        lines = [str(declaration) for declaration in self.ranges]
+        lines.append(
+            f"append to {self.relation} ("
+            + ", ".join(str(a) for a in self.assignments) + ")"
+        )
+        if self.where is not None:
+            lines.append(f"where {self.where}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class DeleteStatement:
+    """``delete <range-variable> [where ...]``."""
+
+    ranges: Tuple[RangeDeclaration, ...]
+    variable: str
+    where: Optional[Expression] = None
+
+    def __str__(self) -> str:
+        lines = [str(declaration) for declaration in self.ranges]
+        lines.append(f"delete {self.variable}")
+        if self.where is not None:
+            lines.append(f"where {self.where}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ReplaceStatement:
+    """``replace <range-variable> (attr = expr, ...) [where ...]``."""
+
+    ranges: Tuple[RangeDeclaration, ...]
+    variable: str
+    assignments: Tuple[Assignment, ...]
+    where: Optional[Expression] = None
+
+    def __str__(self) -> str:
+        lines = [str(declaration) for declaration in self.ranges]
+        lines.append(
+            f"replace {self.variable} ("
+            + ", ".join(str(a) for a in self.assignments) + ")"
+        )
+        if self.where is not None:
+            lines.append(f"where {self.where}")
+        return "\n".join(lines)
+
+
+Statement = Union[RetrieveStatement, AppendStatement, DeleteStatement, ReplaceStatement]
+
+
+# ---------------------------------------------------------------------------
+# Normalization (plan-cache keys)
+# ---------------------------------------------------------------------------
+
+def normalize_statement(node: Any) -> Any:
+    """A hashable, position-free canonical form of a parse tree.
+
+    Two statements that differ only in whitespace, comments, or source
+    positions normalize identically — this is the key the session's
+    prepared-plan LRU is indexed by.  Literal values participate (they
+    may change the chosen plan); parameters normalize by name, so the
+    same template with different bound values shares one cache entry.
+    """
+    if isinstance(node, ColumnRef):
+        return ("col", node.variable, node.attribute)
+    if isinstance(node, Literal):
+        return ("lit", type(node.value).__name__, node.value)
+    if isinstance(node, Parameter):
+        return ("param", node.name)
+    if isinstance(node, ComparisonExpr):
+        return ("cmp", normalize_statement(node.left), node.op,
+                normalize_statement(node.right))
+    if isinstance(node, AndExpr):
+        return ("and",) + tuple(normalize_statement(o) for o in node.operands)
+    if isinstance(node, OrExpr):
+        return ("or",) + tuple(normalize_statement(o) for o in node.operands)
+    if isinstance(node, NotExpr):
+        return ("not", normalize_statement(node.operand))
+    if isinstance(node, RangeDeclaration):
+        return ("range", node.variable, node.relation)
+    if isinstance(node, TargetItem):
+        return ("target", node.label, normalize_statement(node.expression))
+    if isinstance(node, Assignment):
+        return ("set", node.attribute, normalize_statement(node.value))
+    if isinstance(node, RetrieveStatement):
+        return (
+            "retrieve", node.unique, node.into,
+            tuple(normalize_statement(r) for r in node.ranges),
+            tuple(normalize_statement(t) for t in node.target),
+            normalize_statement(node.where) if node.where is not None else None,
+        )
+    if isinstance(node, AppendStatement):
+        return (
+            "append", node.relation,
+            tuple(normalize_statement(r) for r in node.ranges),
+            tuple(normalize_statement(a) for a in node.assignments),
+            normalize_statement(node.where) if node.where is not None else None,
+        )
+    if isinstance(node, DeleteStatement):
+        return (
+            "delete", node.variable,
+            tuple(normalize_statement(r) for r in node.ranges),
+            normalize_statement(node.where) if node.where is not None else None,
+        )
+    if isinstance(node, ReplaceStatement):
+        return (
+            "replace", node.variable,
+            tuple(normalize_statement(r) for r in node.ranges),
+            tuple(normalize_statement(a) for a in node.assignments),
+            normalize_statement(node.where) if node.where is not None else None,
+        )
+    raise TypeError(f"cannot normalize {node!r}")

@@ -5,7 +5,8 @@ written: identifiers containing ``#``, double- and single-quoted string
 literals, the symbolic logical connectives ``∧``/``∨``/``¬`` (the journal
 typesets Figure 1 with ``∧``/``∨``), integer and decimal numbers, and the
 comparison operators ``=``, ``!=``, ``<>``, ``≠``, ``<``, ``<=``, ``>``,
-``>=``.  Comments run from ``--`` or ``/*...*/``.
+``>=``.  Comments run from ``--`` or ``/*...*/``.  ``$name`` lexes as a
+parameter placeholder (prepared-statement binding site).
 """
 
 from __future__ import annotations
@@ -140,6 +141,13 @@ class Lexer:
                 self._advance()
                 return Token(TokenType.GREATER_EQUAL, ">=", line, column)
             return Token(TokenType.GREATER, ">", line, column)
+
+        if ch == "$":
+            self._advance()
+            if not _is_identifier_start(self._peek()):
+                raise self._error("expected a parameter name after '$'")
+            name_token = self._identifier(line, column)
+            return Token(TokenType.PARAMETER, str(name_token.value), line, column)
 
         if ch in ('"', "'"):
             return self._string(ch, line, column)

@@ -2,11 +2,17 @@
 
 Grammar (EBNF, case-insensitive keywords)::
 
-    query        := range_decl* retrieve_clause [where_clause]
+    statement    := range_decl* (retrieve | append | delete | replace)
     range_decl   := "range" "of" IDENT "is" IDENT
     retrieve     := "retrieve" ["unique"] ["into" IDENT]
-                    "(" target_item ("," target_item)* ")"
+                    "(" target_item ("," target_item)* ")" [where_clause]
+    append       := "append" "to" IDENT
+                    "(" assignment ("," assignment)* ")" [where_clause]
+    delete       := "delete" IDENT [where_clause]
+    replace      := "replace" IDENT
+                    "(" assignment ("," assignment)* ")" [where_clause]
     target_item  := [IDENT "="] column_ref
+    assignment   := IDENT "=" operand
     where_clause := "where" expression
     expression   := disjunction
     disjunction  := conjunction ("or" conjunction)*
@@ -14,13 +20,15 @@ Grammar (EBNF, case-insensitive keywords)::
     negation     := "not" negation | primary
     primary      := "(" expression ")" | comparison
     comparison   := operand comparator operand
-    operand      := column_ref | NUMBER | STRING
+    operand      := column_ref | NUMBER | STRING | PARAMETER
     column_ref   := IDENT "." IDENT
 
 A target item of the form ``IDENT = column_ref`` labels the output column;
 a bare ``column_ref`` keeps the default ``variable_attribute`` name.  The
 ambiguity with a comparison is resolved by context: target items can only
-be labels or column references.
+be labels or column references.  ``$name`` placeholders (PARAMETER
+tokens) may stand wherever a literal may; they are bound with per-call
+values by the session layer.
 """
 
 from __future__ import annotations
@@ -30,15 +38,21 @@ from typing import List, Optional, Tuple
 from ..core.errors import QuelParseError
 from .ast_nodes import (
     AndExpr,
+    AppendStatement,
+    Assignment,
     ColumnRef,
     ComparisonExpr,
+    DeleteStatement,
     Expression,
     Literal,
     NotExpr,
     Operand,
     OrExpr,
+    Parameter,
     RangeDeclaration,
+    ReplaceStatement,
     RetrieveStatement,
+    Statement,
     TargetItem,
 )
 from .lexer import tokenize
@@ -81,16 +95,41 @@ class Parser:
         return self._advance()
 
     # -- grammar ------------------------------------------------------------------
-    def parse_query(self) -> RetrieveStatement:
+    def parse_statement(self) -> Statement:
+        """Parse one statement: retrieve, append, delete or replace."""
         ranges: List[RangeDeclaration] = []
         while self._check(TokenType.RANGE):
             ranges.append(self._range_declaration())
-        statement = self._retrieve(tuple(ranges))
+        head = self._peek()
+        if head.type is TokenType.RETRIEVE:
+            statement: Statement = self._retrieve(tuple(ranges))
+        elif head.type is TokenType.APPEND:
+            statement = self._append(tuple(ranges))
+        elif head.type is TokenType.DELETE:
+            statement = self._delete(tuple(ranges))
+        elif head.type is TokenType.REPLACE:
+            statement = self._replace(tuple(ranges))
+        else:
+            raise QuelParseError(
+                f"expected 'retrieve', 'append', 'delete' or 'replace', "
+                f"found {head.describe()}",
+                head.line, head.column,
+            )
         end = self._peek()
         if end.type is not TokenType.END:
             raise QuelParseError(
                 f"unexpected trailing input starting with {end.describe()}",
                 end.line, end.column,
+            )
+        return statement
+
+    def parse_query(self) -> RetrieveStatement:
+        """Parse a statement and require it to be a RETRIEVE query."""
+        statement = self.parse_statement()
+        if not isinstance(statement, RetrieveStatement):
+            raise QuelParseError(
+                "expected a retrieve query, found a "
+                f"{type(statement).__name__.replace('Statement', '').lower()} statement"
             )
         return statement
 
@@ -117,6 +156,46 @@ class Parser:
         if self._match(TokenType.WHERE):
             where = self._expression()
         return RetrieveStatement(ranges, tuple(target), where, unique=unique, into=into)
+
+    def _append(self, ranges: Tuple[RangeDeclaration, ...]) -> AppendStatement:
+        self._expect(TokenType.APPEND, "'append'")
+        self._expect(TokenType.TO, "'to' after 'append'")
+        relation = self._expect(TokenType.IDENTIFIER, "a relation name").value
+        assignments = self._assignment_list()
+        where: Optional[Expression] = None
+        if self._match(TokenType.WHERE):
+            where = self._expression()
+        return AppendStatement(ranges, relation, assignments, where)
+
+    def _delete(self, ranges: Tuple[RangeDeclaration, ...]) -> DeleteStatement:
+        self._expect(TokenType.DELETE, "'delete'")
+        variable = self._expect(TokenType.IDENTIFIER, "a range variable").value
+        where: Optional[Expression] = None
+        if self._match(TokenType.WHERE):
+            where = self._expression()
+        return DeleteStatement(ranges, variable, where)
+
+    def _replace(self, ranges: Tuple[RangeDeclaration, ...]) -> ReplaceStatement:
+        self._expect(TokenType.REPLACE, "'replace'")
+        variable = self._expect(TokenType.IDENTIFIER, "a range variable").value
+        assignments = self._assignment_list()
+        where: Optional[Expression] = None
+        if self._match(TokenType.WHERE):
+            where = self._expression()
+        return ReplaceStatement(ranges, variable, assignments, where)
+
+    def _assignment_list(self) -> Tuple[Assignment, ...]:
+        self._expect(TokenType.LPAREN, "'(' opening the assignment list")
+        assignments: List[Assignment] = [self._assignment()]
+        while self._match(TokenType.COMMA):
+            assignments.append(self._assignment())
+        self._expect(TokenType.RPAREN, "')' closing the assignment list")
+        return tuple(assignments)
+
+    def _assignment(self) -> Assignment:
+        attribute = self._expect(TokenType.IDENTIFIER, "an attribute name")
+        self._expect(TokenType.EQUALS, "'=' in an assignment")
+        return Assignment(attribute.value, self._operand())
 
     def _target_item(self) -> TargetItem:
         # Either "label = var.attr" or "var.attr".
@@ -189,12 +268,26 @@ class Parser:
         if token.type is TokenType.STRING:
             self._advance()
             return Literal(token.value, token.line, token.column)
+        if token.type is TokenType.PARAMETER:
+            self._advance()
+            return Parameter(token.value, token.line, token.column)
         raise QuelParseError(
-            f"expected a column reference or literal, found {token.describe()}",
+            f"expected a column reference, literal or $parameter, "
+            f"found {token.describe()}",
             token.line, token.column,
         )
 
 
-def parse(text: str) -> RetrieveStatement:
-    """Parse QUEL source text into a :class:`RetrieveStatement`."""
-    return Parser(tokenize(text)).parse_query()
+def parse(text: str) -> Statement:
+    """Parse QUEL source text into a statement AST node.
+
+    Retrieve text yields a :class:`RetrieveStatement` exactly as before;
+    the DML statements yield :class:`AppendStatement` /
+    :class:`DeleteStatement` / :class:`ReplaceStatement`.
+    """
+    return Parser(tokenize(text)).parse_statement()
+
+
+def parse_statement(text: str) -> Statement:
+    """Alias of :func:`parse`, named for symmetry with the grammar."""
+    return Parser(tokenize(text)).parse_statement()

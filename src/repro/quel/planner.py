@@ -12,8 +12,12 @@ System-R-style cost model (:mod:`repro.stats`):
   materialised),
 * push single-variable conjunctive selections down onto their relation —
   *before* any join is chosen, so every join input is already filtered;
-  this covers constant comparisons (as before) and now any residual
-  conjunct mentioning a single range variable,
+  this covers constant comparisons (as before) and any residual conjunct
+  mentioning a single range variable.  Equality conjuncts over a stored
+  table carrying a persistent :class:`~repro.storage.index.HashIndex`
+  covering their attribute set are served straight from the index — one
+  bucket probe instead of a table scan (``index select … using index``
+  in the trace),
 * combine the ranges with equi-joins in **greedy cost order**: start from
   the estimated-smallest range, then repeatedly join the linked range
   with the smallest estimated output cardinality (equality selectivities
@@ -51,6 +55,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Uni
 
 from ..core import algebra
 from ..core.engine.joins import equi_join_rows, index_probe_join_rows
+from ..core.nulls import is_ni
 from ..core.query import And, AttributeRef, Comparison, Constant, Not, Or, Predicate, Query
 from ..core.relation import Relation
 from ..core.threevalued import compare
@@ -112,7 +117,26 @@ class _RangeContext:
         the current call paths produce one before the pushes run) is
         invalidated and rebuilt lazily from the filtered base."""
         attribute, op, constant = _constant_parts(conjunct)
+        if is_ni(constant):
+            # A comparison against a null constant evaluates to ni for
+            # every row — never TRUE — so the selection keeps nothing.
+            # (The tuple-at-a-time oracle agrees; ``select_constant``
+            # itself refuses null constants, so bypass it.)
+            self.set_base_rows(())
+            return
         self._filtered_base = algebra.select_constant(self._base(), attribute, op, constant)
+        self._renamed = None
+        self.filtered = True
+
+    def set_base_rows(self, rows) -> None:
+        """Replace the unrenamed base with an explicit row set — the
+        index-backed selection path, where a persistent hash index
+        already produced exactly the rows satisfying the pushed equality
+        conjuncts (rows null on a probed attribute are rightly absent:
+        an equality touching ``ni`` is never TRUE)."""
+        base = Relation(self.relation.schema, validate=False)
+        base._rows = set(rows)
+        self._filtered_base = XRelation(base)
         self._renamed = None
         self.filtered = True
 
@@ -256,10 +280,13 @@ class Plan:
             self.steps.append(f"rename {relation.name} as {variable}(…)")
 
         # Step 2: push single-variable selections — constant comparisons
-        # first (estimated from the per-attribute statistics), then any
-        # residual conjunct confined to one range.
+        # first (equality conjuncts served straight from a covering
+        # persistent index when one exists, the rest estimated from the
+        # per-attribute statistics), then any residual conjunct confined
+        # to one range.
         for variable, conjuncts in pushable.items():
             context = contexts[variable]
+            conjuncts = self._push_index_selection(context, conjuncts)
             for conjunct in conjuncts:
                 attribute, op, _ = _constant_parts(conjunct)
                 estimate = model.estimate_selection(
@@ -360,6 +387,52 @@ class Plan:
             )
 
         return self._project(combined)
+
+    def _push_index_selection(
+        self, context: _RangeContext, conjuncts: List[Comparison]
+    ) -> List[Comparison]:
+        """Serve pushed equality conjuncts from a covering persistent index.
+
+        When the range is a stored table carrying a :class:`HashIndex`
+        whose attribute set matches the pushed equality conjuncts (or one
+        of them, as a fallback), the selection becomes a single bucket
+        probe — no scan of the table, no per-query filtering pass.  Rows
+        null on a probed attribute are absent from the bucket, exactly
+        matching the TRUE-only equality semantics.  Returns the conjuncts
+        the index did not consume (they are applied as ordinary pushed
+        selections afterwards).
+        """
+        if not self.use_indexes or context.table is None or context.filtered:
+            return conjuncts
+        by_attr: Dict[str, Tuple[Comparison, Any]] = {}
+        for conjunct in conjuncts:
+            attribute, op, constant = _constant_parts(conjunct)
+            if op in ("=", "==") and attribute not in by_attr:
+                by_attr[attribute] = (conjunct, constant)
+        if not by_attr:
+            return conjuncts
+        index, consumed_attrs = context.table.find_equality_index(list(by_attr))
+        if index is None:
+            return conjuncts
+        by_attr = {attribute: by_attr[attribute] for attribute in consumed_attrs}
+        consumed = {id(c) for c, _ in by_attr.values()}
+        estimate = context.est
+        for conjunct, _ in by_attr.values():
+            attribute, op, _constant = _constant_parts(conjunct)
+            estimate = self.cost_model.estimate_selection(
+                context.stats(), attribute, op, cardinality=estimate
+            )
+        probe = [by_attr[a][1] for a in index.attributes]
+        context.set_base_rows(index.lookup(probe))
+        context.est = estimate
+        described = " and ".join(
+            f"{context.variable}.{a} = {by_attr[a][1]!r}" for a in index.attributes
+        )
+        self.steps.append(
+            f"index select {described} using index {index.name} "
+            f"[est={estimate:.0f}, rows={context.cardinality}]"
+        )
+        return [c for c in conjuncts if id(c) not in consumed]
 
     def _apply_deferred(
         self,

@@ -2,10 +2,13 @@
 
 The paper presents its example queries (Figures 1 and 2) in QUEL, the
 query language of INGRES [Stonebraker et al. 1976].  The reproduction
-implements enough of QUEL to run those queries verbatim: ``range of``
+implements enough of QUEL to run those queries verbatim — ``range of``
 declarations, a ``retrieve`` clause with an optional parenthesised target
 list (with optional result-column names), and a ``where`` clause built
-from comparisons combined with ``and`` / ``or`` / ``not``.
+from comparisons combined with ``and`` / ``or`` / ``not`` — plus the DML
+statements of the INGRES lineage (``append to``, ``delete``,
+``replace``) and ``$name`` parameter placeholders for prepared
+statements.
 
 Identifiers may contain ``#`` so the paper's attribute names (``E#``,
 ``TEL#``, ``MGR#``) lex as single tokens.
@@ -31,11 +34,16 @@ class TokenType(Enum):
     AND = auto()
     OR = auto()
     NOT = auto()
+    APPEND = auto()
+    TO = auto()
+    DELETE = auto()
+    REPLACE = auto()
 
     # Literals and names
     IDENTIFIER = auto()
     NUMBER = auto()
     STRING = auto()
+    PARAMETER = auto()
 
     # Punctuation and operators
     LPAREN = auto()
@@ -64,6 +72,10 @@ KEYWORDS = {
     "and": TokenType.AND,
     "or": TokenType.OR,
     "not": TokenType.NOT,
+    "append": TokenType.APPEND,
+    "to": TokenType.TO,
+    "delete": TokenType.DELETE,
+    "replace": TokenType.REPLACE,
 }
 
 #: Comparison token types mapped onto the operator spellings used by the
@@ -89,4 +101,6 @@ class Token(NamedTuple):
     def describe(self) -> str:
         if self.type in (TokenType.IDENTIFIER, TokenType.NUMBER, TokenType.STRING):
             return f"{self.type.name}({self.value!r})"
+        if self.type is TokenType.PARAMETER:
+            return f"PARAMETER(${self.value})"
         return self.type.name

@@ -21,6 +21,26 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: Dict[str, Table] = {}
         self._foreign_keys: List[Tuple[str, ForeignKeyConstraint]] = []
+        # Schema-change counter (create/drop/rename table, foreign keys);
+        # combined with every table's physical-design epoch in
+        # :meth:`epoch`, it versions everything a cached query plan may
+        # depend on besides the data itself.
+        self._ddl_epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """A monotone counter covering catalog DDL, index and ANALYZE changes.
+
+        Any difference in the value means a cached plan built against the
+        old catalog may no longer reflect the best (or even a valid)
+        physical choice; sessions compare epochs on every prepared
+        execution and transparently re-plan on mismatch.  Dropping a
+        table folds the dropped table's epoch into the catalog counter so
+        the sum never moves backwards.
+        """
+        return self._ddl_epoch + sum(
+            table.ddl_epoch for table in self._tables.values()
+        )
 
     # -- table management ---------------------------------------------------------
     def create_table(
@@ -33,12 +53,14 @@ class Catalog:
             raise StorageError(f"table {name!r} already exists")
         table = Table(schema, constraints, name=name)
         self._tables[name] = table
+        self._ddl_epoch += 1
         return table
 
     def register_table(self, table: Table) -> Table:
         if table.name in self._tables:
             raise StorageError(f"table {table.name!r} already exists")
         self._tables[table.name] = table
+        self._ddl_epoch += 1
         return table
 
     def drop_table(self, name: str) -> None:
@@ -52,8 +74,11 @@ class Catalog:
             raise StorageError(
                 f"cannot drop {name!r}: referenced by {[fk.name for fk in referencing]}"
             )
-        del self._tables[name]
+        dropped = self._tables.pop(name)
         self._foreign_keys = [(owner, fk) for owner, fk in self._foreign_keys if owner != name]
+        # Fold the dropped table's epoch in so the catalog-wide sum stays
+        # monotone (a cache keyed on it must never see a value reused).
+        self._ddl_epoch += dropped.ddl_epoch + 1
 
     def rename_table(self, old: str, new: str) -> Table:
         if old not in self._tables:
@@ -63,6 +88,7 @@ class Catalog:
         table = self._tables.pop(old)
         table.relation.schema.name = new
         self._tables[new] = table
+        self._ddl_epoch += 1
         self._foreign_keys = [
             (new if owner == old else owner,
              ForeignKeyConstraint(fk.attributes, new if fk.referenced_relation == old else fk.referenced_relation,
@@ -123,6 +149,29 @@ class Catalog:
         if validate_existing:
             constraint.check(owner_table.relation, referenced_table.relation)
         self._foreign_keys.append((owner, constraint))
+        self._ddl_epoch += 1
+
+    def foreign_key_entries(self) -> List[Tuple[str, ForeignKeyConstraint]]:
+        """A copy of every ``(owner, constraint)`` entry.
+
+        The snapshot surface transactions use: pair with
+        :meth:`restore_foreign_keys` to roll the foreign-key set back to
+        a saved state.
+        """
+        return list(self._foreign_keys)
+
+    def restore_foreign_keys(self, entries: List[Tuple[str, ForeignKeyConstraint]]) -> None:
+        """Wholesale-replace the foreign-key entries from a saved copy.
+
+        Constraints are not re-validated: the entries come from
+        :meth:`foreign_key_entries` of this very catalog.  Entries naming
+        tables that no longer exist are dropped rather than restored.
+        """
+        self._foreign_keys = [
+            (owner, fk) for owner, fk in entries
+            if owner in self._tables and fk.referenced_relation in self._tables
+        ]
+        self._ddl_epoch += 1
 
     def foreign_keys_of(self, owner: str) -> List[ForeignKeyConstraint]:
         return [fk for table_name, fk in self._foreign_keys if table_name == owner]

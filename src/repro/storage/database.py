@@ -27,6 +27,9 @@ class Database(Mapping[str, Relation]):
     def __init__(self, name: str = "db"):
         self.name = name
         self.catalog = Catalog()
+        # Lazily-created default Session backing the query() delegate, so
+        # repeated text queries share one prepared-statement cache.
+        self._session = None
 
     # -- Mapping protocol (what the QUEL analyzer consumes) ----------------------------
     def __getitem__(self, name: str) -> Relation:
@@ -63,6 +66,16 @@ class Database(Mapping[str, Relation]):
         persistent indexes from the bare relation the analyzer resolved.
         """
         return self.catalog.table_for_relation(relation)
+
+    @property
+    def epoch(self) -> int:
+        """The catalog/index/stats epoch (see :meth:`Catalog.epoch`).
+
+        Sessions stamp every cached prepared plan with this value; a
+        mismatch at execution time (any DDL, index change or ANALYZE since
+        the plan was built) triggers a transparent re-plan.
+        """
+        return self.catalog.epoch
 
     def analyze(self) -> None:
         """Full-refresh every table's statistics (the ``ANALYZE`` verb)."""
@@ -132,10 +145,32 @@ class Database(Mapping[str, Relation]):
         return table.update(old_row, candidate)
 
     # -- queries --------------------------------------------------------------------------------
-    def query(self, text: str, strategy: str = "tuple"):
-        """Run a QUEL query against this database (see :func:`repro.quel.run_query`)."""
-        from ..quel.evaluator import run_query
-        return run_query(text, self, strategy=strategy)
+    def session(self):
+        """This database's default :class:`~repro.api.Session` (created lazily).
+
+        ``repro.connect(db)`` opens an independent session; this one backs
+        the :meth:`query` convenience so repeated text queries share a
+        prepared-statement cache.
+        """
+        if self._session is None:
+            from ..api.session import Session
+            self._session = Session(self)
+        return self._session
+
+    def query(self, text: str, params=None, strategy: Optional[str] = None):
+        """Run any QUEL statement against this database.
+
+        By default the text goes through the default session — full DML
+        surface, cost-based planner, prepared-plan cache — and returns a
+        :class:`~repro.api.ResultSet`.  Passing ``strategy=`` ("tuple",
+        "algebra"/"plan") keeps the retrieve-only differential-oracle
+        path of :func:`repro.quel.run_query`, returning its
+        :class:`~repro.quel.QueryResult`.
+        """
+        if strategy is not None:
+            from ..quel.evaluator import run_query
+            return run_query(text, self, strategy=strategy, params=params)
+        return self.session().execute(text, params)
 
     def xrelation(self, name: str) -> XRelation:
         return self.catalog.table(name).as_xrelation()

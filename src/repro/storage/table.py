@@ -68,6 +68,11 @@ class Table:
         # maintained through the same mutation paths; the cost-based
         # planner reads them instead of scanning the table per query.
         self.statistics = TableStatistics()
+        # Physical-design epoch: bumped by every index change and every
+        # explicit ANALYZE.  Sessions key their prepared-plan caches on
+        # the database-wide sum, so a stale cached plan transparently
+        # re-plans after the physical choices may have changed.
+        self.ddl_epoch = 0
 
     # -- convenience accessors ----------------------------------------------------
     @property
@@ -151,6 +156,7 @@ class Table:
             raise StorageError(f"index {index.name!r} already exists on table {self.name!r}")
         index.rebuild(self.relation.tuples())
         self.indexes[index.name] = index
+        self.ddl_epoch += 1
         return index
 
     def drop_index(self, name_or_attributes: Union[str, Sequence[str]]) -> None:
@@ -165,6 +171,7 @@ class Table:
                     f"no index named {name_or_attributes!r} on table {self.name!r}"
                 )
             del self.indexes[name_or_attributes]
+            self.ddl_epoch += 1
             return
         index = self.find_index(name_or_attributes)
         if index is None:
@@ -173,6 +180,7 @@ class Table:
                 f"on table {self.name!r}"
             )
         del self.indexes[index.name]
+        self.ddl_epoch += 1
 
     def find_index(self, attributes: Sequence[str]) -> Optional[HashIndex]:
         """The index covering exactly this attribute *set*, if any.
@@ -188,6 +196,31 @@ class Table:
             if len(index.attributes) == len(wanted) and wanted == frozenset(index.attributes):
                 return index
         return None
+
+    def find_equality_index(self, attributes: Sequence[str]):
+        """The physical choice for a set of equality-probed attributes.
+
+        Returns ``(index, consumed)``: the :class:`HashIndex` to probe
+        and the attribute subset it covers — the index matching the full
+        attribute *set* when one exists, otherwise the first
+        single-attribute index among them (the remaining equalities stay
+        as ordinary filters).  ``(None, ())`` when nothing applies.  Both
+        the cost-based planner's pushed selections and the session's
+        prepared fast path make this choice through here, so they can
+        never diverge on the access path for the same conjuncts.
+        """
+        wanted = tuple(attributes)
+        if not wanted:
+            return None, ()
+        index = self.find_index(wanted)
+        if index is not None:
+            return index, wanted
+        if len(wanted) > 1:
+            for attribute in wanted:
+                index = self.find_index([attribute])
+                if index is not None:
+                    return index, (attribute,)
+        return None, ()
 
     def index_specs(self) -> Dict[str, tuple]:
         """The persistent indexes as ``{name: attribute tuple}`` — what
@@ -413,6 +446,7 @@ class Table:
         it resets the staleness tracker and repairs the statistics after
         any out-of-band mutation of the underlying relation.
         """
+        self.ddl_epoch += 1
         return self.statistics.analyze(self.relation.tuples())
 
     # -- x-membership ------------------------------------------------------------------------

@@ -142,3 +142,106 @@ class TestJSON:
         rebuilt = database_from_dict(payload)
         assert set(rebuilt) == set(emp_db)
         assert XRelation(rebuilt["EMP"]) == XRelation(emp_db["EMP"])
+
+
+class TestAtomicImports:
+    """The ``*_into`` importers: atomic bulk loads into live tables.
+
+    A malformed row or a constraint violation anywhere in the file must
+    leave the target table exactly as it was — the import routes through
+    ``Table.load`` / ``Database.insert_many``, never a row-at-a-time
+    loop that could strand a prefix.
+    """
+
+    @staticmethod
+    def _keyed_database():
+        from repro.constraints.keys import KeyConstraint
+        from repro.storage import Database
+
+        database = Database("imports")
+        table = database.create_table(
+            "R", ["K", "V"], constraints=[KeyConstraint(["K"])]
+        )
+        table.insert_many([(1, "a"), (2, "b")])
+        return database
+
+    def test_csv_import_appends_atomically(self):
+        from repro.io import read_csv_into
+
+        database = self._keyed_database()
+        count = read_csv_into(database, "R", io.StringIO("K,V\n3,c\n4,-\n"))
+        assert count == 2
+        assert XTuple({"K": 4}) in database["R"].tuples()
+
+    def test_csv_import_key_violation_leaves_table_untouched(self):
+        from repro.core.errors import ConstraintViolation
+        from repro.io import read_csv_into
+
+        database = self._keyed_database()
+        before = set(database["R"].tuples())
+        with pytest.raises(ConstraintViolation):
+            # Row 3 is fine, row 1 collides with the stored key — without
+            # the atomic path row 3 would be stranded.
+            read_csv_into(database, "R", io.StringIO("K,V\n3,c\n1,dup\n"))
+        assert database["R"].tuples() == before
+
+    def test_csv_import_unknown_column_leaves_table_untouched(self):
+        from repro.core.errors import SchemaError
+        from repro.io import read_csv_into
+
+        database = self._keyed_database()
+        before = set(database["R"].tuples())
+        with pytest.raises(SchemaError):
+            read_csv_into(database, "R", io.StringIO("K,Z\n3,c\n"))
+        assert database["R"].tuples() == before
+
+    def test_csv_import_replace_swaps_wholesale(self):
+        from repro.io import read_csv_into
+
+        database = self._keyed_database()
+        read_csv_into(database, "R", io.StringIO("K,V\n7,z\n"), replace=True)
+        assert {t["K"] for t in database["R"].tuples()} == {7}
+
+    def test_csv_import_respects_foreign_keys(self):
+        from repro.constraints.referential import ForeignKeyConstraint
+        from repro.core.errors import ReferentialViolation
+        from repro.io import read_csv_into
+
+        database = self._keyed_database()
+        database.create_table("S", ["K2"])
+        database.add_foreign_key(
+            "S", ForeignKeyConstraint(["K2"], "R", ["K"])
+        )
+        before = set(database["S"].tuples())
+        with pytest.raises(ReferentialViolation):
+            read_csv_into(database, "S", io.StringIO("K2\n1\n99\n"))
+        assert database["S"].tuples() == before
+
+    def test_json_import_appends_atomically(self):
+        from repro.io import read_json_into
+
+        database = self._keyed_database()
+        payload = io.StringIO('{"rows": [{"K": 3, "V": "c"}, {"K": 4}]}')
+        assert read_json_into(database, "R", payload) == 2
+        assert XTuple({"K": 4}) in database["R"].tuples()
+
+    def test_json_import_violation_leaves_table_untouched(self):
+        from repro.core.errors import ConstraintViolation
+        from repro.io import read_json_into
+
+        database = self._keyed_database()
+        before = set(database["R"].tuples())
+        payload = io.StringIO('{"rows": [{"K": 3}, {"K": 1}]}')
+        with pytest.raises(ConstraintViolation):
+            read_json_into(database, "R", payload)
+        assert database["R"].tuples() == before
+
+    def test_json_import_unknown_attribute_rejected_up_front(self):
+        from repro.io import read_json_into
+
+        database = self._keyed_database()
+        before = set(database["R"].tuples())
+        payload = io.StringIO('{"rows": [{"K": 3}, {"Z": 9}]}')
+        with pytest.raises(ValueError):
+            read_json_into(database, "R", payload)
+        assert database["R"].tuples() == before

@@ -121,6 +121,27 @@ def test_plan_execute_matches_lower_bound_oracle(query):
     assert Plan(query).execute() == evaluate_lower_bound(query)
 
 
+def test_null_constant_comparison_selects_nothing_like_the_oracle():
+    """A pushed comparison against a null constant is ni for every row —
+    the cost-based plan must answer empty exactly as the oracle does,
+    not crash in ``select_constant`` (which rightly refuses null
+    constants at the algebra level)."""
+    from repro.core.query import Constant
+
+    relation = Relation(ATTRIBUTES, name="R1", validate=False)
+    relation.add(XTuple({"A": 1, "B": 2}))
+    for op in OPS:
+        query = Query(
+            {"v0": relation},
+            [("out0", AttributeRef("v0", "A"))],
+            Comparison(AttributeRef("v0", "A"), op, Constant(None)),
+            name="nullconst",
+        )
+        oracle = evaluate_lower_bound(query)
+        assert len(oracle) == 0
+        assert Plan(query).execute() == oracle
+
+
 def test_null_tuple_ranges_contribute_nothing_in_both_evaluations():
     """Regression: a range row binding no attribute (the null tuple) is
     information-free — Definition 4.6 drops it from every minimal form,

@@ -148,8 +148,10 @@ class TestE5FigureTwo:
         assert {t["e_NAME"] for t in result.rows} == {"GREEN"}
 
     def test_strategies_agree(self, db):
+        # The default is now the cost-based plan, so the differential
+        # partner must explicitly be the Section 5 tuple oracle.
         assert run_query(FIGURE_2_QUERY, db).answer == run_query(
-            FIGURE_2_QUERY, db, strategy="algebra"
+            FIGURE_2_QUERY, db, strategy="tuple"
         ).answer
 
 

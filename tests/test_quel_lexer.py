@@ -80,6 +80,36 @@ class TestOperators:
             tokenize("retrieve $")
         assert "line 1" in str(excinfo.value)
 
+    def test_unknown_comparator_character(self):
+        with pytest.raises(QuelLexError):
+            tokenize("e.A ~ 5")
+
+    def test_bang_followed_by_non_equals(self):
+        with pytest.raises(QuelLexError):
+            tokenize("e.A !< 5")
+
+
+class TestParameters:
+    def test_parameter_token(self):
+        tokens = tokenize("$rate")
+        assert tokens[0].type is TokenType.PARAMETER
+        assert tokens[0].value == "rate"
+
+    def test_parameter_describe(self):
+        assert tokenize("$k")[0].describe() == "PARAMETER($k)"
+
+    def test_parameter_needs_a_name(self):
+        with pytest.raises(QuelLexError):
+            tokenize("$1")
+
+    def test_parameter_name_with_underscore_and_digits(self):
+        assert tokenize("$max_sal2")[0].value == "max_sal2"
+
+    def test_dml_keywords(self):
+        assert kinds("append to delete replace")[:4] == [
+            TokenType.APPEND, TokenType.TO, TokenType.DELETE, TokenType.REPLACE
+        ]
+
 
 class TestCommentsAndPositions:
     def test_line_comment(self):

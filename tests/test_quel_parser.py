@@ -95,6 +95,30 @@ class TestWhereClause:
         with pytest.raises(QuelParseError):
             parse('range of e is EMP retrieve (e.NAME) where e.A = and e.B = 1')
 
+    def test_unterminated_string_in_where(self):
+        from repro.core.errors import QuelLexError
+        with pytest.raises(QuelLexError):
+            parse('range of e is EMP retrieve (e.NAME) where e.SEX = "F')
+
+    def test_unclosed_parenthesis(self):
+        with pytest.raises(QuelParseError):
+            parse('range of e is EMP retrieve (e.NAME) where (e.A = 1 or e.B = 2')
+
+    def test_parameter_operand(self):
+        from repro.quel.ast_nodes import Parameter
+        q = parse('range of e is EMP retrieve (e.NAME) where e.A = $a and $b <= e.B')
+        left, right = q.where.operands
+        assert isinstance(left.right, Parameter) and left.right.name == "a"
+        assert isinstance(right.left, Parameter) and right.left.name == "b"
+
+    def test_parameter_not_allowed_as_target(self):
+        with pytest.raises(QuelParseError):
+            parse('range of e is EMP retrieve ($a)')
+
+    def test_trailing_tokens_after_where(self):
+        with pytest.raises(QuelParseError):
+            parse('range of e is EMP retrieve (e.NAME) where e.A = 1 e.B')
+
 
 class TestPaperQueries:
     def test_figure_one_shape(self):
