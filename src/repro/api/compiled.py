@@ -10,9 +10,14 @@ execution does only the per-call work: substitute the ``$name`` values
 and run.
 
 Mutations route through the storage layer's *atomic* bulk entry points
-(:meth:`Database.insert_many`, :meth:`Database.delete_many`, and
-delete-then-insert for REPLACE), so the constraint atomicity of the bulk
-mutation subsystem carries over to every QUEL DML statement.
+via the :mod:`repro.exec` DML sinks (:class:`AppendSink` ≡
+``insert_many``, :class:`DeleteSink` ≡ ``delete_many``,
+:class:`ReplaceSink` ≡ delete-then-insert with post-state FK re-check),
+so the constraint atomicity of the bulk mutation subsystem carries over
+to every QUEL DML statement — and ``explain(analyze=True)`` renders the
+sink-rooted physical tree.  Retrieves compile to *streaming* pipelines:
+the returned :class:`~repro.api.results.ResultSet` drains the operator
+tree on demand.
 """
 
 from __future__ import annotations
@@ -29,10 +34,13 @@ from ..core.query import (
     TruthConstant,
     bind_parameter,
 )
-from ..core.relation import Relation
-from ..core.threevalued import compare
+from ..core.algebra import constant_predicate
+from ..core.relation import RelationSchema
 from ..core.tuples import XTuple
 from ..core.xrelation import XRelation
+from ..exec.operators import Filter, IndexProbe, Project, TableScan
+from ..exec.pipeline import Pipeline, TraceStep
+from ..exec.sinks import AppendSink, DeleteSink, ReplaceSink
 from ..quel.analyzer import AnalyzedQuery, analyze
 from ..quel.ast_nodes import (
     AppendStatement,
@@ -147,7 +155,8 @@ class CompiledStatement:
 # ---------------------------------------------------------------------------
 
 class _PlanRetrieve(CompiledStatement):
-    """The general retrieve path: cached analysis + cost-based plan."""
+    """The general retrieve path: cached analysis + cost-based plan,
+    compiled to a streaming operator tree the result set drains lazily."""
 
     def __init__(self, database, analyzed: AnalyzedQuery):
         self.database = database
@@ -158,14 +167,15 @@ class _PlanRetrieve(CompiledStatement):
     def execute(self, params: Mapping[str, Any]) -> ResultSet:
         query = self.analyzed.bind(params)
         plan = Plan(query, self.database)
-        answer = plan.execute()
-        rows_affected = 0
         if self.into:
+            # RETRIEVE INTO creates and loads a table: it must run now.
+            answer = plan.execute()
             rows_affected = _materialize_into(self.database, self.into, answer)
             plan.steps.append(
                 f"materialize {rows_affected} row(s) into new table {self.into}"
             )
-        return ResultSet(answer, rows_affected=rows_affected, steps=plan.steps)
+            return ResultSet(answer, rows_affected=rows_affected, steps=plan.steps)
+        return ResultSet(pipeline=plan.compile())
 
     def describe(self, params: Optional[Mapping[str, Any]] = None) -> str:
         # Unbound placeholders are described with null stand-ins (an
@@ -199,8 +209,11 @@ class _FastRetrieve(CompiledStatement):
     is a conjunction of ``column θ (literal | $param)`` comparisons (or
     absent), and no INTO.  Compilation picks the physical access path
     once — a persistent hash index covering the equality attributes, or
-    a scan — and execution is a bucket probe / filter plus direct output
-    row construction, with none of the per-call analyze/plan machinery.
+    a scan — and caches a **reusable operator-tree template with
+    parameter slots**: each execution instantiates the template (a few
+    node allocations — the probe values and filter constants resolve
+    from the bound parameters) and hands the lazy pipeline to the result
+    set, with none of the per-call analyze/plan machinery.
     """
 
     def __init__(
@@ -301,57 +314,67 @@ class _FastRetrieve(CompiledStatement):
         )
 
     # -- execution ------------------------------------------------------------
-    def execute(self, params: Mapping[str, Any]) -> ResultSet:
-        if self.index is not None:
-            probe = [resolve(params) for _, resolve in self.eq_probes]
-            rows = self.index.lookup(probe)
-        else:
-            rows = self.table.relation.tuples()
-        residual = [
-            (attribute, op, resolve(params))
-            for attribute, op, resolve in self.residual
-        ]
-        targets = self.targets
-        out = set()
-        for row in rows:
-            if row.is_null_tuple():
-                continue
-            satisfied = True
-            for attribute, op, value in residual:
-                if not compare(row[attribute], op, value).is_true():
-                    satisfied = False
-                    break
-            if satisfied:
-                out.add(XTuple(
-                    (output, row[attribute]) for output, attribute in targets
-                ))
-        relation = Relation(self.output_attributes, name="Q", validate=False)
-        relation._rows = out
-        answer = XRelation(relation)
-        return ResultSet(answer, steps=self._steps(len(answer)))
-
-    def _steps(self, result_rows: Optional[int] = None) -> List[str]:
-        steps = []
+    def _step_texts(self) -> List[str]:
+        """The template's step lines — the one source both the executed
+        pipeline trace and :meth:`describe` render from, so the two can
+        never drift apart."""
         if self.index is not None:
             described = " and ".join(
                 f"{self.variable}.{a} = ?" for a, _ in self.eq_probes
             )
-            steps.append(
+            steps = [
                 f"index select {described} using index {self.index.name} "
                 f"[prepared fast path]"
-            )
+            ]
         else:
-            steps.append(f"scan {self.table.name} [prepared fast path]")
+            steps = [f"scan {self.table.name} [prepared fast path]"]
         for attribute, op, _resolve in self.residual:
             steps.append(f"filter {self.variable}.{attribute} {op} ?")
-        tail = f"project onto {list(self.output_attributes)}"
-        if result_rows is not None:
-            tail += f" [rows={result_rows}]"
-        steps.append(tail)
+        steps.append(f"project onto {list(self.output_attributes)}")
         return steps
 
+    def make_pipeline(self, params: Mapping[str, Any]) -> Pipeline:
+        """Instantiate the compiled template: bind the parameter slots
+        and build the single-use operator tree (probe/scan → filters →
+        project)."""
+        nodes: List[Any] = []
+        if self.index is not None:
+            probe = [resolve(params) for _, resolve in self.eq_probes]
+            node: Any = IndexProbe(
+                self.index.lookup, probe,
+                label=f"IndexProbe {self.index.name} ({self.variable})",
+            )
+        else:
+            node = TableScan(
+                self.table.relation.tuples(),
+                label=f"TableScan {self.table.name} ({self.variable})",
+            )
+        nodes.append(node)
+        for attribute, op, resolve in self.residual:
+            # The shared constant-selection kernel — the same predicate
+            # the planner's pushed selections stream through, so the fast
+            # path cannot drift on null discipline.
+            node = Filter(
+                node, constant_predicate(attribute, op, resolve(params)),
+                label=f"Filter {self.variable}.{attribute} {op} ?",
+            )
+            nodes.append(node)
+        node = Project(
+            node, self.targets, label=f"Project {list(self.output_attributes)}"
+        )
+        nodes.append(node)
+        trace = [
+            TraceStep(text, node=step_node, show_est=False)
+            for text, step_node in zip(self._step_texts(), nodes)
+        ]
+        schema = RelationSchema(self.output_attributes, name="Q")
+        return Pipeline(node, schema, trace)
+
+    def execute(self, params: Mapping[str, Any]) -> ResultSet:
+        return ResultSet(pipeline=self.make_pipeline(params))
+
     def describe(self, params: Optional[Mapping[str, Any]] = None) -> str:
-        return "\n".join(self._steps())
+        return "\n".join(self._step_texts())
 
 
 _FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "==": "==", "!=": "!="}
@@ -402,16 +425,14 @@ class _CompiledDelete(CompiledStatement):
         )
         self.parameters = self.analyzed.parameters
 
-    def _matching(self, params: Mapping[str, Any]) -> List[XTuple]:
-        query = self.analyzed.bind(params)
-        return list(Plan(query, self.database).execute().rows())
-
     def execute(self, params: Mapping[str, Any]) -> ResultSet:
-        doomed = self._matching(params)
-        if not doomed:
-            return ResultSet(rows_affected=0, steps=[self.describe(params)])
-        count = self.database.delete_many(self.table.name, doomed)
-        return ResultSet(rows_affected=count, steps=[self.describe(params)])
+        query = self.analyzed.bind(params)
+        source = Plan(query, self.database).compile()
+        sink = DeleteSink(self.database, self.table, source)
+        count = sink.run()
+        return ResultSet(
+            rows_affected=count, steps=[self.describe(params)], tree=sink
+        )
 
     def describe(self, params: Optional[Mapping[str, Any]] = None) -> str:
         where = f" where {self.statement.where}" if self.statement.where else ""
@@ -505,32 +526,37 @@ class _CompiledAppend(CompiledStatement):
                     parameters.append(assignment.value.name)
         self.parameters = tuple(dict.fromkeys(parameters))
 
-    def _build_rows(self, params: Mapping[str, Any]) -> List[XTuple]:
-        if self.analyzed is None:
+    def _row_builder(self, params: Mapping[str, Any]) -> Callable[[XTuple], XTuple]:
+        """Map one source binding row to the row to append."""
+        columns = self.columns
+
+        def build(source: Optional[XTuple]) -> XTuple:
             values = {}
-            for attribute, _label, resolver in self.columns:
-                value = resolver(None, params)
-                if not is_ni(value):
-                    values[attribute] = value
-            return [XTuple(values)]
-        query = self.analyzed.bind(params)
-        answer = Plan(query, self.database).execute()
-        rows: List[XTuple] = []
-        for source in answer.rows():
-            values = {}
-            for attribute, label, resolver in self.columns:
+            for attribute, label, resolver in columns:
                 value = source[label] if label is not None else resolver(source, params)
                 if not is_ni(value):
                     values[attribute] = value
-            rows.append(XTuple(values))
-        return list(dict.fromkeys(rows))
+            return XTuple(values)
+
+        return build
 
     def execute(self, params: Mapping[str, Any]) -> ResultSet:
-        rows = self._build_rows(params)
-        if not rows:
-            return ResultSet(rows_affected=0, steps=[self.describe(params)])
-        self.database.insert_many(self.table.name, rows)
-        return ResultSet(rows_affected=len(rows), steps=[self.describe(params)])
+        if self.analyzed is None:
+            sink = AppendSink(
+                self.database, self.table,
+                literal_rows=[self._row_builder(params)(None)],
+            )
+        else:
+            query = self.analyzed.bind(params)
+            source = Plan(query, self.database).compile()
+            sink = AppendSink(
+                self.database, self.table, source,
+                row_builder=self._row_builder(params),
+            )
+        count = sink.run()
+        return ResultSet(
+            rows_affected=count, steps=[self.describe(params)], tree=sink
+        )
 
     def describe(self, params: Optional[Mapping[str, Any]] = None) -> str:
         source = "from query ranges" if self.statement.ranges else "one literal row"
@@ -581,39 +607,24 @@ class _CompiledReplace(CompiledStatement):
 
     def execute(self, params: Mapping[str, Any]) -> ResultSet:
         query = self.analyzed.bind(params)
-        matched = list(Plan(query, self.database).execute().rows())
-        if not matched:
-            return ResultSet(rows_affected=0, steps=[self.describe(params)])
-        replacements: List[XTuple] = []
-        for old in matched:
+        source = Plan(query, self.database).compile()
+        assignments = self.assignments
+
+        def build(old: XTuple) -> XTuple:
             values = dict(old.items())
-            for attribute, resolver in self.assignments:
+            for attribute, resolver in assignments:
                 value = resolver(old, params)
                 if is_ni(value):
                     values.pop(attribute, None)
                 else:
                     values[attribute] = value
-            replacements.append(XTuple(values))
-        replacements = list(dict.fromkeys(replacements))
+            return XTuple(values)
 
-        table, catalog = self.table, self.database.catalog
-        saved = set(table.rows())
-        try:
-            table.delete_many(matched)
-            table.insert_many(replacements)
-            # Referential integrity holds on the *post* state: the new
-            # rows may legitimately re-satisfy keys the deletion removed.
-            for fk in catalog.foreign_keys_of(table.name):
-                fk.check(
-                    table.relation,
-                    catalog.table(fk.referenced_relation).relation,
-                )
-            for owner, fk in catalog.foreign_keys_referencing(table.name):
-                fk.check(catalog.table(owner).relation, table.relation)
-        except Exception:
-            table.reset_rows(saved)
-            raise
-        return ResultSet(rows_affected=len(matched), steps=[self.describe(params)])
+        sink = ReplaceSink(self.database, self.table, source, build)
+        count = sink.run()
+        return ResultSet(
+            rows_affected=count, steps=[self.describe(params)], tree=sink
+        )
 
     def describe(self, params: Optional[Mapping[str, Any]] = None) -> str:
         where = f" where {self.statement.where}" if self.statement.where else ""

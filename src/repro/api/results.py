@@ -1,18 +1,43 @@
 """Result sets: the uniform answer shape of the Session API.
 
 Every :meth:`repro.api.Session.execute` call — RETRIEVE, RETRIEVE INTO,
-APPEND, DELETE, REPLACE — returns a :class:`ResultSet`.  Query statements
-carry rows (iterable, with ``.columns`` and ``.to_relation()``); mutation
-statements carry ``.rows_affected``; both carry the executed plan trace
-through :meth:`ResultSet.explain`.
+APPEND, DELETE, REPLACE — returns a :class:`ResultSet`.  Since the
+streaming-executor PR a retrieve's result set is *lazy*: it holds the
+compiled :class:`~repro.exec.Pipeline` and drains it on demand —
+
+* iterating the result set streams rows as the operator tree produces
+  them, without materialising any intermediate
+  :class:`~repro.core.xrelation.XRelation`.  Streamed rows are distinct
+  but pre-minimisation: with nulls in play they may include rows the
+  canonical answer's minimal form drops (each dominated by another
+  streamed row), so their union is always information-wise the answer.
+  Table scans and index-selection buckets are snapshotted when the
+  statement executes, but an index-nested-loop join deliberately probes
+  the *live* index — a result set left undrained across later mutations
+  can see them through those probes, so drain promptly (``.rows`` does)
+  when statement-time answers must survive subsequent writes;
+* ``.rows`` / ``len()`` / ``.first()`` / ``.scalar()`` /
+  ``.to_relation()`` drain the pipeline fully and return the canonical
+  minimal answer — ``.rows`` stays the stable sorted list it always was,
+  computed once and cached (result sets are immutable);
+* :meth:`explain` renders the executed logical step trace, and
+  :meth:`explain` with ``analyze=True`` drains the pipeline and renders
+  the physical operator tree with per-node estimated rows, actual rows
+  and wall time.
+
+Mutation statements carry ``.rows_affected`` (they apply eagerly — DML
+is never deferred) plus, when available, the sink-rooted tree for
+``explain(analyze=True)``.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..core.tuples import XTuple
 from ..core.xrelation import XRelation
+from ..exec.operators import PhysicalOperator
+from ..exec.pipeline import Pipeline, render_tree
 
 
 class ResultSet:
@@ -21,45 +46,86 @@ class ResultSet:
     Parameters
     ----------
     relation:
-        The answer x-relation for row-producing statements, ``None`` for
-        pure mutations.
+        The answer x-relation, for statements executed eagerly (``None``
+        otherwise).
+    pipeline:
+        The compiled streaming pipeline, for lazily-executed retrieves.
+        Exactly one of *relation* / *pipeline* is set for row-producing
+        statements; pure mutations set neither.
     rows_affected:
         Rows inserted / deleted / replaced (0 for a plain RETRIEVE).
     steps:
-        The executed plan's step trace (what :meth:`explain` renders).
+        The executed plan's step trace.  May be a static sequence of
+        strings or, when a pipeline is attached and *steps* is empty, the
+        trace is rendered live from the pipeline (so actual row counts
+        appear once it drains).
+    tree:
+        Optional physical tree root for ``explain(analyze=True)`` when
+        there is no pipeline (DML sinks).
     """
 
     def __init__(
         self,
         relation: Optional[XRelation] = None,
         *,
+        pipeline: Optional[Pipeline] = None,
         rows_affected: int = 0,
-        steps: Tuple[str, ...] = (),
+        steps: Sequence[str] = (),
+        tree: Optional[PhysicalOperator] = None,
     ):
         self._relation = relation
+        self._pipeline = pipeline
         self.rows_affected = rows_affected
-        self._steps: Tuple[str, ...] = tuple(steps)
+        self._static_steps: Tuple[str, ...] = tuple(steps)
+        self._tree = tree
+        self._sorted_rows: Optional[List[XTuple]] = None
+
+    # -- materialisation -------------------------------------------------------
+    def _materialize(self) -> Optional[XRelation]:
+        if self._relation is None and self._pipeline is not None:
+            self._relation = self._pipeline.run()
+        return self._relation
 
     # -- rows -----------------------------------------------------------------
     @property
     def columns(self) -> Tuple[str, ...]:
         """The output column names (empty for a pure mutation)."""
+        if self._pipeline is not None:
+            return self._pipeline.columns
         if self._relation is None:
             return ()
         return self._relation.attributes
 
     @property
     def rows(self) -> List[XTuple]:
-        """The answer rows in a stable (sorted) order."""
-        if self._relation is None:
-            return []
-        return self._relation.representation.sorted_rows()
+        """The answer rows in a stable (sorted) order, computed once.
+
+        Result sets are immutable, so the sorted list is cached on first
+        access instead of re-sorting the relation every time.
+        """
+        if self._sorted_rows is None:
+            relation = self._materialize()
+            if relation is None:
+                self._sorted_rows = []
+            else:
+                self._sorted_rows = relation.representation.sorted_rows()
+        return self._sorted_rows
 
     def __iter__(self) -> Iterator[XTuple]:
+        """Iterate the answer, streaming the pipeline when one is attached.
+
+        Before the result set materialises, rows are yielded as the
+        operator tree produces them (lazy, block at a time); afterwards
+        the canonical rows replay.  See the module docstring for the
+        pre-minimisation caveat on streamed rows.
+        """
+        if self._relation is None and self._pipeline is not None:
+            return self._pipeline.iter_rows()
         return iter(self.rows)
 
     def __len__(self) -> int:
-        return 0 if self._relation is None else len(self._relation)
+        relation = self._materialize()
+        return 0 if relation is None else len(relation)
 
     def first(self) -> Optional[XTuple]:
         """The first row in sorted order, or ``None`` on an empty answer."""
@@ -79,29 +145,56 @@ class ResultSet:
     # -- conversions ----------------------------------------------------------
     def to_relation(self) -> Optional[XRelation]:
         """The answer as an :class:`XRelation` (``None`` for a mutation)."""
-        return self._relation
+        return self._materialize()
 
     @property
     def answer(self) -> Optional[XRelation]:
         """Compatibility alias of :meth:`to_relation` (mirrors
         :class:`repro.quel.QueryResult`)."""
-        return self._relation
+        return self._materialize()
 
     def to_table(self) -> str:
-        if self._relation is None:
+        relation = self._materialize()
+        if relation is None:
             return f"({self.rows_affected} row(s) affected)"
-        return self._relation.representation.to_table()
+        return relation.representation.to_table()
 
     # -- provenance -----------------------------------------------------------
     @property
     def steps(self) -> Tuple[str, ...]:
-        return self._steps
+        if self._static_steps or self._pipeline is None:
+            return self._static_steps
+        return tuple(self._pipeline.step_lines())
 
-    def explain(self) -> str:
-        """The executed plan, one numbered step per line."""
-        return "\n".join(f"{i + 1}. {step}" for i, step in enumerate(self._steps))
+    def explain(self, analyze: bool = False) -> str:
+        """The executed plan.
+
+        Without *analyze*: the logical step trace, one numbered step per
+        line (actual row counts appear once the pipeline has drained).
+        With ``analyze=True``: drains the pipeline (EXPLAIN ANALYZE runs
+        the query) and renders the physical operator tree — one indented
+        line per node with ``est=… rows=… actual=… time=…``.  Falls back
+        to the step trace for statements executed without a tree.
+        """
+        if analyze:
+            if self._pipeline is not None:
+                return self._pipeline.explain(analyze=True)
+            if self._tree is not None:
+                return render_tree(self._tree, analyze=True)
+        return "\n".join(f"{i + 1}. {step}" for i, step in enumerate(self.steps))
+
+    @property
+    def pipeline(self) -> Optional[Pipeline]:
+        """The underlying compiled pipeline, when the statement streamed."""
+        return self._pipeline
 
     def __repr__(self) -> str:
+        if self._relation is None and self._pipeline is not None:
+            state = "drained" if self._pipeline.drained else "streaming"
+            return (
+                f"ResultSet({state}, columns={list(self.columns)}, "
+                f"rows_affected={self.rows_affected})"
+            )
         if self._relation is None:
             return f"ResultSet(rows_affected={self.rows_affected})"
         return (

@@ -9,8 +9,12 @@ TO, DELETE, REPLACE, all with ``$name`` parameters — through one method::
     rows = session.execute('range of e is EMP retrieve (e.NAME)')
 
 Every statement runs lexer → parser → analyzer → cost-based plan →
-execution; mutations route through the storage layer's atomic bulk
-paths.  :meth:`Session.prepare` returns a :class:`PreparedStatement`
+execution; retrieves compile to a streaming :mod:`repro.exec` operator
+tree the returned result set drains lazily (iterate for first rows
+without materialising; ``.rows`` for the canonical sorted answer;
+``explain(analyze=True)`` for the per-operator est/actual/time audit),
+and mutations route through the storage layer's atomic bulk paths via
+the DML sinks.  :meth:`Session.prepare` returns a :class:`PreparedStatement`
 whose compiled plan lives in a session LRU keyed by the statement's
 *normalized AST* and stamped with the database's catalog/index/stats
 epoch — re-executing skips lexing, parsing, analysis and planning

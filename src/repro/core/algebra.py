@@ -57,8 +57,46 @@ def _wrap(schema: RelationSchema, rows: Iterable[XTuple]) -> XRelation:
 
 
 # ---------------------------------------------------------------------------
-# Selection (5.1), (5.2)
+# Selection (5.1), (5.2) — row-level kernels first, relation wrappers below
 # ---------------------------------------------------------------------------
+
+def constant_predicate(attribute: str, op: str, constant: Any):
+    """The row predicate of ``A θ k`` (5.2): TRUE iff the row is A-total
+    and the comparison holds.  A null constant satisfies nothing — the
+    comparison is ``ni`` on every row.  This is THE shared kernel for
+    constant selections: :func:`select_constant_rows`, the streaming
+    executor's :class:`repro.exec.Filter` nodes and the session's
+    prepared fast path all evaluate through it, so the TRUE-only null
+    discipline cannot diverge between execution paths."""
+    from .nulls import is_ni
+    if is_ni(constant):
+        return lambda row: False
+
+    def predicate(row: XTuple, _a=attribute, _op=op, _k=constant) -> bool:
+        value = row._lookup.get(_a)  # _lookup stores only non-null bindings
+        return value is not None and compare(value, _op, _k).is_true()
+
+    return predicate
+
+
+def select_constant_rows(rows: Iterable[XTuple], attribute: str, op: str, constant: Any) -> List[XTuple]:
+    """The row-level kernel of ``R[A θ k]``: keep the rows that are
+    A-total and satisfy the comparison (see :func:`constant_predicate`)."""
+    predicate = constant_predicate(attribute, op, constant)
+    return [r for r in rows if predicate(r)]
+
+
+def select_predicate_rows(rows: Iterable[XTuple], predicate) -> List[XTuple]:
+    """The row-level kernel of the generalised selection: keep the rows on
+    which *predicate* evaluates to TRUE (a :class:`TruthValue` or bool)."""
+    from .threevalued import truth_of
+    return [r for r in rows if truth_of(predicate(r)).is_true()]
+
+
+def rename_rows(rows: Iterable[XTuple], mapping) -> List[XTuple]:
+    """The row-level kernel of :func:`rename` — one fresh tuple per row."""
+    return [r.rename(mapping) for r in rows]
+
 
 def select_constant(relation: RelationLike, attribute: str, op: str, constant: Any) -> XRelation:
     """``R[A θ k]`` (5.2): rows that are A-total and satisfy ``r[A] θ k``.
@@ -73,10 +111,7 @@ def select_constant(relation: RelationLike, attribute: str, op: str, constant: A
     from .nulls import is_null
     if is_null(constant):
         raise AlgebraError("selection constants must be nonnull domain values")
-    rows = [
-        r for r in rep.tuples()
-        if r.is_total_on((attribute,)) and compare(r[attribute], op, constant).is_true()
-    ]
+    rows = select_constant_rows(rep.tuples(), attribute, op, constant)
     schema = RelationSchema(
         rep.schema.attributes, rep.schema.domains(),
         name=f"{rep.name}[{attribute}{op}{constant!r}]",
@@ -109,9 +144,8 @@ def select_predicate(relation: RelationLike, predicate) -> XRelation:
     evaluating to TRUE are kept, in line with the lower-bound discipline.
     Used by the QUEL evaluator for compound ``where`` clauses.
     """
-    from .threevalued import truth_of
     rep = _rep(relation)
-    rows = [r for r in rep.tuples() if truth_of(predicate(r)).is_true()]
+    rows = select_predicate_rows(rep.tuples(), predicate)
     schema = RelationSchema(
         rep.schema.attributes, rep.schema.domains(), name=f"{rep.name}[σ]"
     )
@@ -241,7 +275,7 @@ def rename(relation: RelationLike, mapping) -> XRelation:
     """Rename attributes (needed before products/joins of a relation with itself)."""
     rep = _rep(relation)
     schema = rep.schema.rename(mapping, name=f"{rep.name}ρ")
-    rows = [r.rename(mapping) for r in rep.tuples()]
+    rows = rename_rows(rep.tuples(), mapping)
     return _wrap(schema, rows)
 
 

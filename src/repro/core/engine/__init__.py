@@ -47,12 +47,20 @@ Definitions 3.1 / 4.1–4.8.
 """
 
 from .dominance import DominanceIndex, bulk_reduce
-from .joins import equi_join_rows, index_probe_join_rows, pair_candidates
+from .joins import (
+    build_join_buckets,
+    equi_join_rows,
+    index_probe_join_rows,
+    pair_candidates,
+    probe_join_block,
+)
 
 __all__ = [
     "DominanceIndex",
+    "build_join_buckets",
     "bulk_reduce",
     "equi_join_rows",
     "index_probe_join_rows",
     "pair_candidates",
+    "probe_join_block",
 ]

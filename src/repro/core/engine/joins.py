@@ -149,6 +149,60 @@ def equi_join_rows(
     return out
 
 
+def build_join_buckets(
+    rows: Iterable[XTuple], key_attrs: Sequence[str]
+) -> Dict[Tuple, List[XTuple]]:
+    """The build phase of a hash equi-join, as a reusable kernel.
+
+    Buckets *rows* by their value tuple on *key_attrs*; rows null on any
+    key attribute are dropped (they can never satisfy the equality under
+    the Section 5 TRUE-only discipline).  Both the planner's per-query
+    hash joins and the streaming :class:`repro.exec.HashJoin` operator
+    build their tables through here, so the null handling cannot diverge.
+    """
+    key_attrs = tuple(key_attrs)
+    buckets: Dict[Tuple, List[XTuple]] = {}
+    for row in rows:
+        lookup = row._lookup
+        key = tuple(lookup.get(a) for a in key_attrs)
+        if None in key:  # _lookup stores only non-null bindings
+            continue
+        buckets.setdefault(key, []).append(row)
+    return buckets
+
+
+def probe_join_block(
+    block: Iterable[XTuple],
+    probe_attrs: Sequence[str],
+    lookup: Callable[[Tuple], Iterable[XTuple]],
+    transform: Callable[[XTuple], XTuple],
+    cache: Dict[XTuple, XTuple],
+) -> List[XTuple]:
+    """The probe phase of a hash/index equi-join, one block at a time.
+
+    For each row of *block* that is total on *probe_attrs*, probes
+    *lookup* with its key values and joins the matches after passing them
+    through *transform* (the planner's ``variable.``-prefix rename).
+    *cache* memoises the transform per distinct matched row; the caller
+    owns it so the memoisation spans every block of one join.  This is
+    the block-level entry point the streaming executor pulls on;
+    :func:`index_probe_join_rows` is the whole-input convenience form.
+    """
+    out: List[XTuple] = []
+    probe_key = tuple(probe_attrs)
+    for left in block:
+        bindings = left._lookup
+        key = tuple(bindings.get(a) for a in probe_key)
+        if None in key:  # _lookup stores only non-null bindings
+            continue
+        for right in lookup(key):
+            renamed = cache.get(right)
+            if renamed is None:
+                renamed = cache[right] = transform(right)
+            out.append(left.join(renamed))
+    return out
+
+
 def index_probe_join_rows(
     left_rows: Iterable[XTuple],
     probe_attrs: Sequence[str],
@@ -175,17 +229,4 @@ def index_probe_join_rows(
     stored row, so the result is information-wise identical after
     reduction (which every plan applies).
     """
-    out: List[XTuple] = []
-    cache: Dict[XTuple, XTuple] = {}
-    probe_key = tuple(probe_attrs)
-    for left in left_rows:
-        bindings = left._lookup
-        key = tuple(bindings.get(a) for a in probe_key)
-        if None in key:  # _lookup stores only non-null bindings
-            continue
-        for right in lookup(key):
-            renamed = cache.get(right)
-            if renamed is None:
-                renamed = cache[right] = transform(right)
-            out.append(left.join(renamed))
-    return out
+    return probe_join_block(left_rows, probe_attrs, lookup, transform, {})

@@ -1,0 +1,224 @@
+"""Pipelines: a compiled operator tree plus its execution trace.
+
+A :class:`Pipeline` is what the planner's streaming compiler hands back:
+the root :class:`~repro.exec.operators.PhysicalOperator` of a physical
+tree, the output schema, and the ordered :class:`TraceStep` list that
+maps the logical plan's step lines onto the physical nodes producing
+their rows.  It supports two consumption styles:
+
+* :meth:`iter_rows` — *lazy*: pull blocks on demand and yield the raw
+  output rows as they arrive, without constructing any intermediate
+  :class:`~repro.core.xrelation.XRelation`.  The streamed rows are
+  pre-minimisation: with nulls present they may include rows a minimal
+  representation would drop (each dominated by a streamed sibling), so
+  their union is always information-wise the answer.
+* :meth:`run` — drain everything and return the canonical (minimal)
+  :class:`XRelation`.  Partial lazy consumption is resumed, never
+  repeated: the pipeline owns the single block iterator.
+
+:class:`TraceStep` is also the shared rendering unit for the *logical*
+step trace — the materializing executor and the pre-statistics syntactic
+planner render their ``Plan.steps`` through the same class, so the
+``[est=…, rows=…]`` annotations come from one format path everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..core.relation import Relation, RelationSchema
+from ..core.tuples import XTuple
+from ..core.xrelation import XRelation
+from .operators import PhysicalOperator
+
+
+class TraceStep:
+    """One logical plan step, rendered uniformly across executors.
+
+    ``text`` is the step description (``"hash equi-join with d on …"``);
+    ``est`` the optimizer's estimate (``None`` on the syntactic path,
+    which never shows estimates); the measured row count comes either
+    from ``fixed_rows`` (the materializing executor records it at step
+    time) or live from ``node.actual_rows`` (the streaming executor's
+    physical operator).  ``show_est`` lets the projection step keep its
+    historical ``[rows=…]``-only annotation.
+    """
+
+    __slots__ = ("text", "est", "node", "fixed_rows", "show_est")
+
+    def __init__(
+        self,
+        text: str,
+        est: Optional[float] = None,
+        node: Optional[PhysicalOperator] = None,
+        fixed_rows: Optional[int] = None,
+        show_est: bool = True,
+    ):
+        self.text = text
+        self.est = est
+        self.node = node
+        self.fixed_rows = fixed_rows
+        self.show_est = show_est
+
+    def rows(self) -> Optional[int]:
+        if self.node is not None:
+            return self.node.actual_rows if self.node.started else None
+        return self.fixed_rows
+
+    def render(self) -> str:
+        rows = self.rows()
+        parts = []
+        if self.est is not None and self.show_est:
+            parts.append(f"est={self.est:.0f}")
+        if rows is not None:
+            parts.append(f"rows={rows}")
+        elif parts:
+            parts.append("rows=?")
+        if not parts:
+            return self.text
+        return f"{self.text} [{', '.join(parts)}]"
+
+
+def render_tree(root: PhysicalOperator, analyze: bool = False) -> str:
+    """Render an operator tree, one indented line per node.
+
+    Without *analyze* each node shows its label and estimate; with it the
+    node also reports what actually happened while the tree drained:
+    ``est=`` (the model's estimated rows) followed by ``actual rows=``
+    (rows the node really produced) and ``time=`` (wall time spent in
+    the node's iterator, children included, like ``EXPLAIN ANALYZE``).
+    ``rows=`` therefore always means a *measured* count, here and in the
+    step trace alike; the estimate only ever appears as ``est=``.
+    """
+    lines: List[str] = []
+
+    def visit(node: PhysicalOperator, depth: int) -> None:
+        parts: List[str] = []
+        if node.est is not None:
+            parts.append(f"est={node.est:.0f}")
+        if analyze:
+            parts.append(f"actual rows={node.actual_rows}")
+            parts.append(f"time={node.seconds * 1000.0:.3f}ms")
+        annotation = f" [{' '.join(parts)}]" if parts else ""
+        lines.append(f"{'  ' * depth}{node.label}{annotation}")
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(root, 0)
+    return "\n".join(lines)
+
+
+class Pipeline:
+    """A compiled, single-use physical plan ready to stream or drain."""
+
+    def __init__(
+        self,
+        root: PhysicalOperator,
+        schema: RelationSchema,
+        trace: Sequence[TraceStep] = (),
+    ):
+        self.root = root
+        self.schema = schema
+        self.trace: List[TraceStep] = list(trace)
+        self._blocks: Optional[Iterator[List[XTuple]]] = None
+        self._ordered: List[XTuple] = []
+        self._exhausted = False
+        self._result: Optional[XRelation] = None
+        self._error: Optional[BaseException] = None
+        #: True once :meth:`run` has cached the canonical answer and
+        #: dropped the streamed-row buffer.
+        self._released = False
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return self.schema.attributes
+
+    @property
+    def drained(self) -> bool:
+        return self._exhausted
+
+    # -- consumption -----------------------------------------------------------
+    def _pull(self) -> bool:
+        """Advance by one block; False when the tree is exhausted.
+
+        An operator error latches: a generator that raised is closed and
+        would report plain ``StopIteration`` on the next pull, silently
+        passing off the partial prefix as the canonical answer — so the
+        failure is remembered and re-raised on every later consumption.
+        """
+        if self._error is not None:
+            raise self._error
+        if self._exhausted:
+            return False
+        if self._blocks is None:
+            self._blocks = self.root.blocks()
+        try:
+            block = next(self._blocks)
+        except StopIteration:
+            self._exhausted = True
+            return False
+        except BaseException as error:
+            self._error = error
+            raise
+        self._ordered.extend(block)
+        return True
+
+    def iter_rows(self) -> Iterator[XTuple]:
+        """Yield output rows lazily, pulling blocks only as needed.
+
+        Distinctness is the root operator's contract (the planner always
+        tops its trees with a de-duplicating :class:`Project`); rows
+        already pulled — by an earlier iterator or a partial drain — are
+        replayed from the accumulated prefix, so concurrent iterators see
+        the same sequence.  Once :meth:`run` has cached the canonical
+        answer the streamed-row buffer is released: iterators already in
+        flight complete over the full streamed sequence (they hold the
+        buffer), while fresh ones replay the canonical rows.
+        """
+        if self._released:
+            yield from self._result.rows()
+            return
+        ordered = self._ordered  # stable even if run() releases the buffer
+        i = 0
+        while True:
+            while i < len(ordered):
+                yield ordered[i]
+                i += 1
+            if self._released or not self._pull():
+                break
+        while i < len(ordered):
+            yield ordered[i]
+            i += 1
+
+    def run(self) -> XRelation:
+        """Drain the tree and return the canonical minimal answer.
+
+        The streamed-row buffer is dropped once the answer is cached — a
+        retained result set should pin one copy of its rows, not two —
+        and the leaf operators release their snapshots as they exhaust.
+        """
+        if self._result is None:
+            while self._pull():
+                pass
+            relation = Relation(self.schema, validate=False)
+            relation._rows = set(self._ordered)
+            self._result = XRelation(relation)
+            self._ordered = []
+            self._released = True
+        return self._result
+
+    # -- provenance ------------------------------------------------------------
+    def step_lines(self) -> List[str]:
+        """The logical step trace, annotated with live actual row counts."""
+        return [step.render() for step in self.trace]
+
+    def explain(self, analyze: bool = False) -> str:
+        """The physical tree; ``analyze=True`` drains it first and adds
+        per-node actual rows and wall time."""
+        if analyze:
+            self.run()
+        return render_tree(self.root, analyze=analyze)
+
+    def __repr__(self) -> str:
+        state = "drained" if self._exhausted else "pending"
+        return f"Pipeline({self.root.label!r}, {state}, rows={len(self._ordered)})"

@@ -1,46 +1,47 @@
-"""A cost-based algebraic planner for QUEL queries.
+"""A cost-based planner-compiler for QUEL queries.
 
 Section 8 of the paper stresses that the generalised model keeps "the
 well-known correspondence between the relational calculus and the
 relational algebra", which is what makes query evaluation efficient.  The
 planner makes that correspondence concrete — and, since the statistics
 PR, *chooses between* the equivalent algebraic strategies with a
-System-R-style cost model (:mod:`repro.stats`):
+System-R-style cost model (:mod:`repro.stats`).  Since the streaming
+executor PR, planning and execution are fully decoupled:
 
-* rename every range relation with a ``variable.`` prefix (lazily — a
-  range that ends up probed through a persistent index is never
-  materialised),
-* push single-variable conjunctive selections down onto their relation —
-  *before* any join is chosen, so every join input is already filtered;
-  this covers constant comparisons (as before) and any residual conjunct
-  mentioning a single range variable.  Equality conjuncts over a stored
-  table carrying a persistent :class:`~repro.storage.index.HashIndex`
-  covering their attribute set are served straight from the index — one
-  bucket probe instead of a table scan (``index select … using index``
-  in the trace),
-* combine the ranges with equi-joins in **greedy cost order**: start from
-  the estimated-smallest range, then repeatedly join the linked range
-  with the smallest estimated output cardinality (equality selectivities
-  from per-table distinct-value counts, null partitions discounted —
-  under the Section 5 lower-bound discipline a null never satisfies an
-  equality), leaving Cartesian products (smallest first) for last.  All
-  equality conjuncts linking the next range fuse into one composite-key
-  join.  When the next range is an unfiltered stored table carrying a
-  persistent :class:`~repro.storage.index.HashIndex` on exactly the fused
-  key, the plan emits an **index-nested-loop join**
-  (:func:`repro.core.engine.joins.index_probe_join_rows`) that probes the
-  live index instead of rebuilding hash buckets per query,
-* apply every remaining conjunct as soon as the ranges it mentions have
-  been combined — residual selections are pushed *through* the joins
-  rather than evaluated once over the final combination,
-* project onto the target list (renaming to the output column names).
+1. **Planning** (:meth:`Plan.logical_plan`) is a pure phase driven by
+   estimates only — rename ranges (lazily), push single-variable
+   selections (persistent-index equality probes first), enumerate joins
+   in greedy cost order (estimated-smallest range first, then the linked
+   range with the smallest estimated join output; all equality conjuncts
+   linking the next range fused into one composite key; an
+   index-nested-loop join when the next range is an unfiltered stored
+   table carrying a :class:`~repro.storage.index.HashIndex` on exactly
+   the fused key; Cartesian products, smallest first, last), push
+   residual conjuncts through the joins (applied as soon as their ranges
+   are combined), project onto the target list.  No rows are touched.
+2. **Execution** interprets the same logical plan one of two ways:
+
+   * :meth:`Plan.compile` — the default, *streaming* executor: the plan
+     compiles into a tree of :mod:`repro.exec` physical operators pulling
+     fixed-size tuple blocks; non-blocking operators stream rows through
+     without constructing any intermediate
+     :class:`~repro.core.xrelation.XRelation`, and every node records
+     actual rows and wall time for ``explain(analyze=True)``.
+   * ``Plan(query, …, streaming=False)`` — the *materializing* executor:
+     every step builds a full intermediate ``XRelation`` (the pre-exec
+     behaviour, step for step).  It is the differential baseline the
+     streaming path is pinned against, and what benchmark E17 measures
+     the streaming win over.
 
 Every executed step is annotated with the optimizer's estimated and the
 measured row count (``est=…, rows=…``), so ``Plan.explain()`` doubles as
-a cost-model audit.  ``Plan(query, cost_based=False)`` reproduces the
-previous planner (syntactic join order, residual evaluated last, no
-index reuse) — the benchmarks use it as their baseline, the differential
-tests run both modes against the Section 5 oracle.
+a cost-model audit; both executors (and the pre-statistics syntactic
+planner) render their traces through the shared
+:class:`~repro.exec.pipeline.TraceStep`, so there is exactly one format
+path.  ``Plan(query, cost_based=False)`` reproduces the PR 2 planner
+(syntactic join order, residual evaluated last, no index reuse) — the
+benchmarks use it as their baseline, the differential tests run every
+mode against the Section 5 oracle.
 
 The planner handles every query the front end accepts; the optimisation
 changes strategy only, and the produced result is always information-wise
@@ -51,29 +52,43 @@ differential harness in ``tests/test_differential_planner.py``).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core import algebra
-from ..core.engine.joins import equi_join_rows, index_probe_join_rows
+from ..core.engine.joins import build_join_buckets, index_probe_join_rows
 from ..core.nulls import is_ni
-from ..core.query import And, AttributeRef, Comparison, Constant, Not, Or, Predicate, Query
+from ..core.query import And, AttributeRef, Comparison, Constant, Predicate, Query
 from ..core.relation import Relation
 from ..core.threevalued import compare
 from ..core.tuples import XTuple
 from ..core.xrelation import XRelation
+from ..exec.operators import (
+    BLOCK_SIZE,
+    Filter,
+    HashJoin,
+    IndexNLJoin,
+    IndexProbe,
+    PhysicalOperator,
+    Product,
+    Project,
+    Rename,
+    TableScan,
+)
+from ..exec.pipeline import Pipeline, TraceStep
 from ..stats import CostModel, DEFAULT_COST_MODEL, TableStatistics
 
 
 class _RangeContext:
-    """Per-range planning state: lazy renamed relation, table, statistics.
+    """Per-range state: statistics and estimates for planning, lazily
+    renamed/filtered rows for the materializing executor.
 
     Renaming a range costs one new tuple per row plus a reduction to
     minimal form, so the context defers it as long as possible: pushed
     selections filter the *unrenamed* base rows, hash joins can bucket
     the unrenamed rows and rename only the matched ones, and an
-    index-nested-loop join never materialises the range at all — most of
-    the optimizer's win on large tables is never paying O(|range|)
-    renames per query.
+    index-nested-loop join never materialises the range at all.  The
+    planning phase reads only ``est`` / ``stats()`` / ``table`` (no rows
+    are touched); the row-state methods serve the materializing executor.
     """
 
     __slots__ = (
@@ -113,9 +128,7 @@ class _RangeContext:
     def push_constant(self, conjunct: Comparison) -> None:
         """Apply a pushable constant comparison on the unrenamed base —
         selection commutes with renaming, and filtering first makes any
-        later rename cheaper.  A previously materialised rename (none of
-        the current call paths produce one before the pushes run) is
-        invalidated and rebuilt lazily from the filtered base."""
+        later rename cheaper."""
         attribute, op, constant = _constant_parts(conjunct)
         if is_ni(constant):
             # A comparison against a null constant evaluates to ni for
@@ -172,12 +185,36 @@ class _RangeContext:
 
     def distinct(self, attribute: str) -> float:
         """Distinct non-null values on a (bare) attribute, capped by the
-        current (possibly filtered) cardinality."""
+        current cardinality estimate (planning never reads the rows)."""
         count = self.stats().distinct_count(attribute)
-        return float(min(count, self.cardinality)) if count else 0.0
+        return float(min(count, self.est)) if count else 0.0
 
     def null_fraction(self, attribute: str) -> float:
         return self.stats().null_fraction(attribute)
+
+
+# ---------------------------------------------------------------------------
+# Logical plan operations — what planning produces, what both executors run
+# ---------------------------------------------------------------------------
+
+class _LogicalOp:
+    """One step of the logical plan (kind + everything both executors need)."""
+
+    __slots__ = (
+        "kind", "variable", "conjunct", "attribute", "op", "constant",
+        "index", "probe", "described", "pairs", "targets", "est",
+    )
+
+    def __init__(self, kind: str, **fields: Any):
+        self.kind = kind
+        for slot in self.__slots__:
+            if slot != "kind":
+                setattr(self, slot, fields.pop(slot, None))
+        if fields:
+            raise TypeError(f"unknown logical-op fields {sorted(fields)}")
+
+    def __repr__(self) -> str:
+        return f"_LogicalOp({self.kind!r}, variable={self.variable!r})"
 
 
 class Plan:
@@ -195,13 +232,22 @@ class Plan:
         per-range statistics are computed on the fly.
     cost_based:
         ``True`` (default) enables cost-ordered joins, selection
-        push-through and index reuse; ``False`` reproduces the previous
+        push-through and index reuse; ``False`` reproduces the PR 2
         planner exactly (syntactic join order, residual last).
     use_indexes:
         Whether an unfiltered table range may be joined by probing a
         persistent index covering the fused join key.
     cost_model:
         The :class:`~repro.stats.CostModel` used for the estimates.
+    streaming:
+        ``True`` (default): :meth:`execute` compiles the logical plan to
+        a :mod:`repro.exec` operator tree and drains it — no intermediate
+        ``XRelation`` is ever built.  ``False``: every step materialises
+        a full intermediate (the pre-exec behaviour), kept as the
+        differential/benchmark baseline.  Both run the *same* logical
+        plan, so their step traces are directly comparable.
+    block_size:
+        Tuples per exchanged block on the streaming path.
     """
 
     def __init__(
@@ -212,13 +258,22 @@ class Plan:
         cost_based: bool = True,
         use_indexes: bool = True,
         cost_model: Optional[CostModel] = None,
+        streaming: bool = True,
+        block_size: int = BLOCK_SIZE,
     ):
         self.query = query
         self.database = database
         self.cost_based = cost_based
         self.use_indexes = use_indexes
         self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+        self.streaming = streaming
+        self.block_size = block_size
         self.steps: List[str] = []
+        #: The last compiled streaming pipeline (set by :meth:`execute`).
+        self.pipeline: Optional[Pipeline] = None
+        self._ops: Optional[List[_LogicalOp]] = None
+        self._start: Optional[str] = None
+        self._plan_contexts: Optional[Dict[str, _RangeContext]] = None
 
     def explain(self) -> str:
         return "\n".join(f"{i + 1}. {step}" for i, step in enumerate(self.steps))
@@ -234,18 +289,35 @@ class Plan:
             return None
         return finder(relation)
 
+    def _contexts(self) -> Dict[str, _RangeContext]:
+        return {
+            variable: _RangeContext(variable, relation, self._table_of(relation))
+            for variable, relation in self.query.ranges.items()
+        }
+
     # -- execution -----------------------------------------------------------
     def execute(self) -> XRelation:
-        """Build and run the algebraic plan, returning the answer x-relation."""
+        """Plan, execute and return the answer x-relation."""
         if not self.cost_based:
             return self._execute_syntactic()
-        return self._execute_cost_based()
+        if not self.streaming:
+            return self._execute_materializing()
+        pipeline = self.compile()
+        answer = pipeline.run()
+        self.steps = pipeline.step_lines()
+        return answer
 
-    # -- the cost-based optimizer -------------------------------------------
-    def _execute_cost_based(self) -> XRelation:
+    # -- the planning phase (estimate-driven, touches no rows) ---------------
+    def logical_plan(self) -> List[_LogicalOp]:
+        """The cost-ordered logical plan (cached; pure — no rows read)."""
+        if self._ops is None:
+            self._ops = self._build_logical_plan()
+        return self._ops
+
+    def _build_logical_plan(self) -> List[_LogicalOp]:
         query = self.query
         model = self.cost_model
-        self.steps = []
+        ops: List[_LogicalOp] = []
 
         pushable, residual = _split_conjuncts(query.where)
 
@@ -268,61 +340,57 @@ class Plan:
 
         variables = list(query.ranges)
         declaration = {variable: i for i, variable in enumerate(variables)}
-        contexts = {
-            variable: _RangeContext(variable, relation, self._table_of(relation))
-            for variable, relation in query.ranges.items()
-        }
+        contexts = self._contexts()
+        self._plan_contexts = contexts
 
-        # Step 1: rename each range with a variable prefix (lazily — the
-        # step records the logical operation, the rows materialise only
-        # when a later step needs them).
+        # Step 1: rename each range with a variable prefix (lazy — the
+        # step records the logical operation; rows move only at run time).
         for variable, relation in query.ranges.items():
-            self.steps.append(f"rename {relation.name} as {variable}(…)")
+            ops.append(_LogicalOp("rename", variable=variable,
+                                  described=relation.name))
 
         # Step 2: push single-variable selections — constant comparisons
         # first (equality conjuncts served straight from a covering
-        # persistent index when one exists, the rest estimated from the
-        # per-attribute statistics), then any residual conjunct confined
-        # to one range.
+        # persistent index when one exists), then any residual conjunct
+        # confined to one range.
         for variable, conjuncts in pushable.items():
             context = contexts[variable]
-            conjuncts = self._push_index_selection(context, conjuncts)
+            conjuncts = self._plan_index_selection(ops, context, conjuncts)
             for conjunct in conjuncts:
-                attribute, op, _ = _constant_parts(conjunct)
+                attribute, op, constant = _constant_parts(conjunct)
                 estimate = model.estimate_selection(
                     context.stats(), attribute, op, cardinality=context.est
                 )
-                context.push_constant(conjunct)
                 context.est = estimate
-                self.steps.append(
-                    f"select {conjunct!r} on {variable} "
-                    f"[est={estimate:.0f}, rows={context.cardinality}]"
-                )
+                context.filtered = True
+                ops.append(_LogicalOp(
+                    "select", variable=variable, conjunct=conjunct,
+                    attribute=attribute, op=op, constant=constant, est=estimate,
+                ))
         for variable, conjuncts in single_variable.items():
             context = contexts[variable]
             for conjunct in conjuncts:
                 estimate = context.est * self._residual_factor(conjunct)
-                context.push_predicate(conjunct)
                 context.est = estimate
-                self.steps.append(
-                    f"select residual {conjunct!r} on {variable} "
-                    f"[est={estimate:.0f}, rows={context.cardinality}]"
-                )
+                context.filtered = True
+                ops.append(_LogicalOp(
+                    "select-var-residual", variable=variable,
+                    conjunct=conjunct, est=estimate,
+                ))
 
         # Step 3: greedy cost-ordered combination.  Start from the
-        # smallest range; at each step join the linked range with the
-        # smallest estimated output, falling back to the smallest
-        # remaining range as a product when nothing is linked.
-        start = min(variables, key=lambda v: (contexts[v].cardinality, declaration[v]))
-        combined = contexts[start].materialized()
+        # estimated-smallest range; at each step join the linked range
+        # with the smallest estimated output, falling back to the
+        # estimated-smallest remaining range as a product when nothing is
+        # linked.
+        start = min(variables, key=lambda v: (contexts[v].est, declaration[v]))
+        self._start = start
         included: Set[str] = {start}
         remaining = [v for v in variables if v != start]
-        current = float(len(combined))
+        current = contexts[start].est
         distincts: Dict[str, float] = {}
 
-        combined, current = self._apply_deferred(
-            combined, current, deferred, included, variables
-        )
+        current = self._plan_deferred(ops, current, deferred, included, variables)
 
         while remaining:
             best = None
@@ -339,22 +407,25 @@ class Plan:
                     best = (key, variable, links, pairs, estimate)
             if best is None:
                 variable = min(
-                    remaining, key=lambda v: (contexts[v].cardinality, declaration[v])
+                    remaining, key=lambda v: (contexts[v].est, declaration[v])
                 )
                 context = contexts[variable]
-                estimate = model.product_cardinality(current, context.cardinality)
-                combined = algebra.product(combined, context.materialized())
-                self.steps.append(
-                    f"product with {variable} [est={estimate:.0f}, rows={len(combined)}]"
-                )
+                estimate = model.product_cardinality(current, context.est)
+                ops.append(_LogicalOp("product", variable=variable, est=estimate))
             else:
                 _, variable, links, pairs, estimate = best
                 for link in links:
                     equijoins.remove(link)
-                combined = self._execute_join(
-                    combined, contexts[variable], pairs, estimate
-                )
-                actual = float(len(combined))
+                context = contexts[variable]
+                index = None
+                if self.use_indexes and context.table is not None and not context.filtered:
+                    index = context.table.find_index(
+                        [new.attribute for _, new in pairs]
+                    )
+                ops.append(_LogicalOp(
+                    "join", variable=variable, pairs=pairs, est=estimate,
+                    index=index,
+                ))
                 for old_ref, new_ref in pairs:
                     old_key = self._qualify(old_ref.variable, old_ref.attribute)
                     new_key = self._qualify(new_ref.variable, new_ref.attribute)
@@ -364,44 +435,32 @@ class Plan:
                     new_distinct = contexts[new_ref.variable].distinct(new_ref.attribute)
                     shared = max(
                         1.0,
-                        min(old_distinct or actual, new_distinct or actual, actual),
+                        min(old_distinct or estimate, new_distinct or estimate,
+                            max(estimate, 1.0)),
                     )
                     distincts[old_key] = distincts[new_key] = shared
             included.add(variable)
             remaining.remove(variable)
-            current = float(len(combined))
-            combined, current = self._apply_deferred(
-                combined, current, deferred, included, variables
-            )
+            current = estimate
+            current = self._plan_deferred(ops, current, deferred, included, variables)
 
         # Safety net: any equality conjunct the enumeration did not
         # consume (not reachable in practice) is applied as a selection.
         for conjunct in equijoins + deferred:
             estimate = current * self._residual_factor(conjunct)
-            combined = algebra.select_predicate(
-                combined, _bind_residual(conjunct, variables)
-            )
-            current = float(len(combined))
-            self.steps.append(
-                f"select residual {conjunct!r} [est={estimate:.0f}, rows={len(combined)}]"
-            )
+            current = estimate
+            ops.append(_LogicalOp("residual", conjunct=conjunct, est=estimate))
 
-        return self._project(combined)
+        ops.append(_LogicalOp("project", targets=self._qualified_targets()))
+        return ops
 
-    def _push_index_selection(
-        self, context: _RangeContext, conjuncts: List[Comparison]
+    def _plan_index_selection(
+        self, ops: List[_LogicalOp], context: _RangeContext,
+        conjuncts: List[Comparison],
     ) -> List[Comparison]:
-        """Serve pushed equality conjuncts from a covering persistent index.
-
-        When the range is a stored table carrying a :class:`HashIndex`
-        whose attribute set matches the pushed equality conjuncts (or one
-        of them, as a fallback), the selection becomes a single bucket
-        probe — no scan of the table, no per-query filtering pass.  Rows
-        null on a probed attribute are absent from the bucket, exactly
-        matching the TRUE-only equality semantics.  Returns the conjuncts
-        the index did not consume (they are applied as ordinary pushed
-        selections afterwards).
-        """
+        """Plan serving pushed equality conjuncts from a covering
+        persistent index (one bucket probe instead of a scan); returns
+        the conjuncts the index did not consume."""
         if not self.use_indexes or context.table is None or context.filtered:
             return conjuncts
         by_attr: Dict[str, Tuple[Comparison, Any]] = {}
@@ -423,26 +482,26 @@ class Plan:
                 context.stats(), attribute, op, cardinality=estimate
             )
         probe = [by_attr[a][1] for a in index.attributes]
-        context.set_base_rows(index.lookup(probe))
-        context.est = estimate
         described = " and ".join(
             f"{context.variable}.{a} = {by_attr[a][1]!r}" for a in index.attributes
         )
-        self.steps.append(
-            f"index select {described} using index {index.name} "
-            f"[est={estimate:.0f}, rows={context.cardinality}]"
-        )
+        context.est = estimate
+        context.filtered = True
+        ops.append(_LogicalOp(
+            "index-select", variable=context.variable, index=index,
+            probe=probe, described=described, est=estimate,
+        ))
         return [c for c in conjuncts if id(c) not in consumed]
 
-    def _apply_deferred(
+    def _plan_deferred(
         self,
-        combined: XRelation,
+        ops: List[_LogicalOp],
         current: float,
         deferred: List[Predicate],
         included: Set[str],
         variables: Sequence[str],
-    ) -> Tuple[XRelation, float]:
-        """Push residual conjuncts through: apply each as soon as every
+    ) -> float:
+        """Push residual conjuncts through: schedule each as soon as every
         range it mentions has been combined."""
         for conjunct in list(deferred):
             references = conjunct.references()
@@ -450,14 +509,9 @@ class Plan:
                 continue
             deferred.remove(conjunct)
             estimate = current * self._residual_factor(conjunct)
-            combined = algebra.select_predicate(
-                combined, _bind_residual(conjunct, variables)
-            )
-            current = float(len(combined))
-            self.steps.append(
-                f"select residual {conjunct!r} [est={estimate:.0f}, rows={len(combined)}]"
-            )
-        return combined, current
+            current = estimate
+            ops.append(_LogicalOp("residual", conjunct=conjunct, est=estimate))
+        return current
 
     def _residual_factor(self, conjunct: Predicate) -> float:
         if isinstance(conjunct, Comparison):
@@ -485,27 +539,259 @@ class Plan:
             key_distincts.append((old_distinct, new_distinct))
             null_fractions.append((0.0, context.null_fraction(new_ref.attribute)))
         return self.cost_model.join_cardinality(
-            current, context.cardinality, key_distincts, null_fractions
+            current, context.est, key_distincts, null_fractions
         )
 
-    def _execute_join(
-        self,
-        combined: XRelation,
-        context: _RangeContext,
-        pairs: Sequence[Tuple[AttributeRef, AttributeRef]],
-        estimate: float,
-    ) -> XRelation:
-        variable = context.variable
+    def _qualified_targets(self) -> List[Tuple[str, str]]:
+        return [
+            (output, self._qualify(ref.variable, ref.attribute))
+            for output, ref in self.query.target
+        ]
+
+    # -- shared step texts ----------------------------------------------------
+    @staticmethod
+    def _join_on_text(pairs: Sequence[Tuple[AttributeRef, AttributeRef]]) -> str:
         described = [
             f"{old.variable}.{old.attribute} = {new.variable}.{new.attribute}"
             for old, new in pairs
         ]
-        on = described[0] if len(described) == 1 else "[" + ", ".join(described) + "]"
+        return described[0] if len(described) == 1 else "[" + ", ".join(described) + "]"
 
+    def _step_text(self, op: _LogicalOp) -> str:
+        """The logical step line (sans annotations) — one format path for
+        the materializing and the streaming executor."""
+        if op.kind == "rename":
+            return f"rename {op.described} as {op.variable}(…)"
+        if op.kind == "index-select":
+            return f"index select {op.described} using index {op.index.name}"
+        if op.kind == "select":
+            return f"select {op.conjunct!r} on {op.variable}"
+        if op.kind == "select-var-residual":
+            return f"select residual {op.conjunct!r} on {op.variable}"
+        if op.kind == "join":
+            on = self._join_on_text(op.pairs)
+            if op.index is not None:
+                return (
+                    f"index-nested-loop join with {op.variable} using index "
+                    f"{op.index.name} on {on}"
+                )
+            return f"hash equi-join with {op.variable} on {on}"
+        if op.kind == "product":
+            return f"product with {op.variable}"
+        if op.kind == "residual":
+            return f"select residual {op.conjunct!r}"
+        if op.kind == "project":
+            return f"project onto {[o for o, _ in op.targets]}"
+        raise ValueError(f"unknown logical op kind {op.kind!r}")
+
+    # -- the streaming compiler (logical plan → physical operator tree) ------
+    def compile(self) -> Pipeline:
+        """Compile the logical plan into a fresh streaming pipeline.
+
+        The tree pulls blocks leaf-to-root and builds **no** intermediate
+        ``XRelation``: pushed selections are :class:`Filter` nodes over a
+        :class:`TableScan` (or an :class:`IndexProbe` bucket), joins
+        bucket only the (filtered, unrenamed) build side and rename only
+        matched rows, residual conjuncts filter rows in flight, and the
+        single materialisation happens when the
+        :class:`~repro.exec.pipeline.Pipeline` is drained.  Each call
+        returns a new single-use tree; the logical plan is computed once.
+        """
+        if not self.cost_based:
+            raise ValueError("streaming compilation requires the cost-based planner")
+        ops = self.logical_plan()
+        contexts = self._plan_contexts
+        variables = list(self.query.ranges)
+        block_size = self.block_size
+        trace: List[TraceStep] = []
+        chains: Dict[str, Optional[PhysicalOperator]] = {v: None for v in variables}
+
+        def scan(variable: str) -> PhysicalOperator:
+            node = chains[variable]
+            if node is None:
+                relation = contexts[variable].relation
+                node = TableScan(
+                    relation.tuples(),
+                    label=f"TableScan {relation.name} ({variable})",
+                    est=float(len(relation)),
+                    block_size=block_size,
+                )
+                chains[variable] = node
+            return node
+
+        def transform_for(variable: str):
+            mapping = contexts[variable].mapping
+            return lambda row, _mapping=mapping: row.rename(_mapping)
+
+        combined: Optional[PhysicalOperator] = None
+
+        def combined_node() -> PhysicalOperator:
+            nonlocal combined
+            if combined is None:
+                start = self._start
+                combined = Rename(
+                    scan(start), contexts[start].mapping,
+                    label=f"Rename {start}.*",
+                    est=contexts[start].est, block_size=block_size,
+                )
+            return combined
+
+        for op in ops:
+            text = self._step_text(op)
+            if op.kind == "rename":
+                trace.append(TraceStep(text))
+            elif op.kind == "index-select":
+                node = IndexProbe(
+                    op.index.lookup, op.probe,
+                    label=f"IndexProbe {op.index.name} ({op.variable})",
+                    est=op.est, block_size=block_size,
+                )
+                chains[op.variable] = node
+                trace.append(TraceStep(text, est=op.est, node=node))
+            elif op.kind == "select":
+                node = Filter(
+                    scan(op.variable),
+                    algebra.constant_predicate(op.attribute, op.op, op.constant),
+                    label=f"Filter {op.variable}.{op.attribute} {op.op} {op.constant!r}",
+                    est=op.est, block_size=block_size,
+                )
+                chains[op.variable] = node
+                trace.append(TraceStep(text, est=op.est, node=node))
+            elif op.kind == "select-var-residual":
+                node = Filter(
+                    scan(op.variable),
+                    _single_variable_predicate(op.conjunct, op.variable),
+                    label=f"Filter {op.conjunct!r} ({op.variable})",
+                    est=op.est, block_size=block_size,
+                )
+                chains[op.variable] = node
+                trace.append(TraceStep(text, est=op.est, node=node))
+            elif op.kind == "join":
+                left = combined_node()
+                on = self._join_on_text(op.pairs)
+                if op.index is not None:
+                    bare_to_combined = {
+                        new.attribute: self._qualify(old.variable, old.attribute)
+                        for old, new in op.pairs
+                    }
+                    probe_attrs = [bare_to_combined[a] for a in op.index.attributes]
+                    node = IndexNLJoin(
+                        left, op.index.lookup, probe_attrs,
+                        transform_for(op.variable),
+                        label=f"IndexNLJoin {op.index.name} on {on}",
+                        est=op.est, block_size=block_size,
+                    )
+                else:
+                    build_attrs = [new.attribute for _, new in op.pairs]
+                    probe_attrs = [
+                        self._qualify(old.variable, old.attribute)
+                        for old, _ in op.pairs
+                    ]
+                    node = HashJoin(
+                        left, scan(op.variable), build_attrs, probe_attrs,
+                        transform_for(op.variable),
+                        label=f"HashJoin on {on}",
+                        est=op.est, block_size=block_size,
+                    )
+                combined = node
+                trace.append(TraceStep(text, est=op.est, node=node))
+            elif op.kind == "product":
+                node = Product(
+                    combined_node(), scan(op.variable),
+                    transform_for(op.variable),
+                    label=f"Product with {op.variable}",
+                    est=op.est, block_size=block_size,
+                )
+                combined = node
+                trace.append(TraceStep(text, est=op.est, node=node))
+            elif op.kind == "residual":
+                node = Filter(
+                    combined_node(),
+                    _residual_predicate(op.conjunct, variables),
+                    label=f"Filter {op.conjunct!r}",
+                    est=op.est, block_size=block_size,
+                )
+                combined = node
+                trace.append(TraceStep(text, est=op.est, node=node))
+            elif op.kind == "project":
+                node = Project(
+                    combined_node(), op.targets,
+                    label=f"Project {[o for o, _ in op.targets]}",
+                    block_size=block_size,
+                )
+                combined = node
+                trace.append(TraceStep(text, node=node, show_est=False))
+        pipeline = Pipeline(combined, self.query.output_schema(), trace)
+        self.pipeline = pipeline
+        return pipeline
+
+    # -- the materializing executor (the pre-exec behaviour, step for step) --
+    def _execute_materializing(self) -> XRelation:
+        """Interpret the logical plan eagerly: every step builds a full
+        intermediate ``XRelation``.  The differential baseline for the
+        streaming path — same logical plan, so the two step traces are
+        directly comparable row count for row count."""
+        ops = self.logical_plan()
+        contexts = self._contexts()
+        variables = list(self.query.ranges)
+        trace: List[TraceStep] = []
+        combined: Optional[XRelation] = None
+
+        def combined_relation() -> XRelation:
+            nonlocal combined
+            if combined is None:
+                combined = contexts[self._start].materialized()
+            return combined
+
+        for op in ops:
+            text = self._step_text(op)
+            if op.kind == "rename":
+                trace.append(TraceStep(text))
+            elif op.kind == "index-select":
+                context = contexts[op.variable]
+                context.set_base_rows(op.index.lookup(op.probe))
+                context.est = op.est
+                trace.append(TraceStep(text, est=op.est, fixed_rows=context.cardinality))
+            elif op.kind == "select":
+                context = contexts[op.variable]
+                context.push_constant(op.conjunct)
+                context.est = op.est
+                trace.append(TraceStep(text, est=op.est, fixed_rows=context.cardinality))
+            elif op.kind == "select-var-residual":
+                context = contexts[op.variable]
+                context.push_predicate(op.conjunct)
+                context.est = op.est
+                trace.append(TraceStep(text, est=op.est, fixed_rows=context.cardinality))
+            elif op.kind == "join":
+                combined = self._execute_join(
+                    combined_relation(), contexts[op.variable], op
+                )
+                trace.append(TraceStep(text, est=op.est, fixed_rows=len(combined)))
+            elif op.kind == "product":
+                combined = algebra.product(
+                    combined_relation(), contexts[op.variable].materialized()
+                )
+                trace.append(TraceStep(text, est=op.est, fixed_rows=len(combined)))
+            elif op.kind == "residual":
+                combined = algebra.select_predicate(
+                    combined_relation(), _bind_residual(op.conjunct, variables)
+                )
+                trace.append(TraceStep(text, est=op.est, fixed_rows=len(combined)))
+            elif op.kind == "project":
+                result = self._project(combined_relation(), op.targets)
+                trace.append(TraceStep(text, fixed_rows=len(result)))
+        self.steps = [step.render() for step in trace]
+        return result
+
+    def _execute_join(
+        self, combined: XRelation, context: _RangeContext, op: _LogicalOp
+    ) -> XRelation:
+        variable = context.variable
+        pairs = op.pairs
         mapping = context.mapping
 
         def transform(row: XTuple, _mapping=mapping) -> XTuple:
-            return XTuple((_mapping[a], value) for a, value in row.items())
+            return row.rename(_mapping)
 
         def wrap(rows) -> XRelation:
             right_schema = context.relation.schema.rename(mapping, name=variable)
@@ -516,10 +802,7 @@ class Plan:
             relation._rows = set(rows)
             return XRelation(relation)
 
-        index = None
-        if self.use_indexes and context.table is not None and not context.filtered:
-            index = context.table.find_index([new.attribute for _, new in pairs])
-        if index is not None:
+        if op.index is not None:
             # Index-nested-loop join: probe the table's live index with the
             # combined side's key values; the range is never renamed or
             # bucketed wholesale — only matched rows are renamed, once each.
@@ -527,79 +810,56 @@ class Plan:
                 new.attribute: self._qualify(old.variable, old.attribute)
                 for old, new in pairs
             }
-            probe_attrs = [bare_to_combined[a] for a in index.attributes]
-            result = wrap(index_probe_join_rows(
-                combined.rows(), probe_attrs, index.lookup, transform
+            probe_attrs = [bare_to_combined[a] for a in op.index.attributes]
+            return wrap(index_probe_join_rows(
+                combined.rows(), probe_attrs, op.index.lookup, transform
             ))
-            self.steps.append(
-                f"index-nested-loop join with {variable} using index "
-                f"{index.name} on {on} [est={estimate:.0f}, rows={len(result)}]"
-            )
-            return result
 
         # Late-rename hash join: bucket the (possibly filtered) unrenamed
         # rows on the bare key, probe with the combined side's qualified
         # values, and rename only the matched rows — the bulk of a big
         # range is never copied.
-        bare_attrs = [new.attribute for _, new in pairs]
-        buckets: Dict[Tuple, List[XTuple]] = {}
-        for row in context.unrenamed_rows():
-            bindings = row._lookup
-            key = tuple(bindings.get(a) for a in bare_attrs)
-            if None in key:  # _lookup stores only non-null bindings
-                continue
-            buckets.setdefault(key, []).append(row)
+        buckets = build_join_buckets(
+            context.unrenamed_rows(), [new.attribute for _, new in pairs]
+        )
         probe_attrs = [self._qualify(old.variable, old.attribute) for old, _ in pairs]
         empty: Tuple[XTuple, ...] = ()
-        result = wrap(index_probe_join_rows(
+        return wrap(index_probe_join_rows(
             combined.rows(), probe_attrs,
             lambda key: buckets.get(key, empty), transform,
         ))
-        self.steps.append(
-            f"hash equi-join with {variable} on {on} "
-            f"[est={estimate:.0f}, rows={len(result)}]"
-        )
-        return result
 
-    def _project(self, combined: XRelation) -> XRelation:
-        """Step 5: projection onto the target list with output renaming."""
-        query = self.query
-        qualified_targets = [
-            (output, self._qualify(ref.variable, ref.attribute))
-            for output, ref in query.target
-        ]
+    def _project(
+        self, combined: XRelation, qualified_targets: Sequence[Tuple[str, str]]
+    ) -> XRelation:
+        """Projection onto the target list with output renaming (shared by
+        the materializing and the syntactic executor)."""
         unique = list(dict.fromkeys(qualified for _, qualified in qualified_targets))
         if len(unique) == len(qualified_targets):
             projected = algebra.project(combined, unique)
             renaming = {qualified: output for output, qualified in qualified_targets}
-            result = algebra.rename(projected, renaming)
-        else:
-            # The same column appears under several (distinct) output
-            # names, e.g. ``(a = e.NAME, b = e.NAME)``: project/rename
-            # cannot express a column duplication, so build the output
-            # rows directly.
-            out = Relation(query.output_schema(), validate=False)
-            out._rows = {
-                XTuple(
-                    (output, row[qualified])
-                    for output, qualified in qualified_targets
-                )
-                for row in combined.rows()
-            }
-            result = XRelation(out)
-        self.steps.append(
-            f"project onto {[o for o, _ in qualified_targets]} [rows={len(result)}]"
-        )
-        return result
+            return algebra.rename(projected, renaming)
+        # The same column appears under several (distinct) output names,
+        # e.g. ``(a = e.NAME, b = e.NAME)``: project/rename cannot express
+        # a column duplication, so build the output rows directly.
+        out = Relation(self.query.output_schema(), validate=False)
+        out._rows = {
+            XTuple(
+                (output, row[qualified])
+                for output, qualified in qualified_targets
+            )
+            for row in combined.rows()
+        }
+        return XRelation(out)
 
     # -- the pre-statistics planner, kept as the differential baseline -------
     def _execute_syntactic(self) -> XRelation:
-        """The previous planner, verbatim: syntactic join order, constant
+        """The PR 2 planner, verbatim: syntactic join order, constant
         pushdown only, residual qualification applied after all joins, no
         index reuse.  The benchmarks measure the optimizer against it and
         the differential tests run both against the oracle."""
         query = self.query
-        self.steps = []
+        trace: List[TraceStep] = []
 
         pushable, residual = _split_conjuncts(query.where)
 
@@ -607,12 +867,12 @@ class Plan:
         for variable, relation in query.ranges.items():
             mapping = {a: self._qualify(variable, a) for a in relation.schema.attributes}
             renamed[variable] = algebra.rename(relation, mapping)
-            self.steps.append(f"rename {relation.name} as {variable}(…)")
+            trace.append(TraceStep(f"rename {relation.name} as {variable}(…)"))
 
         for variable, conjuncts in pushable.items():
             for conjunct in conjuncts:
                 renamed[variable] = _apply_selection(renamed[variable], variable, conjunct)
-                self.steps.append(f"select {conjunct!r} on {variable}")
+                trace.append(TraceStep(f"select {conjunct!r} on {variable}"))
 
         equijoins, residual = _extract_equijoins(residual)
         variables = list(query.ranges)
@@ -621,33 +881,24 @@ class Plan:
         for variable in variables[1:]:
             links = _pick_equijoins(equijoins, included, variable)
             if links:
-                combined_attrs: List[str] = []
-                range_attrs: List[str] = []
-                described: List[str] = []
+                pairs = _orient_links(links, included)
                 for link in links:
                     equijoins.remove(link)
-                    new_ref, old_ref = link.left, link.right
-                    if old_ref.variable not in included:
-                        new_ref, old_ref = old_ref, new_ref
-                    # old_ref now refers to the already-combined side.
-                    combined_attrs.append(self._qualify(old_ref.variable, old_ref.attribute))
-                    range_attrs.append(self._qualify(new_ref.variable, new_ref.attribute))
-                    described.append(
-                        f"{old_ref.variable}.{old_ref.attribute} = "
-                        f"{new_ref.variable}.{new_ref.attribute}"
-                    )
+                combined_attrs = [
+                    self._qualify(old.variable, old.attribute) for old, _ in pairs
+                ]
+                range_attrs = [
+                    self._qualify(new.variable, new.attribute) for _, new in pairs
+                ]
                 combined = _hash_join(
                     combined, renamed[variable], combined_attrs, range_attrs
                 )
-                if len(described) == 1:
-                    self.steps.append(f"hash equi-join with {variable} on {described[0]}")
-                else:
-                    self.steps.append(
-                        f"hash equi-join with {variable} on [{', '.join(described)}]"
-                    )
+                trace.append(TraceStep(
+                    f"hash equi-join with {variable} on {self._join_on_text(pairs)}"
+                ))
             else:
                 combined = algebra.product(combined, renamed[variable])
-                self.steps.append(f"product with {variable}")
+                trace.append(TraceStep(f"product with {variable}"))
             included.add(variable)
 
         # Equalities the join order could not use stay in the residual.
@@ -656,30 +907,86 @@ class Plan:
         if residual is not None:
             predicate = _bind_residual(residual, variables)
             combined = algebra.select_predicate(combined, predicate)
-            self.steps.append(f"select residual {residual!r}")
+            trace.append(TraceStep(f"select residual {residual!r}"))
 
-        qualified_targets = [
-            (output, self._qualify(ref.variable, ref.attribute))
-            for output, ref in query.target
-        ]
-        unique = list(dict.fromkeys(qualified for _, qualified in qualified_targets))
-        if len(unique) == len(qualified_targets):
-            projected = algebra.project(combined, unique)
-            renaming = {qualified: output for output, qualified in qualified_targets}
-            result = algebra.rename(projected, renaming)
-        else:
-            out = Relation(query.output_schema(), validate=False)
-            out._rows = {
-                XTuple(
-                    (output, row[qualified])
-                    for output, qualified in qualified_targets
-                )
-                for row in combined.rows()
-            }
-            result = XRelation(out)
-        self.steps.append(f"project onto {[o for o, _ in qualified_targets]}")
+        qualified_targets = self._qualified_targets()
+        result = self._project(combined, qualified_targets)
+        trace.append(TraceStep(f"project onto {[o for o, _ in qualified_targets]}"))
+        self.steps = [step.render() for step in trace]
         return result
 
+
+# ---------------------------------------------------------------------------
+# Predicate compilation for the streaming filters
+# ---------------------------------------------------------------------------
+
+def _term_getter(term, variable: Optional[str] = None):
+    """A direct row-value getter for a comparison term, or ``None`` when
+    the term shape needs the generic evaluation machinery.  With
+    *variable* the rows carry bare attribute names (a pre-rename range
+    filter); without it they carry ``variable.attribute`` names."""
+    if isinstance(term, AttributeRef):
+        if variable is not None and term.variable != variable:
+            return None
+        key = term.attribute if variable is not None else f"{term.variable}.{term.attribute}"
+        return lambda row, _k=key: row[_k]
+    if isinstance(term, Constant):
+        value = term.literal
+        return lambda row, _v=value: _v
+    return None
+
+
+def _compile_comparisons(predicate: Predicate, variable: Optional[str] = None):
+    """Compile a conjunction of plain comparisons into one fast row
+    predicate, or return ``None`` for shapes (Or / Not / exotic terms)
+    that must go through the generic three-valued evaluator.  Keeping a
+    row iff the conjunction is TRUE is exactly "every comparison TRUE"
+    under the Table III AND semantics, so early exit is sound."""
+    conjuncts = predicate.operands if isinstance(predicate, And) else (predicate,)
+    compiled = []
+    for conjunct in conjuncts:
+        if not isinstance(conjunct, Comparison):
+            return None
+        left = _term_getter(conjunct.left, variable)
+        right = _term_getter(conjunct.right, variable)
+        if left is None or right is None:
+            return None
+        compiled.append((left, conjunct.op, right))
+
+    def predicate_fn(row: XTuple, _compiled=tuple(compiled)) -> bool:
+        for left, op, right in _compiled:
+            if not compare(left(row), op, right(row)).is_true():
+                return False
+        return True
+
+    return predicate_fn
+
+
+def _single_variable_predicate(conjunct: Predicate, variable: str):
+    """The streaming filter for a pushed single-variable residual —
+    evaluated over the *unrenamed* base rows."""
+    fast = _compile_comparisons(conjunct, variable)
+    if fast is not None:
+        return fast
+
+    def predicate(row: XTuple, _c=conjunct, _v=variable):
+        return _c.evaluate({_v: row})
+
+    return predicate
+
+
+def _residual_predicate(conjunct: Predicate, variables: Sequence[str]):
+    """The streaming filter for a residual conjunct over combined rows
+    (attributes carry their ``variable.`` prefixes)."""
+    fast = _compile_comparisons(conjunct)
+    if fast is not None:
+        return fast
+    return _bind_residual(conjunct, variables)
+
+
+# ---------------------------------------------------------------------------
+# Conjunct classification helpers (shared by every planning mode)
+# ---------------------------------------------------------------------------
 
 def _flatten(predicate: Optional[Predicate]) -> List[Predicate]:
     """Top-level conjuncts of a (possibly None) residual predicate."""
@@ -811,6 +1118,8 @@ def _hash_join(
     compared attribute contribute nothing, exactly as the TRUE-only
     discipline demands.
     """
+    from ..core.engine.joins import equi_join_rows
+
     schema = left.schema.union(right.schema, name=f"({left.name} ⋈ {right.name})")
     rows = equi_join_rows(left.rows(), right.rows(), left_attrs, right_attrs)
     relation = Relation(schema, validate=False)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
 from ..core.errors import StorageError
+from ..core.nulls import is_ni
 from ..core.relation import Relation, RelationSchema, RowLike
 from ..core.tuples import XTuple
 from ..core.xrelation import XRelation
@@ -137,12 +138,79 @@ class Database(Mapping[str, Relation]):
         return self.delete_many(table_name, [row])
 
     def update(self, table_name: str, old_row: RowLike, new_row: RowLike) -> XTuple:
+        """Modify one row — a singleton :meth:`update_many`."""
+        return self.update_many(table_name, [(old_row, new_row)])[0]
+
+    def update_many(self, table_name: str, pairs: Sequence[tuple]) -> List[XTuple]:
+        """Apply a batch of ``(old, new)`` modifications atomically.
+
+        A modification is deletion followed by addition (Section 7), so
+        foreign keys are enforced the way :class:`repro.exec.ReplaceSink`
+        enforces them for the REPLACE statement: the batch rides
+        :meth:`Table.update_many` (bulk (4.8) delete of the old rows plus
+        the atomic checked bulk insert), then every foreign key touching
+        the table — owned *and* referencing — is re-checked against the
+        **post** state, since the new rows may legitimately re-satisfy
+        keys the deletion removed.  Any violation restores the table's
+        pre-statement rows wholesale — notably, replacing a referenced
+        key out from under its referrers raises instead of silently
+        orphaning them (the restrict :meth:`delete_many` applies).
+        """
         table = self.catalog.table(table_name)
-        candidate = table.relation._coerce_row(new_row)
+        olds = table.relation._coerce_rows([old for old, _ in pairs])
+        news = table.relation._coerce_rows([new for _, new in pairs])
+        saved = set(table.rows())
+        inserted = table.update_many(list(zip(olds, news)), _coerced=True)
+        try:
+            self._check_update_foreign_keys(table, olds, inserted)
+        except Exception:
+            table.reset_rows(saved)
+            raise
+        return inserted
+
+    def _check_update_foreign_keys(self, table, olds, inserted) -> None:
+        """Post-state FK verification for a modification, targeted.
+
+        Outgoing: the referenced tables are untouched by the statement,
+        so only the inserted rows need checking (one indexed
+        ``check_bulk_insert`` pass — a self-referencing key falls back to
+        the whole-relation check, since surviving rows may have pointed
+        at keys the deletion removed).  Referencing: only keys the
+        statement actually removed can newly dangle, so the restrict is
+        one ``check_bulk_delete`` probe over the vanished keys — never a
+        whole-relation re-scan per referrer.  (A dominated row removed by
+        the (4.8) closure either shares its dominator's key or is null on
+        it, so probing the named old rows covers the closure.)
+        """
+        table_name = table.name
         for fk in self.catalog.foreign_keys_of(table_name):
             referenced = self.catalog.table(fk.referenced_relation).relation
-            fk.check_insert(table.relation, candidate, referenced)
-        return table.update(old_row, candidate)
+            if referenced is table.relation:
+                fk.check(table.relation, referenced)
+            else:
+                fk.check_bulk_insert(table.relation, inserted, referenced)
+        referrers = self.catalog.foreign_keys_referencing(table_name)
+        if not referrers:
+            return
+        stored = table.relation.tuples()
+        vanished = [old for old in olds if old not in stored]
+        if not vanished:
+            return
+        for owner, fk in referrers:
+            present = set()
+            for row in stored:
+                key = tuple(row[a] for a in fk.referenced_attributes)
+                if not any(is_ni(v) for v in key):
+                    present.add(key)
+            gone = []
+            for old in vanished:
+                key = tuple(old[a] for a in fk.referenced_attributes)
+                if not any(is_ni(v) for v in key) and key not in present:
+                    gone.append(old)
+            if gone:
+                fk.check_bulk_delete(
+                    self.catalog.table(owner).relation, gone, table.relation
+                )
 
     # -- queries --------------------------------------------------------------------------------
     def session(self):

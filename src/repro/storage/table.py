@@ -396,20 +396,55 @@ class Table:
         return len(doomed)
 
     def update(self, old_row: RowLike, new_row: RowLike) -> XTuple:
-        """Modification = deletion followed by addition (Section 7)."""
-        old = self.relation._coerce_row(old_row)
-        if old not in self.relation.tuples():
-            raise StorageError(f"row {old!r} not present in table {self.name!r}")
-        self.delete(old)
+        """Modification = deletion followed by addition (Section 7).
+
+        A singleton :meth:`update_many` — one batch-coercion pass, the
+        bulk (4.8) delete, the atomic bulk insert, and the post-state
+        restore discipline that re-adds the *whole* removed closure on
+        failure (not just the named row, which the old hand-rolled path
+        would strand)."""
+        return self.update_many([(old_row, new_row)])[0]
+
+    def update_many(self, pairs: Iterable[tuple], *, _coerced: bool = False) -> List[XTuple]:
+        """Apply a batch of ``(old_row, new_row)`` modifications atomically.
+
+        Rides the same bulk entry points as :meth:`insert_many` /
+        :meth:`delete_many`: both sides are batch-coerced up front, every
+        old row must be present, the (4.8) subsumption closure of the old
+        rows is removed with one bulk update per structure, and the new
+        rows go through the atomic checked bulk insert.  On any failure
+        the removed closure is re-added wholesale, so the table is left
+        exactly as it was.  Returns the inserted rows.  (``_coerced`` as
+        in :meth:`insert_many`: the Database facade passes pairs it
+        already coerced, so the batch is not validated twice.)
+        """
+        staged = [(old, new) for old, new in pairs]
+        if _coerced:
+            olds = [old for old, _ in staged]
+            news = [new for _, new in staged]
+        else:
+            olds = self.relation._coerce_rows([old for old, _ in staged])
+            news = self.relation._coerce_rows([new for _, new in staged])
+        stored = self.relation.tuples()
+        for old in olds:
+            if old not in stored:
+                raise StorageError(f"row {old!r} not present in table {self.name!r}")
+        if not staged:
+            return []
+        doomed = self.dominance.bulk_probe_dominated(olds)
+        self._apply_bulk_remove(doomed)
         try:
-            return self.insert(new_row)
+            return self.insert_many(news, _coerced=True)
         except Exception:
-            # Restore the old row so a failed update leaves the table unchanged.
-            self.relation.add(old)
-            self.dominance.add(old)
+            # Post-state restore: the deletion removed the whole (4.8)
+            # closure, so the whole closure comes back — one bulk update
+            # per structure, mirroring _apply_bulk_remove.
+            stored.update(doomed)
+            self.relation._version += 1
+            self.dominance.bulk_add(doomed)
             for index in self.indexes.values():
-                index.insert(old)
-            self.statistics.add_row(old)
+                index.bulk_add(doomed)
+            self.statistics.add_rows(doomed)
             raise
 
     def truncate(self) -> None:

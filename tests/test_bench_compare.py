@@ -1,0 +1,123 @@
+"""Unit tests for the ``benchmarks/compare.py`` regression-diff CLI.
+
+Synthetic results files make the checks deterministic: the tool must
+flag exactly the metrics slower than the threshold, ignore keys missing
+from either run, honour the experiment filter, and translate findings
+into its exit code.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_COMPARE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks", "compare.py",
+)
+_spec = importlib.util.spec_from_file_location("bench_compare", _COMPARE_PATH)
+compare_module = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_module)
+
+
+def results_document(seconds_by_key):
+    experiments = {}
+    for (experiment, op, variant, rows), seconds in seconds_by_key.items():
+        entry = experiments.setdefault(experiment, {"lines": [], "metrics": []})
+        entry["metrics"].append(
+            {"op": op, "variant": variant, "rows": rows, "seconds": seconds}
+        )
+    return {"experiments": experiments}
+
+
+def write_results(path, seconds_by_key):
+    with open(path, "w") as handle:
+        json.dump(results_document(seconds_by_key), handle)
+    return str(path)
+
+
+BASE = {
+    ("e17", "full_drain", "streaming", 10_000): 1.00,
+    ("e17", "first_page", "streaming", 10_000): 0.10,
+    ("e15", "join_reorder", "engine", 10_000): 0.50,
+    ("e13", "minimal", "engine", 10_000): 0.20,  # absent from the current run
+}
+
+
+class TestCompare:
+    def test_no_regression_within_threshold(self, tmp_path):
+        baseline = write_results(tmp_path / "base.json", BASE)
+        current = write_results(tmp_path / "cur.json", {
+            ("e17", "full_drain", "streaming", 10_000): 1.10,  # +10%
+            ("e17", "first_page", "streaming", 10_000): 0.09,  # faster
+            ("e15", "join_reorder", "engine", 10_000): 0.55,
+        })
+        _, regressions = compare_module.compare(
+            compare_module.load_metrics(baseline),
+            compare_module.load_metrics(current),
+            threshold=0.2,
+        )
+        assert regressions == []
+        assert compare_module.main([baseline, current]) == 0
+
+    def test_regression_beyond_threshold_fails(self, tmp_path):
+        baseline = write_results(tmp_path / "base.json", BASE)
+        current = write_results(tmp_path / "cur.json", {
+            ("e17", "full_drain", "streaming", 10_000): 1.50,  # +50%
+            ("e17", "first_page", "streaming", 10_000): 0.10,
+        })
+        report, regressions = compare_module.compare(
+            compare_module.load_metrics(baseline),
+            compare_module.load_metrics(current),
+            threshold=0.2,
+        )
+        assert len(regressions) == 1
+        assert "full_drain" in regressions[0]
+        assert any(line.startswith("REGRESSION") for line in report)
+        assert compare_module.main([baseline, current]) == 1
+
+    def test_unmatched_keys_never_fail(self, tmp_path):
+        baseline = write_results(tmp_path / "base.json", BASE)
+        current = write_results(tmp_path / "cur.json", {
+            # different sizes entirely (a quick smoke vs a full sweep)
+            ("e17", "full_drain", "streaming", 500): 99.0,
+        })
+        _, regressions = compare_module.compare(
+            compare_module.load_metrics(baseline),
+            compare_module.load_metrics(current),
+            threshold=0.2,
+        )
+        assert regressions == []
+
+    def test_experiment_filter_limits_the_gate(self, tmp_path):
+        baseline = write_results(tmp_path / "base.json", BASE)
+        current = write_results(tmp_path / "cur.json", {
+            ("e17", "full_drain", "streaming", 10_000): 5.00,  # regressed
+            ("e15", "join_reorder", "engine", 10_000): 0.50,
+        })
+        _, regressions = compare_module.compare(
+            compare_module.load_metrics(baseline),
+            compare_module.load_metrics(current),
+            threshold=0.2,
+            experiments=["e15"],
+        )
+        assert regressions == []
+        assert compare_module.main(
+            [baseline, current, "--experiments", "e17"]
+        ) == 1
+
+    def test_self_comparison_is_clean_on_the_committed_results(self):
+        """The CI smoke: the committed results.json compared to itself has
+        overlapping keys and zero regressions."""
+        results = os.path.join(
+            os.path.dirname(_COMPARE_PATH), "results.json"
+        )
+        if not os.path.exists(results):
+            pytest.skip("no committed results.json")
+        metrics = compare_module.load_metrics(results)
+        assert metrics  # the file carries structured metrics
+        _, regressions = compare_module.compare(metrics, metrics, threshold=0.0)
+        assert regressions == []

@@ -1,0 +1,445 @@
+"""Unit tests for the streaming executor (:mod:`repro.exec`).
+
+Three families:
+
+* **Block-boundary behaviour** per operator — empty input, exactly one
+  block, inputs straddling block boundaries (including duplicates that
+  must be recognised across the boundary).
+* **Pipeline semantics** — lazy iteration pulls only what it needs, a
+  partial stream resumes into a full drain without re-reading, and the
+  trace/tree rendering carries per-node estimates, actuals and time.
+* **The streaming contract** — iterating a selective conjunctive
+  multi-join's result yields first rows without constructing a single
+  intermediate :class:`~repro.core.xrelation.XRelation` (pinned by
+  instrumenting the constructor), and ``explain(analyze=True)`` reports
+  per-operator actual row counts identical to the materializing
+  executor's step trace.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+import repro.core.xrelation as xrelation_module
+from repro.core.relation import Relation, RelationSchema
+from repro.core.tuples import XTuple
+from repro.core.xrelation import XRelation
+from repro.exec import (
+    AppendSink,
+    DeleteSink,
+    Filter,
+    HashJoin,
+    IndexNLJoin,
+    IndexProbe,
+    Materialize,
+    Pipeline,
+    Product,
+    Project,
+    Reduce,
+    Rename,
+    ReplaceSink,
+    TableScan,
+    TraceStep,
+)
+from repro.quel.planner import Plan
+from repro.storage.database import Database
+from repro.storage.index import HashIndex
+
+
+def rows_of(*dicts) -> list:
+    return [XTuple(d) for d in dicts]
+
+
+def scan_of(rows, block_size=2) -> TableScan:
+    return TableScan(list(rows), label="scan", block_size=block_size)
+
+
+def drain(node) -> list:
+    return [row for block in node.blocks() for row in block]
+
+
+class TestTableScan:
+    def test_empty_input_yields_no_blocks(self):
+        scan = scan_of([])
+        assert list(scan.blocks()) == []
+        assert scan.actual_rows == 0 and scan.finished
+
+    def test_exactly_one_block(self):
+        rows = rows_of({"A": 1}, {"A": 2})
+        scan = scan_of(rows, block_size=2)
+        blocks = list(scan.blocks())
+        assert len(blocks) == 1 and len(blocks[0]) == 2
+        assert scan.actual_rows == 2 and scan.actual_blocks == 1
+
+    def test_straddling_input_splits_into_blocks(self):
+        rows = rows_of({"A": 1}, {"A": 2}, {"A": 3}, {"A": 4}, {"A": 5})
+        scan = scan_of(rows, block_size=2)
+        assert [len(b) for b in scan.blocks()] == [2, 2, 1]
+
+    def test_null_tuples_are_skipped(self):
+        rows = rows_of({"A": 1}, {}, {"A": 2})
+        assert {r["A"] for r in drain(scan_of(rows))} == {1, 2}
+
+    def test_source_is_snapshotted_at_construction(self):
+        """Statement-time semantics: the scan captures the row references
+        when the tree is built, so mutating the table between execution
+        and iteration neither crashes the drain nor leaks new rows."""
+        live = [XTuple({"A": 7})]
+        scan = TableScan(live, block_size=2)
+        live.append(XTuple({"A": 8}))  # post-statement mutation
+        assert [r["A"] for r in drain(scan)] == [7]
+
+
+class TestFilterRenameProject:
+    def test_filter_streams_and_counts(self):
+        rows = rows_of({"A": 1}, {"A": 2}, {"A": 3}, {"A": 4})
+        node = Filter(scan_of(rows), lambda r: r["A"] % 2 == 0, block_size=2)
+        assert {r["A"] for r in drain(node)} == {2, 4}
+        assert node.actual_rows == 2
+
+    def test_filter_empty_input(self):
+        node = Filter(scan_of([]), lambda r: True)
+        assert drain(node) == []
+
+    def test_all_filtered_blocks_are_suppressed(self):
+        rows = rows_of({"A": 1}, {"A": 3})
+        node = Filter(scan_of(rows), lambda r: False, block_size=1)
+        assert list(node.blocks()) == []
+        assert node.actual_blocks == 0
+
+    def test_rename_maps_every_attribute(self):
+        rows = rows_of({"A": 1, "B": 2})
+        node = Rename(scan_of(rows), {"A": "v.A", "B": "v.B"})
+        (row,) = drain(node)
+        assert row["v.A"] == 1 and row["v.B"] == 2
+
+    def test_project_deduplicates_across_block_boundary(self):
+        # Four distinct inputs collapse to two outputs; the duplicates sit
+        # in *different* blocks, so the seen-set must span blocks.
+        rows = rows_of(
+            {"A": 1, "B": 1}, {"A": 1, "B": 2}, {"A": 2, "B": 1}, {"A": 2, "B": 2}
+        )
+        node = Project(scan_of(rows, block_size=1), [("out", "A")], block_size=1)
+        assert sorted(r["out"] for r in drain(node)) == [1, 2]
+        assert node.actual_rows == 2
+
+    def test_project_exactly_one_block(self):
+        rows = rows_of({"A": 1}, {"A": 2})
+        node = Project(scan_of(rows, block_size=4), [("out", "A")], block_size=4)
+        blocks = list(node.blocks())
+        assert len(blocks) == 1 and len(blocks[0]) == 2
+
+    def test_project_drops_the_null_projection(self):
+        rows = rows_of({"A": 1, "B": 2}, {"B": 3})  # second row is null on A
+        node = Project(scan_of(rows), [("out", "A")])
+        assert [r["out"] for r in drain(node)] == [1]
+
+
+class TestJoins:
+    def left_rows(self):
+        return rows_of(
+            {"l.K": 1, "l.X": 10}, {"l.K": 2, "l.X": 20}, {"l.K": 1, "l.X": 30},
+            {"l.X": 40},  # null on the probe key: must not join
+        )
+
+    def build_rows(self):
+        return rows_of({"K": 1, "Y": 100}, {"K": 3, "Y": 300}, {"Y": 400})
+
+    def test_hash_join_matches_across_blocks(self):
+        node = HashJoin(
+            scan_of(self.left_rows(), block_size=1),
+            scan_of(self.build_rows(), block_size=1),
+            ["K"], ["l.K"],
+            transform=lambda r: r.rename({"K": "r.K", "Y": "r.Y"}),
+            block_size=1,
+        )
+        out = drain(node)
+        assert {(r["l.X"], r["r.Y"]) for r in out} == {(10, 100), (30, 100)}
+        assert node.actual_rows == 2
+
+    def test_hash_join_empty_build_side_never_pulls_the_probe(self):
+        probe = scan_of(self.left_rows())
+        node = HashJoin(probe, scan_of([]), ["K"], ["l.K"])
+        assert drain(node) == []
+        assert not probe.started
+
+    def test_hash_join_empty_probe_side(self):
+        node = HashJoin(scan_of([]), scan_of(self.build_rows()), ["K"], ["l.K"])
+        assert drain(node) == []
+
+    def test_index_probe_as_build_side(self):
+        """Regression: ``IndexProbe`` snapshots its bucket into an
+        attribute; it must not shadow the inherited ``rows()`` method the
+        join's build phase drains through."""
+        index = HashIndex(["K"], name="ix")
+        for row in self.build_rows():
+            index.insert(row)
+        probe = IndexProbe(index.lookup, (1,), block_size=2)
+        node = HashJoin(
+            scan_of(self.left_rows()), probe, ["K"], ["l.K"],
+            transform=lambda r: r.rename({"K": "r.K", "Y": "r.Y"}),
+        )
+        assert {(r["l.X"], r["r.Y"]) for r in drain(node)} == {(10, 100), (30, 100)}
+
+    def test_index_selected_range_as_join_build_side_end_to_end(self):
+        """Same regression through the planner: a pushed index selection
+        leaves an ``IndexProbe`` at the top of a range's chain, and a
+        later hash join drains that chain as its build side."""
+        database = Database("probe-build")
+        r = database.create_table("R", ["A", "B"])
+        s = database.create_table("S", ["B", "C"])
+        r.insert_many([(1, 0), (2, 1)])
+        s.insert_many([(i % 4, i % 2) for i in range(50)])
+        s.create_index(["C"], name="s_c")
+        from repro.quel.evaluator import run_query
+        text = (
+            "range of r is R range of s is S "
+            "retrieve (r.A, s.B) where r.B = s.B and s.C = 1"
+        )
+        result = run_query(text, database, strategy="algebra")
+        assert any("index select" in step for step in result.plan.steps)
+        assert result.answer == run_query(text, database, strategy="tuple").answer
+
+    def test_index_nl_join_probes_a_live_index(self):
+        index = HashIndex(["K"], name="ix")
+        for row in self.build_rows():
+            index.insert(row)
+        node = IndexNLJoin(
+            scan_of(self.left_rows(), block_size=2),
+            index.lookup, ["l.K"],
+            transform=lambda r: r.rename({"K": "r.K", "Y": "r.Y"}),
+        )
+        out = drain(node)
+        assert {(r["l.X"], r["r.Y"]) for r in out} == {(10, 100), (30, 100)}
+
+    def test_product_pairs_every_row(self):
+        left = rows_of({"l.A": 1}, {"l.A": 2}, {"l.A": 3})
+        right = rows_of({"B": 7}, {"B": 8})
+        node = Product(
+            scan_of(left, block_size=2), scan_of(right),
+            transform=lambda r: r.rename({"B": "r.B"}), block_size=2,
+        )
+        assert len(drain(node)) == 6
+
+    def test_product_empty_right_side(self):
+        node = Product(scan_of(rows_of({"l.A": 1})), scan_of([]))
+        assert drain(node) == []
+
+
+class TestBlockingOperators:
+    def test_reduce_drops_dominated_rows_across_blocks(self):
+        rows = rows_of({"A": 1, "B": 2}, {"A": 1}, {"B": 9}, {"A": 1, "B": 2})
+        node = Reduce(scan_of(rows, block_size=1), block_size=1)
+        out = drain(node)
+        assert set(out) == {XTuple({"A": 1, "B": 2}), XTuple({"B": 9})}
+
+    def test_reduce_empty_input(self):
+        assert drain(Reduce(scan_of([]))) == []
+
+    def test_materialize_returns_the_minimal_xrelation(self):
+        rows = rows_of({"A": 1, "B": 2}, {"A": 1})
+        schema = RelationSchema(("A", "B"), name="M")
+        node = Materialize(scan_of(rows), schema)
+        answer = node.relation()
+        assert isinstance(answer, XRelation)
+        assert set(answer.rows()) == {XTuple({"A": 1, "B": 2})}
+        assert node.relation() is answer  # cached
+
+
+class TestPipeline:
+    def make_pipeline(self, n=100, block_size=4) -> Pipeline:
+        rows = rows_of(*({"A": i, "B": i % 3} for i in range(n)))
+        scan = scan_of(rows, block_size=block_size)
+        project = Project(scan, [("out", "A")], block_size=block_size)
+        schema = RelationSchema(("out",), name="Q")
+        return Pipeline(project, schema, [TraceStep("project onto ['out']", node=project, show_est=False)])
+
+    def test_iter_rows_is_lazy(self):
+        pipeline = self.make_pipeline(n=100, block_size=4)
+        iterator = pipeline.iter_rows()
+        first = next(iterator)
+        assert first["out"] is not None
+        scan = pipeline.root.children[0]
+        assert 0 < scan.actual_rows < 100  # only the first block(s) were read
+        assert not pipeline.drained
+
+    def test_partial_stream_resumes_into_full_drain(self):
+        pipeline = self.make_pipeline(n=50, block_size=4)
+        iterator = pipeline.iter_rows()
+        streamed = [next(iterator) for _ in range(5)]
+        answer = pipeline.run()
+        assert len(answer) == 50
+        assert set(streamed) <= set(answer.rows())
+        # the prefix replays — nothing was lost or produced twice
+        assert len(list(pipeline.iter_rows())) == 50
+
+    def test_trace_rows_appear_after_drain(self):
+        pipeline = self.make_pipeline(n=10)
+        assert pipeline.step_lines() == ["project onto ['out']"]
+        pipeline.run()
+        assert pipeline.step_lines() == ["project onto ['out'] [rows=10]"]
+
+    def test_explain_analyze_reports_actuals_and_time(self):
+        pipeline = self.make_pipeline(n=10)
+        tree = pipeline.explain(analyze=True)
+        for line in tree.splitlines():
+            assert re.search(r"actual rows=\d+ time=\d+\.\d+ms", line), line
+
+    def test_operator_error_latches_instead_of_truncating(self):
+        """An exception escaping a draining pipeline must re-raise on
+        every later consumption — never pass off the partial prefix as
+        the canonical answer."""
+        rows = rows_of(*({"A": i} for i in range(10)))
+
+        def explode(row):
+            if row["A"] == 5:
+                raise RuntimeError("boom")
+            return True
+
+        node = Filter(scan_of(rows, block_size=2), explode, block_size=2)
+        pipeline = Pipeline(node, RelationSchema(("A",), name="Q"))
+        iterator = pipeline.iter_rows()
+        with pytest.raises(RuntimeError):
+            list(iterator)
+        with pytest.raises(RuntimeError):
+            pipeline.run()
+        # A fresh iterator replays the valid prefix, then re-raises at
+        # the point of failure instead of reporting exhaustion.
+        with pytest.raises(RuntimeError):
+            list(pipeline.iter_rows())
+
+
+class TestSinks:
+    @pytest.fixture
+    def database(self) -> Database:
+        database = Database("sinkdb")
+        table = database.create_table("T", ["A", "B"])
+        table.insert_many([(1, 10), (2, 20), (3, 30)])
+        return database
+
+    def source_pipeline(self, rows) -> Pipeline:
+        scan = TableScan(list(rows), label="src")
+        return Pipeline(scan, RelationSchema(("A", "B"), name="S"))
+
+    def test_append_sink_literal_rows(self, database):
+        sink = AppendSink(
+            database, database.table("T"), literal_rows=rows_of({"A": 4, "B": 40})
+        )
+        assert sink.run() == 1
+        assert len(database.table("T")) == 4
+
+    def test_append_sink_builds_rows_from_source(self, database):
+        source = self.source_pipeline(rows_of({"A": 7, "B": 70}, {"A": 7, "B": 70}))
+        sink = AppendSink(
+            database, database.table("T"), source,
+            row_builder=lambda row: XTuple({"A": row["A"], "B": row["B"]}),
+        )
+        assert sink.run() == 1  # duplicates collapse before the atomic insert
+        assert database.table("T").x_contains({"A": 7, "B": 70})
+
+    def test_delete_sink_applies_the_bulk_path(self, database):
+        source = self.source_pipeline(rows_of({"A": 1, "B": 10}, {"A": 3, "B": 30}))
+        sink = DeleteSink(database, database.table("T"), source)
+        assert sink.run() == 2
+        assert {row["A"] for row in database.table("T").rows()} == {2}
+
+    def test_replace_sink_rolls_back_wholesale(self, database):
+        from repro.constraints.keys import KeyConstraint
+        table = database.table("T")
+        table.add_constraint(KeyConstraint(["A"]))
+        before = set(table.rows())
+        source = self.source_pipeline(rows_of({"A": 1, "B": 10}))
+        sink = ReplaceSink(
+            database, table, source,
+            row_builder=lambda row: XTuple({"A": 2, "B": row["B"]}),  # key clash
+        )
+        with pytest.raises(Exception):
+            sink.run()
+        assert set(table.rows()) == before
+
+
+class TestStreamingContract:
+    """The acceptance pins: no intermediate XRelation while streaming, and
+    analyze actuals ≡ the materializing executor's step row counts."""
+
+    @pytest.fixture
+    def database(self) -> Database:
+        database = Database("pipes")
+        r = database.create_table("R", ["A", "B"])
+        s = database.create_table("S", ["B", "C"])
+        t = database.create_table("T", ["C", "D"])
+        r.insert_many([(i % 7, i % 11) for i in range(200)])
+        s.insert_many([(i % 11, i % 13) for i in range(200)])
+        t.insert_many([(i % 13, i) for i in range(200)])
+        return database
+
+    QUERY = (
+        "range of r is R range of s is S range of t is T "
+        "retrieve (r.A, t.D) "
+        "where r.B = s.B and s.C = t.C and r.A = 1 and t.D < 50"
+    )
+
+    def test_first_rows_without_any_intermediate_xrelation(self, database, monkeypatch):
+        session = database.session()
+        constructed = []
+        original = XRelation.__init__
+
+        def counting(self, representation):
+            constructed.append(representation)
+            original(self, representation)
+
+        monkeypatch.setattr(xrelation_module.XRelation, "__init__", counting)
+        result = session.execute(self.QUERY)
+        iterator = iter(result)
+        first = next(iterator)
+        assert first["r_A"] == 1
+        # Planning + streaming the first rows built NO XRelation at all.
+        assert constructed == []
+        # Draining to the canonical answer builds exactly the final one.
+        rows = result.rows
+        assert rows and len(constructed) == 1
+
+    def test_analyze_actuals_match_materializing_step_counts(self, database):
+        from repro.quel.evaluator import compile_query
+
+        query = compile_query(self.QUERY, database).query
+        streaming = Plan(query, database)
+        materializing = Plan(query, database, streaming=False)
+        answer = streaming.execute()
+        assert answer == materializing.execute()
+        # Same logical plan, and — on null-free data — identical measured
+        # row counts, so the rendered step traces agree line for line.
+        assert streaming.steps == materializing.steps
+        # The analyze tree reports the same actuals per operator node.
+        tree = streaming.pipeline.explain(analyze=True)
+        assert re.search(r"est=\d+ actual rows=\d+ time=\d+\.\d+ms", tree)
+        for step in streaming.steps:
+            match = re.search(r"rows=(\d+)\]$", step)
+            if match and "join" in step:
+                assert f"actual rows={match.group(1)}" in tree
+
+    def test_lazy_result_survives_post_statement_mutation(self, database):
+        """Mutating a scanned table between execution and iteration must
+        neither crash the drain (the live row set would resize under the
+        iterator) nor leak post-statement rows into the answer."""
+        session = database.session()
+        before = session.execute(self.QUERY)
+        expected = set(before.to_relation().rows())
+        result = session.execute(self.QUERY)
+        iterator = iter(result)
+        first = next(iterator)
+        database.insert("R", (1, 0))       # would join: must not appear
+        database.delete("T", (0, 0))
+        remaining = list(iterator)         # completes without RuntimeError
+        assert {first, *remaining} >= expected
+        assert set(result.to_relation().rows()) == expected
+
+    def test_streaming_default_and_opt_out(self, database):
+        from repro.quel.evaluator import compile_query
+
+        query = compile_query(self.QUERY, database).query
+        assert Plan(query, database).streaming is True
+        baseline = Plan(query, database, streaming=False)
+        assert baseline.execute() == Plan(query, database).execute()

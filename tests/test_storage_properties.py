@@ -54,6 +54,7 @@ OPERATIONS = st.one_of(
     st.tuples(st.just("delete_many"), st.lists(ROWS, max_size=3)),
     st.tuples(st.just("delete_where"), st.integers(min_value=0, max_value=2)),
     st.tuples(st.just("update"), ROWS, ROWS),
+    st.tuples(st.just("update_many"), st.lists(st.tuples(ROWS, ROWS), max_size=3)),
     st.tuples(st.just("truncate")),
     st.tuples(st.just("load"), st.lists(ROWS, max_size=5)),
 )
@@ -78,6 +79,11 @@ def apply_operations(table: Table, operations) -> None:
                 table.update(operation[1], operation[2])
             except StorageError:
                 pass  # the old row was not present; the table must be unchanged
+        elif kind == "update_many":
+            try:
+                table.update_many(operation[1])
+            except StorageError:
+                pass  # some old row was not present; the table must be unchanged
         elif kind == "truncate":
             table.truncate()
         elif kind == "load":
@@ -279,6 +285,109 @@ class TestInsertManyAtomicity:
         # the failed load left the previous contents in place
         assert {row["E#"] for row in table.rows()} == {2, 3}
         assert_indexes_match_rebuild(table)
+
+
+class TestUpdateMany:
+    """``update`` / ``update_many`` ride the bulk entry points: one batch
+    coercion, bulk (4.8) delete, atomic bulk insert, and the post-state
+    restore discipline — on failure the *whole* removed closure comes
+    back, not just the named rows (the old hand-rolled update restored
+    only the named row and stranded its dominated companions)."""
+
+    def make_table(self) -> Table:
+        table = Table(
+            ["E#", "NAME", "TEL#"],
+            constraints=[KeyConstraint(["E#"])],
+            name="EMP",
+        )
+        table.create_index(["E#"])
+        table.insert_many([(1, "ann", 5), (2, "bob", 6), (3, "cat", 7)])
+        return table
+
+    def test_update_many_is_delete_closure_then_atomic_insert(self):
+        table = self.make_table()
+        twin = self.make_table()
+        inserted = table.update_many([
+            ((1, "ann", 5), (1, "ann", 9)),
+            ((2, "bob", 6), (4, "dan", 6)),
+        ])
+        assert [row["E#"] for row in inserted] == [1, 4]
+        twin.delete_many([(1, "ann", 5), (2, "bob", 6)])
+        twin.insert_many([(1, "ann", 9), (4, "dan", 6)])
+        assert set(table.rows()) == set(twin.rows())
+        assert_indexes_match_rebuild(table)
+
+    def test_missing_old_row_changes_nothing(self):
+        table = self.make_table()
+        before = set(table.rows())
+        with pytest.raises(StorageError):
+            table.update_many([
+                ((1, "ann", 5), (1, "ann", 9)),
+                ((9, "ghost", 0), (9, "ghost", 1)),
+            ])
+        assert set(table.rows()) == before
+        assert_indexes_match_rebuild(table)
+
+    def test_mid_batch_violation_restores_everything(self):
+        table = self.make_table()
+        before = set(table.rows())
+        with pytest.raises(KeyViolation):
+            table.update_many([
+                ((1, "ann", 5), (1, "ann", 9)),
+                ((2, "bob", 6), (3, "clash", 0)),  # E# 3 already taken
+            ])
+        assert set(table.rows()) == before
+        assert_indexes_match_rebuild(table)
+
+    def test_failed_update_restores_the_dominated_closure(self):
+        """The regression the refactor fixes: deleting the old row also
+        removes every row it subsumes ((4.8)); a failed insert must bring
+        the *whole* closure back, not just the named row."""
+        table = Table(
+            ["E#", "NAME"],
+            constraints=[NotNullConstraint(["NAME"])],
+            name="EMP",
+        )
+        table.create_index(["E#"])
+        table.insert((1, "ann"))
+        table.relation.add(XTuple({"E#": 1}))  # dominated by (1, 'ann')
+        table.reset_rows(set(table.relation.tuples()))
+        before = set(table.rows())
+        assert XTuple({"E#": 1}) in before  # the closure member is stored
+        with pytest.raises(ConstraintViolation):
+            table.update((1, "ann"), (2, None))  # NAME may not be null
+        assert set(table.rows()) == before
+        assert table.x_contains({"E#": 1})
+        assert_indexes_match_rebuild(table)
+
+    def test_database_update_many_enforces_foreign_keys_post_state(self):
+        """Modification = deletion followed by addition, so both FK
+        directions are re-checked on the post state (exactly the REPLACE
+        discipline), with wholesale restore on violation."""
+        database = Database("hr")
+        database.create_table("DEPT", ["DNAME"], constraints=[KeyConstraint(["DNAME"])])
+        database.create_table("EMP", ["E#", "DNAME"], constraints=[KeyConstraint(["E#"])])
+        database.add_foreign_key("EMP", ForeignKeyConstraint(["DNAME"], "DEPT", ["DNAME"]))
+        database.insert_many("DEPT", [("eng",), ("ops",)])
+        database.insert_many("EMP", [(1, "eng"), (2, "eng")])
+        before = set(database.table("EMP").rows())
+        # Outgoing: a new row referencing a missing key rolls the batch back.
+        with pytest.raises(ReferentialViolation):
+            database.update_many("EMP", [
+                ((1, "eng"), (1, "eng")),
+                ((2, "eng"), (2, "nowhere")),
+            ])
+        assert set(database.table("EMP").rows()) == before
+        # Referencing: replacing a referenced key out from under its
+        # referrers restricts instead of silently orphaning them.
+        depts = set(database.table("DEPT").rows())
+        with pytest.raises(ReferentialViolation):
+            database.update("DEPT", ("eng",), ("games",))
+        assert set(database.table("DEPT").rows()) == depts
+        # Unreferenced keys may change; re-satisfying keys are fine too.
+        database.update("DEPT", ("ops",), ("it",))
+        updated = database.update_many("EMP", [((2, "eng"), (2, "eng"))])
+        assert [row["E#"] for row in updated] == [2]
 
 
 class TestDatabaseBulkPaths:
