@@ -32,12 +32,21 @@ MetricKey = Tuple[str, str, str, object]
 
 def load_metrics(path: str) -> Dict[MetricKey, float]:
     """The wall-time seconds of every structured metric in a results file,
-    keyed by (experiment, op, variant, rows)."""
+    keyed by (experiment, op, variant, rows).
+
+    Only the ``experiments`` block participates; document-level metadata
+    (the ``machine`` stamp — CPU count, interpreter, timestamp) is
+    deliberately ignored, so two runs differing only in *when* or *where*
+    they were measured diff clean.  Non-mapping entries under
+    ``experiments`` are likewise skipped rather than crashing the diff.
+    """
     with open(path) as handle:
         document = json.load(handle)
     experiments = document.get("experiments", {})
     metrics: Dict[MetricKey, float] = {}
     for experiment, entry in experiments.items():
+        if not isinstance(entry, dict):
+            continue
         for metric in entry.get("metrics", []):
             if "op" not in metric or "seconds" not in metric:
                 continue

@@ -23,8 +23,10 @@ input sizes, the data the BENCH_*.json trajectory tracking consumes.
 
 from __future__ import annotations
 
+import datetime
 import json
 import os
+import platform
 from collections import defaultdict
 from typing import Any, Dict, List
 
@@ -72,12 +74,34 @@ class ExperimentRecorder:
         _METRICS[self.experiment].append(entry)
 
 
+def machine_metadata() -> Dict[str, Any]:
+    """What the numbers were measured *on* — recorded alongside them.
+
+    Wall-clock results are meaningless without the machine: a 2×
+    parallel speedup needs at least 2 cores, and an interpreter bump
+    moves every baseline.  The comparison tooling
+    (``benchmarks/compare.py``) keys strictly on the per-metric fields,
+    so this document-level block never participates in a diff — it only
+    explains one.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+    }
+
+
 def write_results_json(path: str) -> None:
     """Write every experiment's lines and metrics as one JSON document.
 
     Experiments not touched by this run are preserved from the existing
     file, so a quick smoke of one benchmark cannot clobber another
-    benchmark's committed full-sweep results.
+    benchmark's committed full-sweep results.  The run's
+    :func:`machine_metadata` is stamped at the document level.
     """
     experiments: Dict[str, Any] = {}
     try:
@@ -92,7 +116,7 @@ def write_results_json(path: str) -> None:
             "lines": _RESULTS.get(experiment, []),
             "metrics": _METRICS.get(experiment, []),
         }
-    document = {"experiments": experiments}
+    document = {"experiments": experiments, "machine": machine_metadata()}
     with open(path, "w") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -137,12 +137,21 @@ def _check_assignments(table, assignments: Sequence[Assignment]) -> None:
 
 
 class CompiledStatement:
-    """Base class: an executable, parameterisable compiled statement."""
+    """Base class: an executable, parameterisable compiled statement.
+
+    ``execute`` takes an optional *parallelism* knob (see
+    :class:`repro.quel.planner.Plan`): the general retrieve path passes
+    it through to plan compilation; the fast path and the DML statements
+    accept and ignore it (an index probe or a mutation batch has nothing
+    to partition).
+    """
 
     #: Parameter names the statement template mentions.
     parameters: Tuple[str, ...] = ()
 
-    def execute(self, params: Mapping[str, Any]) -> ResultSet:
+    def execute(
+        self, params: Mapping[str, Any], parallelism=None
+    ) -> ResultSet:
         raise NotImplementedError
 
     def describe(self, params: Optional[Mapping[str, Any]] = None) -> str:
@@ -164,9 +173,11 @@ class _PlanRetrieve(CompiledStatement):
         self.parameters = analyzed.parameters
         self.into = analyzed.into
 
-    def execute(self, params: Mapping[str, Any]) -> ResultSet:
+    def execute(
+        self, params: Mapping[str, Any], parallelism=None
+    ) -> ResultSet:
         query = self.analyzed.bind(params)
-        plan = Plan(query, self.database)
+        plan = Plan(query, self.database, parallelism=parallelism)
         if self.into:
             # RETRIEVE INTO creates and loads a table: it must run now.
             answer = plan.execute()
@@ -370,7 +381,10 @@ class _FastRetrieve(CompiledStatement):
         schema = RelationSchema(self.output_attributes, name="Q")
         return Pipeline(node, schema, trace)
 
-    def execute(self, params: Mapping[str, Any]) -> ResultSet:
+    def execute(
+        self, params: Mapping[str, Any], parallelism=None
+    ) -> ResultSet:
+        # A single probe/scan template: nothing worth partitioning.
         return ResultSet(pipeline=self.make_pipeline(params))
 
     def describe(self, params: Optional[Mapping[str, Any]] = None) -> str:
@@ -425,7 +439,9 @@ class _CompiledDelete(CompiledStatement):
         )
         self.parameters = self.analyzed.parameters
 
-    def execute(self, params: Mapping[str, Any]) -> ResultSet:
+    def execute(
+        self, params: Mapping[str, Any], parallelism=None
+    ) -> ResultSet:
         query = self.analyzed.bind(params)
         source = Plan(query, self.database).compile()
         sink = DeleteSink(self.database, self.table, source)
@@ -540,7 +556,9 @@ class _CompiledAppend(CompiledStatement):
 
         return build
 
-    def execute(self, params: Mapping[str, Any]) -> ResultSet:
+    def execute(
+        self, params: Mapping[str, Any], parallelism=None
+    ) -> ResultSet:
         if self.analyzed is None:
             sink = AppendSink(
                 self.database, self.table,
@@ -605,7 +623,9 @@ class _CompiledReplace(CompiledStatement):
         parameters.extend(n for n in self.analyzed.parameters if n not in parameters)
         self.parameters = tuple(dict.fromkeys(parameters))
 
-    def execute(self, params: Mapping[str, Any]) -> ResultSet:
+    def execute(
+        self, params: Mapping[str, Any], parallelism=None
+    ) -> ResultSet:
         query = self.analyzed.bind(params)
         source = Plan(query, self.database).compile()
         assignments = self.assignments

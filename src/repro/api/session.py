@@ -70,8 +70,16 @@ class PreparedStatement:
         """The ``$name`` placeholders the statement expects."""
         return self._ensure_compiled().parameters
 
-    def execute(self, params: Optional[Mapping[str, Any]] = None) -> ResultSet:
-        return self._ensure_compiled().execute(params or {})
+    def execute(
+        self,
+        params: Optional[Mapping[str, Any]] = None,
+        parallelism: Optional[Any] = None,
+    ) -> ResultSet:
+        """Run the statement.  *parallelism* (``None``/``1``/``N``/
+        ``"auto"``) selects partitioned parallel execution for retrieves
+        — see :class:`repro.quel.planner.Plan`; DML and the fast path
+        ignore it."""
+        return self._ensure_compiled().execute(params or {}, parallelism=parallelism)
 
     def explain(self, params: Optional[Mapping[str, Any]] = None) -> str:
         """The currently chosen strategy (re-planned if the epoch moved)."""
@@ -224,20 +232,33 @@ class Session:
         return prepared
 
     def execute(
-        self, text: str, params: Optional[Mapping[str, Any]] = None
+        self,
+        text: str,
+        params: Optional[Mapping[str, Any]] = None,
+        parallelism: Optional[Any] = None,
     ) -> ResultSet:
-        """Run any QUEL statement; see the module docstring for the surface."""
-        return self.prepare(text).execute(params)
+        """Run any QUEL statement; see the module docstring for the surface.
+
+        *parallelism* opts a retrieve into partitioned parallel
+        execution: ``N >= 2`` runs that many plan fragments in worker
+        processes, ``"auto"`` lets the optimizer's row estimates decide,
+        ``None``/``1`` (default) runs the plain serial pipeline.  DML
+        statements accept and ignore it.
+        """
+        return self.prepare(text).execute(params, parallelism=parallelism)
 
     def executemany(
-        self, text: str, param_sequence: Iterable[Mapping[str, Any]]
+        self,
+        text: str,
+        param_sequence: Iterable[Mapping[str, Any]],
+        parallelism: Optional[Any] = None,
     ) -> int:
         """Execute one prepared statement per parameter set; the total
         ``rows_affected``.  The statement compiles once."""
         prepared = self.prepare(text)
         total = 0
         for params in param_sequence:
-            total += prepared.execute(params).rows_affected
+            total += prepared.execute(params, parallelism=parallelism).rows_affected
         return total
 
     def explain(

@@ -23,7 +23,7 @@ callers in :mod:`repro.core.setops`, :mod:`repro.core.algebra` and
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..nulls import is_ni
 from ..tuples import XTuple
@@ -177,6 +177,7 @@ def probe_join_block(
     lookup: Callable[[Tuple], Iterable[XTuple]],
     transform: Callable[[XTuple], XTuple],
     cache: Dict[XTuple, XTuple],
+    residual: Optional[Callable[[XTuple, XTuple], bool]] = None,
 ) -> List[XTuple]:
     """The probe phase of a hash/index equi-join, one block at a time.
 
@@ -187,6 +188,15 @@ def probe_join_block(
     owns it so the memoisation spans every block of one join.  This is
     the block-level entry point the streaming executor pulls on;
     :func:`index_probe_join_rows` is the whole-input convenience form.
+
+    *residual* is the fused-residual hook: a predicate over the
+    ``(probe row, raw build row)`` pair, evaluated **before** the joined
+    tuple is constructed (and before the build row is renamed), so a
+    residual conjunct the planner attached to the join rejects a
+    non-qualifying pair at the cost of two dict reads instead of a tuple
+    construction the next operator would immediately discard.  The build
+    row arrives *unrenamed* (bare attribute names) — the planner's pair
+    predicates are compiled against exactly that convention.
     """
     out: List[XTuple] = []
     probe_key = tuple(probe_attrs)
@@ -196,6 +206,8 @@ def probe_join_block(
         if None in key:  # _lookup stores only non-null bindings
             continue
         for right in lookup(key):
+            if residual is not None and not residual(left, right):
+                continue
             renamed = cache.get(right)
             if renamed is None:
                 renamed = cache[right] = transform(right)
@@ -208,6 +220,7 @@ def index_probe_join_rows(
     probe_attrs: Sequence[str],
     lookup: Callable[[Tuple], Iterable[XTuple]],
     transform: Callable[[XTuple], XTuple],
+    residual: Optional[Callable[[XTuple, XTuple], bool]] = None,
 ) -> List[XTuple]:
     """Index-nested-loop equi-join: probe a *live* hash index per left row.
 
@@ -227,6 +240,8 @@ def index_probe_join_rows(
     joins against stored rows a minimal representation would drop; each
     such row is dominated by the corresponding join against the dominating
     stored row, so the result is information-wise identical after
-    reduction (which every plan applies).
+    reduction (which every plan applies).  *residual* is forwarded to
+    :func:`probe_join_block` — a fused pair predicate evaluated before
+    any joined tuple is built.
     """
-    return probe_join_block(left_rows, probe_attrs, lookup, transform, {})
+    return probe_join_block(left_rows, probe_attrs, lookup, transform, {}, residual)

@@ -81,6 +81,23 @@ class XTuple:
         if not isinstance(attribute, str) or not attribute:
             raise SchemaError(f"attribute names must be non-empty strings, got {attribute!r}")
 
+    # -- pickling ------------------------------------------------------------
+    def __reduce__(self):
+        # The stored items are already canonical (sorted, ni-free), so a
+        # pickled tuple round-trips through :meth:`_restore` without the
+        # validating/normalising ``__init__`` — the payload is one tuple
+        # of pairs, and worker-side reconstruction is three slot writes.
+        # This is what keeps shipping blocks to exchange workers cheap.
+        return (XTuple._restore, (self._items,))
+
+    @classmethod
+    def _restore(cls, items: Tuple[Tuple[str, Any], ...]) -> "XTuple":
+        self = cls.__new__(cls)
+        self._items = items
+        self._lookup = dict(items)
+        self._hash = hash(items)
+        return self
+
     # -- construction helpers ---------------------------------------------
     @classmethod
     def from_values(cls, attributes: Sequence[str], values: Sequence[Any]) -> "XTuple":

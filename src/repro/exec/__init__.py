@@ -23,9 +23,15 @@ The exported surface:
   :class:`ReplaceSink`;
 * :class:`Pipeline` / :class:`TraceStep` / :func:`render_tree` — the
   compiled-tree wrapper, the shared step-trace rendering, and the
-  ``EXPLAIN (ANALYZE)`` tree formatter.
+  ``EXPLAIN (ANALYZE)`` tree formatter;
+* :class:`Exchange` / :class:`Merge` / :class:`PlanFragment` — the
+  parallel partitioned execution layer: a picklable per-partition plan
+  recipe, the operator that fans it out over worker processes, and the
+  blocking merge that reduces the shard frontier back to global minimal
+  form (``Plan.compile(parallelism=N)``).
 """
 
+from .exchange import Exchange, Merge, PlanFragment, partition_rows_by_key
 from .operators import (
     BLOCK_SIZE,
     Filter,
@@ -47,13 +53,16 @@ __all__ = [
     "BLOCK_SIZE",
     "AppendSink",
     "DeleteSink",
+    "Exchange",
     "Filter",
     "HashJoin",
     "IndexNLJoin",
     "IndexProbe",
     "Materialize",
+    "Merge",
     "PhysicalOperator",
     "Pipeline",
+    "PlanFragment",
     "Product",
     "Project",
     "Reduce",
@@ -62,5 +71,6 @@ __all__ = [
     "Sink",
     "TableScan",
     "TraceStep",
+    "partition_rows_by_key",
     "render_tree",
 ]

@@ -281,6 +281,12 @@ class HashJoin(PhysicalOperator):
     build rows pass through *transform* (the planner's late
     ``variable.``-prefix rename), memoised per distinct row across the
     whole join, so the bulk of a big build side is never copied.
+
+    *residual* (optional) is a fused residual predicate over the
+    ``(probe row, raw build row)`` pair, checked *before* the joined
+    tuple is constructed — the planner attaches one when a deferred
+    residual conjunct becomes applicable exactly at this join, so
+    non-qualifying pairs never cost a tuple construction.
     """
 
     def __init__(
@@ -290,6 +296,7 @@ class HashJoin(PhysicalOperator):
         build_attrs: Sequence[str],
         probe_attrs: Sequence[str],
         transform: Callable[[XTuple], XTuple] = lambda row: row,
+        residual: Optional[Callable[[XTuple, XTuple], bool]] = None,
         **kwargs: Any,
     ):
         super().__init__((child, build), **kwargs)
@@ -298,6 +305,7 @@ class HashJoin(PhysicalOperator):
         self.build_attrs = tuple(build_attrs)
         self.probe_attrs = tuple(probe_attrs)
         self.transform = transform
+        self.residual = residual
 
     def _blocks(self) -> Iterator[Block]:
         buckets = build_join_buckets(self.build.rows(), self.build_attrs)
@@ -308,7 +316,8 @@ class HashJoin(PhysicalOperator):
         cache: Dict[XTuple, XTuple] = {}
         for block in self.child.blocks():
             out = probe_join_block(
-                block, self.probe_attrs, lookup, self.transform, cache
+                block, self.probe_attrs, lookup, self.transform, cache,
+                self.residual,
             )
             if out:
                 yield out
@@ -333,6 +342,7 @@ class IndexNLJoin(PhysicalOperator):
         lookup: Callable[[Tuple], Iterable[XTuple]],
         probe_attrs: Sequence[str],
         transform: Callable[[XTuple], XTuple] = lambda row: row,
+        residual: Optional[Callable[[XTuple, XTuple], bool]] = None,
         **kwargs: Any,
     ):
         super().__init__((child,), **kwargs)
@@ -340,12 +350,14 @@ class IndexNLJoin(PhysicalOperator):
         self.lookup = lookup
         self.probe_attrs = tuple(probe_attrs)
         self.transform = transform
+        self.residual = residual
 
     def _blocks(self) -> Iterator[Block]:
         cache: Dict[XTuple, XTuple] = {}
         for block in self.child.blocks():
             out = probe_join_block(
-                block, self.probe_attrs, self.lookup, self.transform, cache
+                block, self.probe_attrs, self.lookup, self.transform, cache,
+                self.residual,
             )
             if out:
                 yield out

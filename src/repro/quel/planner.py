@@ -55,6 +55,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core import algebra
+from ..core.engine.dominance import partition_rows_by_signature
 from ..core.engine.joins import build_join_buckets, index_probe_join_rows
 from ..core.nulls import is_ni
 from ..core.query import And, AttributeRef, Comparison, Constant, Predicate, Query
@@ -62,6 +63,7 @@ from ..core.relation import Relation
 from ..core.threevalued import compare
 from ..core.tuples import XTuple
 from ..core.xrelation import XRelation
+from ..exec.exchange import Exchange, Merge, PlanFragment, partition_rows_by_key
 from ..exec.operators import (
     BLOCK_SIZE,
     Filter,
@@ -75,7 +77,12 @@ from ..exec.operators import (
     TableScan,
 )
 from ..exec.pipeline import Pipeline, TraceStep
-from ..stats import CostModel, DEFAULT_COST_MODEL, TableStatistics
+from ..stats import (
+    CostModel,
+    DEFAULT_COST_MODEL,
+    TableStatistics,
+    suggest_parallelism,
+)
 
 
 class _RangeContext:
@@ -202,7 +209,7 @@ class _LogicalOp:
 
     __slots__ = (
         "kind", "variable", "conjunct", "attribute", "op", "constant",
-        "index", "probe", "described", "pairs", "targets", "est",
+        "index", "probe", "described", "pairs", "targets", "est", "residual",
     )
 
     def __init__(self, kind: str, **fields: Any):
@@ -248,6 +255,21 @@ class Plan:
         plan, so their step traces are directly comparable.
     block_size:
         Tuples per exchanged block on the streaming path.
+    parallelism:
+        The default partition count for :meth:`compile`.  ``None``/``0``
+        (the default) and ``1`` compile the plain serial tree; ``N >= 2``
+        compiles an :class:`~repro.exec.Exchange`/:class:`~repro.exec.Merge`
+        pair running ``N`` per-partition plan fragments in worker
+        processes; ``"auto"`` asks
+        :func:`repro.stats.suggest_parallelism` — serial below ~50k
+        estimated input rows or when :mod:`multiprocessing` is unusable,
+        CPU-count-capped otherwise.
+    parallel_mode:
+        ``"process"`` (default) runs the partitions in a
+        :mod:`multiprocessing` pool; ``"inline"`` runs the identical
+        fragment code sequentially in this process (the automatic
+        fallback on platforms without multiprocessing, and the cheap
+        mode for correctness testing).
     """
 
     def __init__(
@@ -260,6 +282,8 @@ class Plan:
         cost_model: Optional[CostModel] = None,
         streaming: bool = True,
         block_size: int = BLOCK_SIZE,
+        parallelism: Optional[Union[int, str]] = None,
+        parallel_mode: str = "process",
     ):
         self.query = query
         self.database = database
@@ -268,6 +292,8 @@ class Plan:
         self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
         self.streaming = streaming
         self.block_size = block_size
+        self.parallelism = parallelism
+        self.parallel_mode = parallel_mode
         self.steps: List[str] = []
         #: The last compiled streaming pipeline (set by :meth:`execute`).
         self.pipeline: Optional[Pipeline] = None
@@ -502,7 +528,16 @@ class Plan:
         variables: Sequence[str],
     ) -> float:
         """Push residual conjuncts through: schedule each as soon as every
-        range it mentions has been combined."""
+        range it mentions has been combined.
+
+        A conjunct that becomes applicable exactly at a join — it
+        mentions the just-joined variable — and compiles to a fast
+        (probe, build) pair predicate is **fused into the join** instead
+        of appended as a separate selection: the probe loop rejects the
+        pair before the joined tuple is ever constructed (two dict reads
+        instead of a tuple build the very next operator would discard).
+        Conjuncts with shapes the pair compiler rejects (Or / Not /
+        exotic terms) keep the post-join Filter behaviour."""
         for conjunct in list(deferred):
             references = conjunct.references()
             if references and not set(references) <= included:
@@ -510,6 +545,13 @@ class Plan:
             deferred.remove(conjunct)
             estimate = current * self._residual_factor(conjunct)
             current = estimate
+            if ops and ops[-1].kind == "join" and ops[-1].variable in references:
+                join_op = ops[-1]
+                fused = _conjoin(_flatten(join_op.residual) + [conjunct])
+                if _pair_predicate(fused, join_op.variable) is not None:
+                    join_op.residual = fused
+                    join_op.est = estimate
+                    continue
             ops.append(_LogicalOp("residual", conjunct=conjunct, est=estimate))
         return current
 
@@ -570,12 +612,16 @@ class Plan:
             return f"select residual {op.conjunct!r} on {op.variable}"
         if op.kind == "join":
             on = self._join_on_text(op.pairs)
+            fused = (
+                f" with fused residual {op.residual!r}"
+                if op.residual is not None else ""
+            )
             if op.index is not None:
                 return (
                     f"index-nested-loop join with {op.variable} using index "
-                    f"{op.index.name} on {on}"
+                    f"{op.index.name} on {on}{fused}"
                 )
-            return f"hash equi-join with {op.variable} on {on}"
+            return f"hash equi-join with {op.variable} on {on}{fused}"
         if op.kind == "product":
             return f"product with {op.variable}"
         if op.kind == "residual":
@@ -585,7 +631,11 @@ class Plan:
         raise ValueError(f"unknown logical op kind {op.kind!r}")
 
     # -- the streaming compiler (logical plan → physical operator tree) ------
-    def compile(self) -> Pipeline:
+    def compile(
+        self,
+        parallelism: Optional[Union[int, str]] = None,
+        parallel_mode: Optional[str] = None,
+    ) -> Pipeline:
         """Compile the logical plan into a fresh streaming pipeline.
 
         The tree pulls blocks leaf-to-root and builds **no** intermediate
@@ -596,9 +646,52 @@ class Plan:
         single materialisation happens when the
         :class:`~repro.exec.pipeline.Pipeline` is drained.  Each call
         returns a new single-use tree; the logical plan is computed once.
+
+        *parallelism* / *parallel_mode* override the constructor
+        defaults: with a resolved partition count of 2 or more the same
+        logical plan compiles into an
+        :class:`~repro.exec.Exchange`/:class:`~repro.exec.Merge` pair
+        over per-partition plan fragments instead (``1`` — explicit or
+        resolved from ``"auto"`` — returns the plain serial tree, so a
+        ``parallelism=1`` run is the serial run, block for block).
         """
         if not self.cost_based:
             raise ValueError("streaming compilation requires the cost-based planner")
+        resolved = self._resolve_parallelism(parallelism)
+        if resolved <= 1:
+            return self._compile_serial()
+        mode = parallel_mode if parallel_mode is not None else self.parallel_mode
+        return self._compile_parallel(resolved, mode)
+
+    def _resolve_parallelism(
+        self, parallelism: Optional[Union[int, str]]
+    ) -> int:
+        """Turn a ``parallelism`` knob value into a partition count.
+
+        ``None`` defers to the constructor's setting; ``None``/``0``
+        there means serial.  ``"auto"`` consults
+        :func:`repro.stats.suggest_parallelism` with the sum of the
+        per-range statistics row counts — the rows the pipeline will pull
+        through its leaves — so the decision touches no rows.
+        """
+        if parallelism is None:
+            parallelism = self.parallelism
+        if parallelism is None or parallelism == 0:
+            return 1
+        if parallelism == "auto":
+            self.logical_plan()  # populates the per-range contexts
+            contexts = self._plan_contexts or {}
+            estimated = float(sum(
+                context.stats().row_count for context in contexts.values()
+            ))
+            return suggest_parallelism(estimated)
+        count = int(parallelism)
+        if count < 1:
+            raise ValueError(f"parallelism must be >= 1, got {count}")
+        return count
+
+    def _compile_serial(self) -> Pipeline:
+        """The single-process compiler behind :meth:`compile`."""
         ops = self.logical_plan()
         contexts = self._plan_contexts
         variables = list(self.query.ranges)
@@ -669,6 +762,10 @@ class Plan:
             elif op.kind == "join":
                 left = combined_node()
                 on = self._join_on_text(op.pairs)
+                residual = (
+                    _pair_predicate(op.residual, op.variable)
+                    if op.residual is not None else None
+                )
                 if op.index is not None:
                     bare_to_combined = {
                         new.attribute: self._qualify(old.variable, old.attribute)
@@ -678,6 +775,7 @@ class Plan:
                     node = IndexNLJoin(
                         left, op.index.lookup, probe_attrs,
                         transform_for(op.variable),
+                        residual=residual,
                         label=f"IndexNLJoin {op.index.name} on {on}",
                         est=op.est, block_size=block_size,
                     )
@@ -690,6 +788,7 @@ class Plan:
                     node = HashJoin(
                         left, scan(op.variable), build_attrs, probe_attrs,
                         transform_for(op.variable),
+                        residual=residual,
                         label=f"HashJoin on {on}",
                         est=op.est, block_size=block_size,
                     )
@@ -722,6 +821,144 @@ class Plan:
                 combined = node
                 trace.append(TraceStep(text, node=node, show_est=False))
         pipeline = Pipeline(combined, self.query.output_schema(), trace)
+        self.pipeline = pipeline
+        return pipeline
+
+    # -- the parallel compiler (logical plan → Exchange/Merge over fragments) -
+    def _compile_parallel(self, partitions: int, mode: str) -> Pipeline:
+        """Compile the logical plan into *partitions* parallel fragments.
+
+        The coordinator resolves every range's rows up front (workers are
+        shared-nothing — they never see a live ``Database`` or index, so
+        an index-selected range ships its probed bucket and a join that
+        would run index-nested-loop serially runs as a hash join over the
+        shipped rows inside the fragments).  The partition scheme:
+
+        * when the plan's first combining step is an equi-join, both its
+          sides are **co-partitioned** on the fused key — start-range
+          rows by their key values, the joined range's rows by theirs —
+          so every matching pair meets inside one worker, and rows null
+          on a key attribute (which the join would drop anyway) are
+          never shipped;
+        * otherwise (single-range or product-first plans) the start
+          range is partitioned by null-pattern **signature**, which
+          groups identical rows — maximal local reduction per worker;
+        * every other range is broadcast whole.
+
+        Correctness does not depend on the scheme: each serial output
+        row derives from exactly one start-range row, so the shard
+        outputs cover the serial output, and the final
+        :class:`~repro.exec.Merge` reduction restores global minimal
+        form for *any* partition function (reduction only removes
+        dominated rows; dominance is transitive).
+        """
+        ops = self.logical_plan()
+        contexts = self._plan_contexts
+        variables = list(self.query.ranges)
+        start = self._start
+
+        resolved: Dict[str, List[XTuple]] = {}
+        steps: List[Tuple] = []
+        for op in ops:
+            if op.kind == "rename":
+                steps.append(("rename", op.variable))
+            elif op.kind == "index-select":
+                resolved[op.variable] = list(op.index.lookup(op.probe))
+                steps.append(("source", op.variable))
+            elif op.kind == "select":
+                steps.append((
+                    "select", op.variable, op.attribute, op.op, op.constant,
+                ))
+            elif op.kind == "select-var-residual":
+                steps.append(("select-var", op.variable, op.conjunct))
+            elif op.kind == "join":
+                steps.append(("join", op.variable, tuple(op.pairs), op.residual))
+            elif op.kind == "product":
+                steps.append(("product", op.variable))
+            elif op.kind == "residual":
+                steps.append(("residual", op.conjunct))
+            elif op.kind == "project":
+                steps.append(("project", tuple(op.targets)))
+            else:
+                raise ValueError(f"unknown logical op kind {op.kind!r}")
+        for variable in variables:
+            if variable not in resolved:
+                resolved[variable] = list(contexts[variable].relation.tuples())
+
+        first_combine = next(
+            (op for op in ops if op.kind in ("join", "product")), None
+        )
+        sharded: Dict[str, List[List[XTuple]]] = {}
+        if first_combine is not None and first_combine.kind == "join":
+            # At the plan's first join the combined side is exactly the
+            # start range, so every pair's old ref names a bare start
+            # attribute — both sides hash the same key values.
+            pairs = first_combine.pairs
+            start_key = [old.attribute for old, _ in pairs]
+            build_key = [new.attribute for _, new in pairs]
+            sharded[start] = partition_rows_by_key(
+                resolved[start], start_key, partitions
+            )
+            sharded[first_combine.variable] = partition_rows_by_key(
+                resolved[first_combine.variable], build_key, partitions
+            )
+            scheme = "co-partitioned on " + "+".join(
+                f"{start}.{a}" for a in start_key
+            )
+        else:
+            sharded[start] = partition_rows_by_signature(
+                resolved[start], partitions
+            )
+            scheme = "signature-partitioned"
+
+        partition_sources: List[Dict[str, List[XTuple]]] = []
+        for i in range(partitions):
+            partition_sources.append({
+                variable: (
+                    sharded[variable][i]
+                    if variable in sharded else resolved[variable]
+                )
+                for variable in variables
+            })
+        partitioned_rows = [
+            sum(len(shards[i]) for shards in sharded.values())
+            for i in range(partitions)
+        ]
+
+        fragment = PlanFragment(
+            steps,
+            {variable: contexts[variable].mapping for variable in variables},
+            start,
+            variables,
+        )
+        trace: List[TraceStep] = []
+        op_steps: List[TraceStep] = []
+        for op in ops:
+            text = self._step_text(op)
+            if op.kind == "rename":
+                step = TraceStep(text)
+            elif op.kind == "project":
+                step = TraceStep(text, show_est=False)
+            else:
+                step = TraceStep(text, est=op.est)
+            op_steps.append(step)
+            trace.append(step)
+        exchange = Exchange(
+            fragment, partition_sources,
+            partitioned_rows=partitioned_rows, mode=mode,
+            trace_steps=op_steps,
+            label=f"Exchange [{partitions} partitions, {mode}, {scheme}]",
+            block_size=self.block_size,
+        )
+        merge = Merge(exchange, block_size=self.block_size)
+        trace.append(TraceStep(
+            f"exchange over {partitions} partitions ({scheme}, {mode})",
+            node=exchange, show_est=False,
+        ))
+        trace.append(TraceStep(
+            "merge + reduce the shard frontier", node=merge, show_est=False,
+        ))
+        pipeline = Pipeline(merge, self.query.output_schema(), trace)
         self.pipeline = pipeline
         return pipeline
 
@@ -802,6 +1039,10 @@ class Plan:
             relation._rows = set(rows)
             return XRelation(relation)
 
+        residual = (
+            _pair_predicate(op.residual, variable)
+            if op.residual is not None else None
+        )
         if op.index is not None:
             # Index-nested-loop join: probe the table's live index with the
             # combined side's key values; the range is never renamed or
@@ -812,7 +1053,7 @@ class Plan:
             }
             probe_attrs = [bare_to_combined[a] for a in op.index.attributes]
             return wrap(index_probe_join_rows(
-                combined.rows(), probe_attrs, op.index.lookup, transform
+                combined.rows(), probe_attrs, op.index.lookup, transform, residual
             ))
 
         # Late-rename hash join: bucket the (possibly filtered) unrenamed
@@ -826,7 +1067,7 @@ class Plan:
         empty: Tuple[XTuple, ...] = ()
         return wrap(index_probe_join_rows(
             combined.rows(), probe_attrs,
-            lambda key: buckets.get(key, empty), transform,
+            lambda key: buckets.get(key, empty), transform, residual,
         ))
 
     def _project(
@@ -982,6 +1223,59 @@ def _residual_predicate(conjunct: Predicate, variables: Sequence[str]):
     if fast is not None:
         return fast
     return _bind_residual(conjunct, variables)
+
+
+def _pair_term_getter(term, new_variable: str):
+    """A value getter over a join's ``(probe row, build row)`` pair.
+
+    References to *new_variable* read the **unrenamed build row** under
+    the bare attribute name (the probe loop evaluates the residual
+    before the build row is renamed or joined — see
+    :func:`repro.core.engine.joins.probe_join_block`); references to any
+    already-combined variable read the probe row under its qualified
+    ``variable.attribute`` name.  Returns ``None`` for term shapes the
+    fast path cannot serve.
+    """
+    if isinstance(term, AttributeRef):
+        if term.variable == new_variable:
+            key = term.attribute
+            return lambda probe, build, _k=key: build[_k]
+        key = f"{term.variable}.{term.attribute}"
+        return lambda probe, build, _k=key: probe[_k]
+    if isinstance(term, Constant):
+        value = term.literal
+        return lambda probe, build, _v=value: _v
+    return None
+
+
+def _pair_predicate(predicate: Predicate, new_variable: str):
+    """Compile a residual conjunct into a fused join pair predicate.
+
+    Returns a ``(probe row, raw build row) -> bool`` function keeping
+    exactly the pairs on which the conjunction is TRUE (Table III AND
+    semantics: every comparison TRUE, so early exit is sound), or
+    ``None`` for shapes (Or / Not / exotic terms) that must stay a
+    post-join :class:`~repro.exec.Filter`.  The planner fuses a conjunct
+    only when this returns non-``None``.
+    """
+    conjuncts = predicate.operands if isinstance(predicate, And) else (predicate,)
+    compiled = []
+    for conjunct in conjuncts:
+        if not isinstance(conjunct, Comparison):
+            return None
+        left = _pair_term_getter(conjunct.left, new_variable)
+        right = _pair_term_getter(conjunct.right, new_variable)
+        if left is None or right is None:
+            return None
+        compiled.append((left, conjunct.op, right))
+
+    def pair_fn(probe: XTuple, build: XTuple, _compiled=tuple(compiled)) -> bool:
+        for left, op, right in _compiled:
+            if not compare(left(probe, build), op, right(probe, build)).is_true():
+                return False
+        return True
+
+    return pair_fn
 
 
 # ---------------------------------------------------------------------------

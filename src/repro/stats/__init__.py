@@ -17,6 +17,12 @@ This package supplies the choosing machinery, System-R style:
     discipline a comparison touching ``ni`` is never TRUE, so null
     partitions are discounted from every estimate.
 
+``repro.stats.parallel``
+    :func:`suggest_parallelism` — the auto heuristic behind
+    ``Plan.compile(parallelism="auto")``: parallelise only above a
+    ~50k-estimated-row threshold, cap by CPU count, fall back to serial
+    when :mod:`multiprocessing` is unusable.
+
 The QUEL planner (:mod:`repro.quel.planner`) consumes both to order
 joins by estimated cardinality and to decide when probing a persistent
 :class:`~repro.storage.index.HashIndex` beats rebuilding hash buckets.
@@ -24,5 +30,19 @@ joins by estimated cardinality and to decide when probing a persistent
 
 from .statistics import TableStatistics
 from .cost import CostModel, DEFAULT_COST_MODEL
+from .parallel import (
+    DEFAULT_MAX_WORKERS,
+    PARALLEL_ROW_THRESHOLD,
+    multiprocessing_available,
+    suggest_parallelism,
+)
 
-__all__ = ["TableStatistics", "CostModel", "DEFAULT_COST_MODEL"]
+__all__ = [
+    "TableStatistics",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "DEFAULT_MAX_WORKERS",
+    "PARALLEL_ROW_THRESHOLD",
+    "multiprocessing_available",
+    "suggest_parallelism",
+]

@@ -1,0 +1,72 @@
+"""The auto-parallelism heuristic behind ``Plan.compile(parallelism="auto")``.
+
+Exchange-operator parallelism (Graefe's Volcano design) only pays once
+the per-query fixed costs — forking a worker pool, pickling the
+partitioned leaf rows, shipping the shard results back — are amortised
+over enough per-row work.  The heuristic is deliberately blunt, in the
+System-R tradition of robust-over-clever:
+
+* below :data:`PARALLEL_ROW_THRESHOLD` estimated input rows the answer
+  is always ``1`` (serial) — at small sizes the pool startup alone
+  exceeds the whole serial runtime;
+* the suggested degree is capped by the machine's CPU count and by
+  :data:`DEFAULT_MAX_WORKERS` (shipping costs grow with the worker
+  count while the win is bounded by the core count);
+* when :mod:`multiprocessing` is unusable (restricted platforms) the
+  answer is ``1`` — the planner then simply compiles its serial tree.
+
+The row estimate comes from the planner's
+:class:`~repro.stats.statistics.TableStatistics`-backed range estimates,
+so the decision costs no row touches.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Estimated input rows below which a query is never parallelised — the
+#: worker-pool fixed costs dominate anything smaller.
+PARALLEL_ROW_THRESHOLD = 50_000
+
+#: Cap on the suggested worker count, independent of the core count.
+DEFAULT_MAX_WORKERS = 4
+
+
+def multiprocessing_available() -> bool:
+    """True when a process pool can actually be created on this platform."""
+    try:
+        import multiprocessing
+
+        multiprocessing.cpu_count()
+    except (ImportError, NotImplementedError, OSError):
+        return False
+    return True
+
+
+def suggest_parallelism(
+    estimated_rows: float,
+    *,
+    cpu_count: Optional[int] = None,
+    threshold: float = PARALLEL_ROW_THRESHOLD,
+    max_workers: int = DEFAULT_MAX_WORKERS,
+    available: Optional[bool] = None,
+) -> int:
+    """The worker count ``parallelism="auto"`` resolves to (``1`` = serial).
+
+    *estimated_rows* is the optimizer's estimate of the input rows the
+    query will push through its pipeline (the sum of the per-range
+    statistics row counts).  *cpu_count* / *available* default to the
+    live machine introspection and exist as keywords so the decision
+    logic is testable on any machine.
+    """
+    if available is None:
+        available = multiprocessing_available()
+    if not available:
+        return 1
+    if cpu_count is None:
+        import os
+
+        cpu_count = os.cpu_count() or 1
+    if estimated_rows < threshold:
+        return 1
+    return max(1, min(int(cpu_count), int(max_workers)))

@@ -109,6 +109,26 @@ class TestCompare:
             [baseline, current, "--experiments", "e17"]
         ) == 1
 
+    def test_machine_metadata_is_ignored_by_the_diff(self, tmp_path):
+        """Two runs differing only in the document-level ``machine`` stamp
+        (and containing stray non-dict experiment entries) diff clean."""
+        plain = write_results(tmp_path / "base.json", BASE)
+        stamped_doc = results_document(BASE)
+        stamped_doc["machine"] = {
+            "cpu_count": 64, "python": "3.99.0", "timestamp": "2099-01-01",
+        }
+        stamped_doc["experiments"]["e_broken"] = "not a mapping"
+        stamped = tmp_path / "cur.json"
+        stamped.write_text(json.dumps(stamped_doc))
+        base_metrics = compare_module.load_metrics(plain)
+        cur_metrics = compare_module.load_metrics(str(stamped))
+        assert base_metrics == cur_metrics
+        _, regressions = compare_module.compare(
+            base_metrics, cur_metrics, threshold=0.0
+        )
+        assert regressions == []
+        assert compare_module.main([plain, str(stamped), "--threshold", "0"]) == 0
+
     def test_self_comparison_is_clean_on_the_committed_results(self):
         """The CI smoke: the committed results.json compared to itself has
         overlapping keys and zero regressions."""

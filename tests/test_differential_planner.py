@@ -330,6 +330,41 @@ def compile_text(text, database):
     return compile_query(text, database).query
 
 
+# ---------------------------------------------------------------------------
+# Parallel partitioned execution ≡ serial streaming ≡ materializing ≡ oracle
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(
+    indexed_databases(),
+    quel_texts(),
+    st.sampled_from((1, 2, 3, 4)),
+    st.sampled_from((2, 7, 256)),
+)
+def test_parallel_matches_serial_and_oracle(database, text, partitions, block_size):
+    """Partitioned Exchange/Merge execution is a pure strategy change:
+    over random schemas, indexes, partition counts 1–4 and block sizes,
+    the parallel pipeline must stay information-wise identical to the
+    serial streaming tree, the materializing executor and the tuple
+    oracle.  Fragments run in inline mode — byte-identical worker code,
+    minus the process shipping the dedicated process-mode tests cover —
+    so the fuzz loop stays fast."""
+    try:
+        tuple_answer = run_query(text, database, strategy="tuple").answer
+    except QuelSemanticError:
+        assume(False)
+    query = compile_text(text, database)
+    serial = Plan(query, database, block_size=block_size).execute()
+    materializing = Plan(query, database, streaming=False).execute()
+    parallel = Plan(
+        query, database, block_size=block_size,
+        parallelism=partitions, parallel_mode="inline",
+    ).execute()
+    assert serial == tuple_answer
+    assert materializing == tuple_answer
+    assert parallel == tuple_answer
+
+
 @settings(max_examples=60, deadline=None, derandomize=True)
 @given(total_databases(), quel_texts())
 def test_streaming_step_counts_match_materializing_on_total_rows(database, text):
