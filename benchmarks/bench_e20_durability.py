@@ -1,0 +1,263 @@
+"""E20 — durability: WAL overhead, checkpointing, and recovery replay.
+
+The write-ahead-log PR makes every bulk entry point log a replayable
+record before applying.  This benchmark quantifies what that costs and
+what recovery buys:
+
+* **bulk load overhead** — the same keyed bulk load against three
+  configurations: no WAL attached (the in-memory baseline),
+  ``sync="none"`` (log buffered, flushed by the OS / checkpoints) and
+  ``sync="commit"`` (fsync at every autocommit boundary).  The logical
+  log appends one record per *statement* — a 10k-row ``insert_many`` is
+  one frame — so the ``sync="none"`` overhead is essentially the pickle
+  + CRC of the row batch and must stay small (the full sweep asserts
+  ≤ 30%);
+* **checkpoint** — serialising the whole database (rows + index defs +
+  statistics) into ``checkpoint.bin`` and truncating the log;
+* **recovery replay** — ``Database.open`` on a crash-copy of the
+  directory (log only, no final checkpoint): read + checksum + replay of
+  the whole logical log.  Every recovery measurement first asserts the
+  recovered rows, index specs and statistics equal the live oracle's.
+
+Run styles:
+
+* under pytest (quick sizes, used by CI as a smoke test):
+  ``PYTHONPATH=src python -m pytest benchmarks/bench_e20_durability.py -q``
+* standalone (full sweep, writes results.json):
+  ``PYTHONPATH=src python benchmarks/bench_e20_durability.py``
+  (pass ``--quick`` for the small sweep).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+import sys
+import tempfile
+import time
+from typing import Callable, List, Optional, Tuple
+
+from repro.constraints.keys import KeyConstraint
+from repro.storage.database import Database
+
+FULL_SIZES = (1_000, 10_000)
+QUICK_SIZES = (200, 500)
+DOMAIN_SIZE = 64
+#: The full sweep enforces the PR's overhead budget for the buffered log.
+MAX_SYNC_NONE_OVERHEAD = 0.30
+
+
+# ---------------------------------------------------------------------------
+# Workload
+# ---------------------------------------------------------------------------
+
+def keyed_rows(count: int, seed: int) -> List[Tuple]:
+    rng = random.Random(seed)
+    return [
+        (i, rng.randrange(DOMAIN_SIZE), rng.randrange(DOMAIN_SIZE))
+        for i in range(count)
+    ]
+
+
+def make_database(directory: Optional[str], sync: str = "none") -> Database:
+    """A KEYED table (key on K, index on A), durable when *directory* set."""
+    database = Database.open(directory, sync=sync) if directory else Database("e20")
+    database.create_table(
+        "KEYED", ["K", "A", "B"], constraints=[KeyConstraint(["K"])]
+    )
+    database.table("KEYED").create_index(["A"])
+    return database
+
+
+def crash_copy(source: str, target: str) -> None:
+    """The durable files exactly as a crash would leave them."""
+    if os.path.exists(target):
+        shutil.rmtree(target)
+    shutil.copytree(source, target)
+
+
+def oracle_state(database: Database):
+    table = database.table("KEYED")
+    return (
+        frozenset(table.rows()),
+        dict(table.index_specs()),
+        table.statistics.copy(),
+    )
+
+
+def assert_recovered(recovered: Database, oracle) -> None:
+    rows, indexes, statistics = oracle
+    table = recovered.table("KEYED")
+    assert frozenset(table.rows()) == rows
+    assert dict(table.index_specs()) == indexes
+    assert table.statistics == statistics
+
+
+# ---------------------------------------------------------------------------
+# Measurement harness
+# ---------------------------------------------------------------------------
+
+def _time(fn: Callable[[], object]) -> Tuple[float, object]:
+    """Best of three wall-clock runs."""
+    best = float("inf")
+    value = None
+    for _ in range(3):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def run_experiments(sizes=FULL_SIZES, metric=None, line=None,
+                    enforce_overhead=False):
+    """Measure load/checkpoint/recovery at every size, verifying recovery
+    against the live oracle each time."""
+
+    def emit(op, variant, rows, seconds, **extra):
+        if metric is not None:
+            metric(op, seconds, variant=variant, rows=rows, **extra)
+
+    root = tempfile.mkdtemp(prefix="bench-e20-")
+    try:
+        for size in sizes:
+            rows = keyed_rows(size, seed=size)
+
+            # -- bulk load: baseline vs WAL sync modes ----------------------
+            def durable_dir(tag):
+                path = os.path.join(root, f"{tag}-{size}")
+                if os.path.exists(path):
+                    shutil.rmtree(path)
+                return path
+
+            def timed_load(factory):
+                """Database construction and teardown stay off the clock —
+                the metric is the incremental cost of logging the load."""
+                best = float("inf")
+                for _ in range(3):
+                    database = factory()
+                    start = time.perf_counter()
+                    database.insert_many("KEYED", rows)
+                    best = min(best, time.perf_counter() - start)
+                    if database.wal is not None:
+                        database.wal.close()
+                return best
+
+            baseline_seconds = timed_load(lambda: make_database(None))
+            none_seconds = timed_load(
+                lambda: make_database(durable_dir("none"), "none")
+            )
+            commit_seconds = timed_load(
+                lambda: make_database(durable_dir("commit"), "commit")
+            )
+            overhead = none_seconds / baseline_seconds - 1.0
+            emit("bulk_load", "baseline", size, baseline_seconds)
+            emit("bulk_load", "wal_none", size, none_seconds,
+                 overhead=round(overhead, 3))
+            emit("bulk_load", "wal_commit", size, commit_seconds,
+                 overhead=round(commit_seconds / baseline_seconds - 1.0, 3))
+            if enforce_overhead:
+                assert overhead <= MAX_SYNC_NONE_OVERHEAD, (
+                    f"sync='none' bulk-load overhead {overhead:.1%} exceeds "
+                    f"the {MAX_SYNC_NONE_OVERHEAD:.0%} budget at n={size}"
+                )
+            if line is not None:
+                line(
+                    f"n={size}: bulk load {baseline_seconds * 1000:.1f}ms bare, "
+                    f"+{overhead:.1%} with buffered WAL, "
+                    f"+{commit_seconds / baseline_seconds - 1.0:.1%} with fsync-per-commit"
+                )
+
+            # -- checkpoint ------------------------------------------------
+            source = durable_dir("replay")
+            database = make_database(source, sync="none")
+            database.insert_many("KEYED", rows)
+            database.delete_many("KEYED", [{"K": k} for k in range(0, size, 7)])
+            database.table("KEYED").analyze()
+            database.wal.flush()
+            oracle = oracle_state(database)
+            checkpoint_dir = durable_dir("ckpt")
+            ckpt = make_database(checkpoint_dir, sync="none")
+            ckpt.insert_many("KEYED", rows)
+            ckpt_seconds, _ = _time(lambda: ckpt.wal.checkpoint(ckpt))
+            emit("checkpoint", "full", size, ckpt_seconds)
+            ckpt.close()
+
+            # -- recovery replay of the whole logical log --------------------
+            def recover():
+                target = os.path.join(root, f"recover-{size}")
+                crash_copy(source, target)
+                return Database.open(target, name="recovered")
+
+            recover_seconds, recovered = _time(recover)
+            assert_recovered(recovered, oracle)
+            recovered.close()
+            database.close()
+            emit("recovery_replay", "log_tail", size, recover_seconds,
+                 statements=3)
+            if line is not None:
+                line(
+                    f"n={size}: checkpoint {ckpt_seconds * 1000:.1f}ms, "
+                    f"log-replay recovery {recover_seconds * 1000:.1f}ms "
+                    f"(recovered state verified against the live oracle)"
+                )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point (quick smoke + recovery verification)
+# ---------------------------------------------------------------------------
+
+def test_durability_quick(record):
+    """Quick-mode sweep: verifies every recovery, records metrics.
+
+    Timing budgets are only enforced on the standalone full sweep — CI
+    shared runners are too noisy to gate on a 30% ratio."""
+    run_experiments(sizes=QUICK_SIZES, metric=record.metric, line=record.line)
+
+
+# ---------------------------------------------------------------------------
+# Standalone entry point (full sweep, writes benchmarks/results.json)
+# ---------------------------------------------------------------------------
+
+def main(argv: List[str]) -> int:
+    quick = "--quick" in argv
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    sys.path.insert(0, here)
+    import conftest  # the benchmark harness recorder/writer
+
+    recorder = conftest.ExperimentRecorder("e20_durability")
+    run_experiments(
+        sizes=sizes,
+        metric=recorder.metric,
+        line=recorder.line,
+        enforce_overhead=not quick,
+    )
+
+    results_path = os.path.join(here, "results.json")
+    conftest.write_results_json(results_path)
+
+    metrics = conftest._METRICS["e20_durability"]
+    by_key = {(m["op"], m["variant"], m["rows"]): m for m in metrics}
+    print(f"{'op':<16} {'variant':<11} {'rows':>6} {'seconds':>10} {'overhead':>9}")
+    for op in ("bulk_load", "checkpoint", "recovery_replay"):
+        for size in sizes:
+            for variant in ("baseline", "wal_none", "wal_commit", "full", "log_tail"):
+                entry = by_key.get((op, variant, size))
+                if entry is None:
+                    continue
+                overhead = entry.get("overhead")
+                suffix = f"{overhead:>8.1%}" if overhead is not None else f"{'—':>8}"
+                print(
+                    f"{op:<16} {variant:<11} {size:>6} "
+                    f"{entry['seconds']:>10.4f} {suffix}"
+                )
+    print(f"\nwrote {results_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -12,10 +12,16 @@ compiled :class:`~repro.exec.Pipeline` and drains it on demand —
   canonical answer's minimal form drops (each dominated by another
   streamed row), so their union is always information-wise the answer.
   Table scans and index-selection buckets are snapshotted when the
-  statement executes, but an index-nested-loop join deliberately probes
-  the *live* index — a result set left undrained across later mutations
-  can see them through those probes, so drain promptly (``.rows`` does)
-  when statement-time answers must survive subsequent writes;
+  statement executes; an index-nested-loop join probes the *live* index,
+  so the pipeline stamps every such inner table with its mutation
+  counter and DDL epoch at execute time
+  (:class:`~repro.exec.StalenessGuard`) and a result set left undrained
+  across a later mutation of a probed table raises
+  :class:`~repro.core.errors.StaleResultError` instead of silently
+  streaming post-statement rows.  Drain promptly (``.rows`` does) when
+  statement-time answers must survive subsequent writes; serving the
+  statement-time answer *after* such writes (versioned indexes / MVCC)
+  is ROADMAP item 3;
 * ``.rows`` / ``len()`` / ``.first()`` / ``.scalar()`` /
   ``.to_relation()`` drain the pipeline fully and return the canonical
   minimal answer — ``.rows`` stays the stable sorted list it always was,

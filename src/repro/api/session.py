@@ -122,12 +122,16 @@ class Transaction:
         self._foreign_keys = database.catalog.foreign_key_entries()
         self._active = True
         self.session._transactions.append(self)
+        self._mark("begin")
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         if self._active:
             if exc_type is not None:
                 self._restore()
+                self._mark("abort")
+            else:
+                self._mark("commit")
             self._close()
         return False  # never swallow the exception
 
@@ -135,6 +139,7 @@ class Transaction:
         """Keep the group's effects and end the transaction."""
         if not self._active:
             raise StorageError("transaction is not active")
+        self._mark("commit")
         self._close()
 
     def rollback(self) -> None:
@@ -142,6 +147,7 @@ class Transaction:
         if not self._active:
             raise StorageError("transaction is not active")
         self._restore()
+        self._mark("abort")
         self._close()
 
     def _close(self) -> None:
@@ -149,28 +155,20 @@ class Transaction:
         if self in self.session._transactions:
             self.session._transactions.remove(self)
 
+    def _mark(self, op: str) -> None:
+        """Write a transaction marker to the write-ahead log, if one is
+        attached.  Replay discards a group whose close marker never made
+        it to disk; an ``abort`` marker lands *after* the rollback's
+        compensating restore records, so an aborted group replays to the
+        same (pre-group) state it left in memory.  Under ``sync="commit"``
+        the close markers are the fsync points — the group's records ride
+        one flush."""
+        wal = getattr(self.session.database, "wal", None)
+        if wal is not None:
+            wal.append({"op": op})
+
     def _restore(self) -> None:
         database = self.session.database
-        before = set(self._tables)
-        created = [
-            name for name in database.catalog.table_names() if name not in before
-        ]
-        # Tables created inside the group go away; drop in passes so
-        # foreign keys between created tables cannot wedge the order.
-        while created:
-            progressed = False
-            for name in list(created):
-                try:
-                    database.drop_table(name)
-                except StorageError:
-                    continue
-                created.remove(name)
-                progressed = True
-            if not progressed:
-                raise StorageError(
-                    f"cannot roll back: created table(s) {created} are "
-                    f"referenced by surviving foreign keys"
-                )
         missing = [
             name for name in self._tables if not database.catalog.has_table(name)
         ]
@@ -179,11 +177,12 @@ class Transaction:
                 f"cannot roll back: table(s) {missing} were dropped inside "
                 f"the transaction (schema undo beyond creation is not supported)"
             )
-        # Foreign keys revert to the entry snapshot — additions made
-        # inside the group go away with it.  (Drops and renames also
-        # rewrite the entry list, but a table dropped inside the group
-        # already failed loudly above, and renames re-enter under the
-        # new owner name, which the restore filter tolerates.)
+        # Foreign keys revert to the entry snapshot first — additions made
+        # inside the group go away with it, which also unblocks
+        # Database.restore's drop of any table created inside the group
+        # (a group-added key referencing a created table would otherwise
+        # wedge the drop).  Renames re-enter under the new owner name,
+        # which the restore filter tolerates.
         database.catalog.restore_foreign_keys(self._foreign_keys)
         database.restore(self._snapshot)
 

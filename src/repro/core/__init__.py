@@ -102,9 +102,11 @@ from .errors import (
     ReferentialViolation,
     ReproError,
     SchemaError,
+    StaleResultError,
     StorageError,
     TautologyError,
     UnionCompatibilityError,
+    WalError,
 )
 
 __all__ = [
@@ -133,6 +135,6 @@ __all__ = [
     # errors
     "AlgebraError", "AttributeNotFound", "ConstraintViolation", "DomainError", "KeyViolation",
     "NotJoinableError", "NotNullViolation", "QuelError", "QuelLexError", "QuelParseError",
-    "QuelSemanticError", "ReferentialViolation", "ReproError", "SchemaError", "StorageError",
-    "TautologyError", "UnionCompatibilityError",
+    "QuelSemanticError", "ReferentialViolation", "ReproError", "SchemaError", "StaleResultError",
+    "StorageError", "TautologyError", "UnionCompatibilityError", "WalError",
 ]

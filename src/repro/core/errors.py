@@ -111,5 +111,23 @@ class StorageError(ReproError):
     """A catalog or table operation failed (duplicate name, missing table...)."""
 
 
+class StaleResultError(StorageError):
+    """An undrained lazy result set would read state mutated since execute.
+
+    Raised when a streaming pipeline whose plan probes a *live* persistent
+    index (an index-nested-loop join) is pulled after the probed table was
+    mutated (or its indexes changed) since the statement executed: the
+    probes would silently see post-statement rows, so the read fails
+    loudly instead.  Drain promptly (``ResultSet.rows`` does) when
+    statement-time answers must survive subsequent writes; full
+    statement-time consistency via versioned indexes is the MVCC roadmap
+    item.
+    """
+
+
+class WalError(StorageError):
+    """The write-ahead log or a checkpoint file could not be used."""
+
+
 class TautologyError(ReproError):
     """The tautology detector was given an expression it cannot analyse."""

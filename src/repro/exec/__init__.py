@@ -21,9 +21,11 @@ The exported surface:
   :class:`Materialize`;
 * DML sinks — :class:`AppendSink`, :class:`DeleteSink`,
   :class:`ReplaceSink`;
-* :class:`Pipeline` / :class:`TraceStep` / :func:`render_tree` — the
-  compiled-tree wrapper, the shared step-trace rendering, and the
-  ``EXPLAIN (ANALYZE)`` tree formatter;
+* :class:`Pipeline` / :class:`TraceStep` / :class:`StalenessGuard` /
+  :func:`render_tree` — the compiled-tree wrapper, the shared step-trace
+  rendering, the execute-time stamp that makes an undrained live-index
+  probe fail loudly after a mutation, and the ``EXPLAIN (ANALYZE)`` tree
+  formatter;
 * :class:`Exchange` / :class:`Merge` / :class:`PlanFragment` — the
   parallel partitioned execution layer: a picklable per-partition plan
   recipe, the operator that fans it out over worker processes, and the
@@ -46,7 +48,7 @@ from .operators import (
     Rename,
     TableScan,
 )
-from .pipeline import Pipeline, TraceStep, render_tree
+from .pipeline import Pipeline, StalenessGuard, TraceStep, render_tree
 from .sinks import AppendSink, DeleteSink, ReplaceSink, Sink
 
 __all__ = [
@@ -69,6 +71,7 @@ __all__ = [
     "Rename",
     "ReplaceSink",
     "Sink",
+    "StalenessGuard",
     "TableScan",
     "TraceStep",
     "partition_rows_by_key",

@@ -26,10 +26,50 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from ..core.errors import StaleResultError
 from ..core.relation import Relation, RelationSchema
 from ..core.tuples import XTuple
 from ..core.xrelation import XRelation
 from .operators import PhysicalOperator
+
+
+class StalenessGuard:
+    """An execute-time stamp of a table a pipeline probes *live*.
+
+    An index-nested-loop join is the one streaming operator that reads a
+    persistent structure (the inner table's hash index) during the drain
+    rather than snapshotting at execute time.  The planner creates one
+    guard per such inner table, capturing the table's mutation counter
+    (``Relation._version`` — bumped by every row change) and its
+    physical-design epoch (``ddl_epoch`` — bumped by index changes and
+    ANALYZE); :meth:`Pipeline._pull` re-checks the stamps before every
+    fresh block, so an undrained result set whose probes would silently
+    see post-statement state raises :class:`StaleResultError` instead.
+    """
+
+    __slots__ = ("table", "version", "ddl_epoch")
+
+    def __init__(self, table):
+        self.table = table
+        self.version = table.relation._version
+        self.ddl_epoch = table.ddl_epoch
+
+    @property
+    def stale(self) -> bool:
+        return (
+            self.table.relation._version != self.version
+            or self.table.ddl_epoch != self.ddl_epoch
+        )
+
+    def check(self) -> None:
+        if self.stale:
+            raise StaleResultError(
+                f"table {self.table.name!r} was mutated (or its indexes "
+                f"changed) since this statement executed; its undrained "
+                f"result set probes the table's live index and would see "
+                f"post-statement rows.  Drain results before mutating "
+                f"(ResultSet.rows does), or re-execute the statement."
+            )
 
 
 class TraceStep:
@@ -116,10 +156,19 @@ class Pipeline:
         root: PhysicalOperator,
         schema: RelationSchema,
         trace: Sequence[TraceStep] = (),
+        guards: Sequence[StalenessGuard] = (),
+        database_epoch: Optional[int] = None,
     ):
         self.root = root
         self.schema = schema
         self.trace: List[TraceStep] = list(trace)
+        #: Staleness stamps for tables this tree probes live (one per
+        #: index-nested-loop inner table); checked before every fresh
+        #: block pull.  Empty for trees that snapshot all their inputs.
+        self.guards: List[StalenessGuard] = list(guards)
+        #: The database's catalog/index/stats epoch at execute time (None
+        #: when the compiler had no database in reach).
+        self.database_epoch = database_epoch
         self._blocks: Optional[Iterator[List[XTuple]]] = None
         self._ordered: List[XTuple] = []
         self._exhausted = False
@@ -150,6 +199,12 @@ class Pipeline:
             raise self._error
         if self._exhausted:
             return False
+        for guard in self.guards:
+            try:
+                guard.check()
+            except BaseException as error:
+                self._error = error
+                raise
         if self._blocks is None:
             self._blocks = self.root.blocks()
         try:

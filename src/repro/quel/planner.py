@@ -76,7 +76,7 @@ from ..exec.operators import (
     Rename,
     TableScan,
 )
-from ..exec.pipeline import Pipeline, TraceStep
+from ..exec.pipeline import Pipeline, StalenessGuard, TraceStep
 from ..stats import (
     CostModel,
     DEFAULT_COST_MODEL,
@@ -697,6 +697,10 @@ class Plan:
         variables = list(self.query.ranges)
         block_size = self.block_size
         trace: List[TraceStep] = []
+        # One staleness stamp per table the tree will probe *live* (the
+        # inner side of every index-nested-loop join); every other leaf
+        # snapshots its rows at execute time and needs no guard.
+        guards: List[StalenessGuard] = []
         chains: Dict[str, Optional[PhysicalOperator]] = {v: None for v in variables}
 
         def scan(variable: str) -> PhysicalOperator:
@@ -779,6 +783,9 @@ class Plan:
                         label=f"IndexNLJoin {op.index.name} on {on}",
                         est=op.est, block_size=block_size,
                     )
+                    inner_table = contexts[op.variable].table
+                    if inner_table is not None:
+                        guards.append(StalenessGuard(inner_table))
                 else:
                     build_attrs = [new.attribute for _, new in op.pairs]
                     probe_attrs = [
@@ -820,7 +827,11 @@ class Plan:
                 )
                 combined = node
                 trace.append(TraceStep(text, node=node, show_est=False))
-        pipeline = Pipeline(combined, self.query.output_schema(), trace)
+        pipeline = Pipeline(
+            combined, self.query.output_schema(), trace,
+            guards=guards,
+            database_epoch=getattr(self.database, "epoch", None),
+        )
         self.pipeline = pipeline
         return pipeline
 

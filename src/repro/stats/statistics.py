@@ -165,6 +165,35 @@ class TableStatistics:
             else:
                 non_null.pop(attribute, None)
 
+    # -- snapshots -------------------------------------------------------------
+    def copy(self) -> "TableStatistics":
+        """An independent copy of every counter *and* the staleness
+        bookkeeping — what :meth:`Database.snapshot` carries so a restored
+        database plans on the estimates it had at snapshot time instead of
+        re-deriving (or, worse, keeping post-snapshot drift)."""
+        dup = TableStatistics(staleness_threshold=self.staleness_threshold)
+        dup.row_count = self.row_count
+        dup._values = {a: dict(counter) for a, counter in self._values.items()}
+        dup._non_null = dict(self._non_null)
+        dup._signatures = dict(self._signatures)
+        dup.mutations_since_analyze = self.mutations_since_analyze
+        return dup
+
+    def restore_from(self, other: "TableStatistics") -> None:
+        """In-place wholesale restore from a saved copy.
+
+        Counters are copied (never aliased), so one snapshot can be
+        restored any number of times; object identity is preserved, so
+        anything holding a reference to a table's statistics keeps seeing
+        the live object.
+        """
+        self.row_count = other.row_count
+        self._values = {a: dict(counter) for a, counter in other._values.items()}
+        self._non_null = dict(other._non_null)
+        self._signatures = dict(other._signatures)
+        self.staleness_threshold = other.staleness_threshold
+        self.mutations_since_analyze = other.mutations_since_analyze
+
     # -- read surface ---------------------------------------------------------
     def distinct_count(self, attribute: str) -> int:
         """Distinct non-null values stored on *attribute*."""

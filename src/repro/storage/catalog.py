@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..core.errors import StorageError
 from ..core.relation import RelationSchema
 from ..constraints.referential import ForeignKeyConstraint
 from .table import Table, TableConstraint
+from .wal import picklable_constraints
 
 
 class Catalog:
@@ -26,6 +28,19 @@ class Catalog:
         # :meth:`epoch`, it versions everything a cached query plan may
         # depend on besides the data itself.
         self._ddl_epoch = 0
+        # Write-ahead log shared with every registered table, wired by
+        # :meth:`Database.attach_wal` (None without durability).
+        self._wal = None
+
+    # -- write-ahead logging -------------------------------------------------------
+    def _wal_lock(self):
+        wal = self._wal
+        return wal.lock if wal is not None else nullcontext()
+
+    def _log(self, record: dict) -> None:
+        wal = self._wal
+        if wal is not None and not wal.replaying:
+            wal.append(record)
 
     @property
     def epoch(self) -> int:
@@ -52,15 +67,47 @@ class Catalog:
         if name in self._tables:
             raise StorageError(f"table {name!r} already exists")
         table = Table(schema, constraints, name=name)
-        self._tables[name] = table
-        self._ddl_epoch += 1
+        with self._wal_lock():
+            self._log({
+                "op": "create_table",
+                "name": name,
+                "schema": table.schema,
+                "constraints": picklable_constraints(table.constraints),
+            })
+            table._wal = self._wal
+            self._tables[name] = table
+            self._ddl_epoch += 1
         return table
 
     def register_table(self, table: Table) -> Table:
         if table.name in self._tables:
             raise StorageError(f"table {table.name!r} already exists")
-        self._tables[table.name] = table
-        self._ddl_epoch += 1
+        with self._wal_lock():
+            # Logged as a create plus a load: replay rebuilds the table
+            # from its schema and current rows (pre-registration history
+            # is unknowable here).
+            self._log({
+                "op": "create_table",
+                "name": table.name,
+                "schema": table.schema,
+                "constraints": picklable_constraints(table.constraints),
+            })
+            if table.rows():
+                self._log({
+                    "op": "load",
+                    "table": table.name,
+                    "rows": list(table.rows()),
+                })
+            for index_name, attributes in table.index_specs().items():
+                self._log({
+                    "op": "create_index",
+                    "table": table.name,
+                    "name": index_name,
+                    "attributes": attributes,
+                })
+            table._wal = self._wal
+            self._tables[table.name] = table
+            self._ddl_epoch += 1
         return table
 
     def drop_table(self, name: str) -> None:
@@ -74,21 +121,26 @@ class Catalog:
             raise StorageError(
                 f"cannot drop {name!r}: referenced by {[fk.name for fk in referencing]}"
             )
-        dropped = self._tables.pop(name)
-        self._foreign_keys = [(owner, fk) for owner, fk in self._foreign_keys if owner != name]
-        # Fold the dropped table's epoch in so the catalog-wide sum stays
-        # monotone (a cache keyed on it must never see a value reused).
-        self._ddl_epoch += dropped.ddl_epoch + 1
+        with self._wal_lock():
+            self._log({"op": "drop_table", "name": name})
+            dropped = self._tables.pop(name)
+            dropped._wal = None
+            self._foreign_keys = [(owner, fk) for owner, fk in self._foreign_keys if owner != name]
+            # Fold the dropped table's epoch in so the catalog-wide sum stays
+            # monotone (a cache keyed on it must never see a value reused).
+            self._ddl_epoch += dropped.ddl_epoch + 1
 
     def rename_table(self, old: str, new: str) -> Table:
         if old not in self._tables:
             raise StorageError(f"no table named {old!r}")
         if new in self._tables:
             raise StorageError(f"table {new!r} already exists")
-        table = self._tables.pop(old)
-        table.relation.schema.name = new
-        self._tables[new] = table
-        self._ddl_epoch += 1
+        with self._wal_lock():
+            self._log({"op": "rename_table", "old": old, "new": new})
+            table = self._tables.pop(old)
+            table.relation.schema.name = new
+            self._tables[new] = table
+            self._ddl_epoch += 1
         self._foreign_keys = [
             (new if owner == old else owner,
              ForeignKeyConstraint(fk.attributes, new if fk.referenced_relation == old else fk.referenced_relation,
@@ -148,8 +200,10 @@ class Catalog:
         referenced_table = self.table(constraint.referenced_relation)
         if validate_existing:
             constraint.check(owner_table.relation, referenced_table.relation)
-        self._foreign_keys.append((owner, constraint))
-        self._ddl_epoch += 1
+        with self._wal_lock():
+            self._log({"op": "add_foreign_key", "owner": owner, "constraint": constraint})
+            self._foreign_keys.append((owner, constraint))
+            self._ddl_epoch += 1
 
     def foreign_key_entries(self) -> List[Tuple[str, ForeignKeyConstraint]]:
         """A copy of every ``(owner, constraint)`` entry.
@@ -167,11 +221,14 @@ class Catalog:
         :meth:`foreign_key_entries` of this very catalog.  Entries naming
         tables that no longer exist are dropped rather than restored.
         """
-        self._foreign_keys = [
+        kept = [
             (owner, fk) for owner, fk in entries
             if owner in self._tables and fk.referenced_relation in self._tables
         ]
-        self._ddl_epoch += 1
+        with self._wal_lock():
+            self._log({"op": "restore_foreign_keys", "entries": kept})
+            self._foreign_keys = kept
+            self._ddl_epoch += 1
 
     def foreign_keys_of(self, owner: str) -> List[ForeignKeyConstraint]:
         return [fk for table_name, fk in self._foreign_keys if table_name == owner]

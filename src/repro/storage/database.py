@@ -31,6 +31,10 @@ class Database(Mapping[str, Relation]):
         # Lazily-created default Session backing the query() delegate, so
         # repeated text queries share one prepared-statement cache.
         self._session = None
+        # Durability: the attached WriteAheadLog and its background
+        # checkpoint worker (both None for a purely in-memory database).
+        self._wal = None
+        self._checkpoint_worker = None
 
     # -- Mapping protocol (what the QUEL analyzer consumes) ----------------------------
     def __getitem__(self, name: str) -> Relation:
@@ -85,6 +89,104 @@ class Database(Mapping[str, Relation]):
 
     def add_foreign_key(self, owner: str, constraint: ForeignKeyConstraint) -> None:
         self.catalog.add_foreign_key(owner, constraint)
+
+    # -- durability ---------------------------------------------------------------------------
+    @property
+    def wal(self):
+        """The attached :class:`~repro.storage.wal.WriteAheadLog` (or None)."""
+        return self._wal
+
+    @property
+    def checkpoint_worker(self):
+        """The background checkpoint worker started by :meth:`attach_wal`
+        (or None when durability is off / the worker was not requested)."""
+        return self._checkpoint_worker
+
+    def attach_wal(
+        self,
+        path: str,
+        *,
+        sync: str = "commit",
+        checkpoint_interval: Optional[float] = None,
+        checkpoint_min_log_bytes: int = 1,
+    ):
+        """Attach durability at *path* (a directory), recovering first.
+
+        If the directory holds a previous incarnation — a checkpoint
+        and/or a log — that state is recovered into this database (which
+        must then be empty): the last checkpoint is loaded and the
+        surviving log tail replayed, discarding any torn trailing record
+        and any unfinished trailing transaction.  From then on every
+        mutation entry point logs before applying; a checkpoint is taken
+        immediately so the log restarts empty.  With *checkpoint_interval*
+        set, a background :class:`~repro.storage.wal.CheckpointWorker`
+        checkpoints (and thereby truncates the log) every that-many
+        seconds.  ``sync="commit"`` fsyncs per autocommitted statement
+        and per transaction commit; ``sync="none"`` defers flushing to
+        the OS and to checkpoints.  Returns the attached log.
+        """
+        from .wal import CheckpointWorker, WriteAheadLog
+
+        if self._wal is not None:
+            raise StorageError(f"database {self.name!r} already has a WAL attached")
+        wal = WriteAheadLog(path, sync=sync)
+        wal.recover_into(self)
+        self._wal = wal
+        self.catalog._wal = wal
+        for table in self.catalog.tables():
+            table._wal = wal
+        # Baseline checkpoint: a fresh directory captures the current
+        # state; a recovered one compacts the just-replayed tail.
+        wal.checkpoint(self)
+        if checkpoint_interval is not None:
+            self._checkpoint_worker = CheckpointWorker(
+                self,
+                interval=checkpoint_interval,
+                min_log_bytes=checkpoint_min_log_bytes,
+            ).start()
+        return wal
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        name: str = "db",
+        *,
+        sync: str = "commit",
+        checkpoint_interval: Optional[float] = None,
+    ) -> "Database":
+        """Open (or create) a durable database at *path*.
+
+        Equivalent to ``Database(name)`` + :meth:`attach_wal` — recovery
+        happens before the first statement runs, so the returned database
+        is exactly the last durable state.
+        """
+        database = cls(name)
+        database.attach_wal(path, sync=sync, checkpoint_interval=checkpoint_interval)
+        return database
+
+    def checkpoint(self) -> bool:
+        """Serialise the whole database and truncate the log (see
+        :meth:`~repro.storage.wal.WriteAheadLog.checkpoint`).  Returns
+        False while a transaction group is open."""
+        if self._wal is None:
+            raise StorageError(f"database {self.name!r} has no WAL attached")
+        return self._wal.checkpoint(self)
+
+    def close(self) -> None:
+        """Stop the checkpoint worker, take a final checkpoint, and close
+        the log.  A no-op for an in-memory database."""
+        if self._checkpoint_worker is not None:
+            self._checkpoint_worker.stop()
+            self._checkpoint_worker = None
+        wal = self._wal
+        if wal is not None:
+            wal.checkpoint(self)
+            wal.close()
+            self.catalog._wal = None
+            for table in self.catalog.tables():
+                table._wal = None
+            self._wal = None
 
     # -- updates with referential enforcement ------------------------------------------------
     def insert(self, table_name: str, row: RowLike) -> XTuple:
@@ -245,26 +347,61 @@ class Database(Mapping[str, Relation]):
 
     # -- snapshots ---------------------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
-        """A cheap copy of every table's rows *and* index definitions.
+        """A cheap copy of every table's rows, index definitions *and*
+        statistics.
 
-        Each entry is ``{"rows": set of XTuple, "indexes": {name: attrs}}``
-        — carrying the index specs is what lets :meth:`restore` round-trip
-        user-created indexes instead of only the rows.
+        Each entry is ``{"rows": set of XTuple, "indexes": {name: attrs},
+        "statistics": TableStatistics}`` — the index specs let
+        :meth:`restore` round-trip user-created indexes instead of only
+        the rows, and the statistics copy means a restored database plans
+        on the estimates it had at snapshot time rather than re-derived
+        ones with a freshly-reset staleness tracker.
         """
         out: Dict[str, Dict[str, Any]] = {}
         for name in self.catalog.table_names():
             table = self.catalog.table(name)
-            out[name] = {"rows": set(table.rows()), "indexes": table.index_specs()}
+            out[name] = {
+                "rows": set(table.rows()),
+                "indexes": table.index_specs(),
+                "statistics": table.statistics.copy(),
+            }
         return out
 
     def restore(self, snapshot: Mapping[str, Any]) -> None:
         """Wholesale restore: each table goes through the bulk-rebuild path
         (:meth:`Table.reset_rows` — one partition pass per index, no
-        per-row maintenance), and its index set is reconciled with the
-        snapshot's specs: indexes created since the snapshot are dropped,
-        dropped ones are recreated.  Legacy row-set snapshots
-        (``{name: set of rows}``) are still accepted and restore rows
-        only, leaving the current indexes in place."""
+        per-row maintenance), its index set is reconciled with the
+        snapshot's specs (indexes created since the snapshot are dropped,
+        dropped ones are recreated), and its statistics are restored from
+        the snapshot's copy when it carries one.
+
+        The *catalog* is reconciled too: a table created after the
+        snapshot was taken is dropped (in passes, so foreign keys between
+        such tables cannot wedge the order — a created table still
+        referenced by a surviving foreign key fails the restore loudly).
+        Only full-format snapshots (every entry a mapping, as
+        :meth:`snapshot` produces) reconcile the catalog; legacy row-set
+        snapshots (``{name: set of rows}``) restore rows only, leaving
+        the current indexes and any other tables in place."""
+        full_format = all(isinstance(entry, Mapping) for entry in snapshot.values())
+        if full_format:
+            created = [
+                name for name in self.catalog.table_names() if name not in snapshot
+            ]
+            while created:
+                progressed = False
+                for name in list(created):
+                    try:
+                        self.catalog.drop_table(name)
+                    except StorageError:
+                        continue
+                    created.remove(name)
+                    progressed = True
+                if not progressed:
+                    raise StorageError(
+                        f"cannot restore: table(s) {created} created after the "
+                        f"snapshot are referenced by surviving foreign keys"
+                    )
         for name, entry in snapshot.items():
             table = self.catalog.table(name)
             if not isinstance(entry, Mapping):
@@ -275,7 +412,7 @@ class Database(Mapping[str, Relation]):
                 spec = specs.get(index_name)
                 if spec is None or tuple(spec) != table.indexes[index_name].attributes:
                     table.drop_index(index_name)
-            table.reset_rows(entry["rows"])
+            table.reset_rows(entry["rows"], statistics=entry.get("statistics"))
             for index_name, attributes in specs.items():
                 if index_name not in table.indexes:
                     table.create_index(attributes, name=index_name)

@@ -27,6 +27,7 @@ hash indexes, which are maintained incrementally.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..core.engine.dominance import DominanceIndex
@@ -73,6 +74,27 @@ class Table:
         # the database-wide sum, so a stale cached plan transparently
         # re-plans after the physical choices may have changed.
         self.ddl_epoch = 0
+        # Write-ahead log, wired by the owning catalog when the database
+        # has one attached (None otherwise).  Every mutation entry point
+        # appends a logical record *before* applying, holding the log's
+        # lock across append + apply so a background checkpoint can never
+        # truncate a record whose state change has not landed yet.
+        self._wal = None
+
+    # -- write-ahead logging ------------------------------------------------------
+    def _wal_lock(self):
+        """The WAL's lock when one is attached, else a no-op context."""
+        wal = self._wal
+        return wal.lock if wal is not None else nullcontext()
+
+    def _log(self, op: str, **fields) -> None:
+        """Append one logical record for this table (no-op without a WAL,
+        and during recovery replay)."""
+        wal = self._wal
+        if wal is not None and not wal.replaying:
+            record = {"op": op, "table": self.name}
+            record.update(fields)
+            wal.append(record)
 
     # -- convenience accessors ----------------------------------------------------
     @property
@@ -154,9 +176,11 @@ class Table:
         index = HashIndex(attributes, name=name)
         if index.name in self.indexes:
             raise StorageError(f"index {index.name!r} already exists on table {self.name!r}")
-        index.rebuild(self.relation.tuples())
-        self.indexes[index.name] = index
-        self.ddl_epoch += 1
+        with self._wal_lock():
+            self._log("create_index", name=index.name, attributes=index.attributes)
+            index.rebuild(self.relation.tuples())
+            self.indexes[index.name] = index
+            self.ddl_epoch += 1
         return index
 
     def drop_index(self, name_or_attributes: Union[str, Sequence[str]]) -> None:
@@ -170,17 +194,19 @@ class Table:
                 raise StorageError(
                     f"no index named {name_or_attributes!r} on table {self.name!r}"
                 )
-            del self.indexes[name_or_attributes]
+            doomed_name = name_or_attributes
+        else:
+            index = self.find_index(name_or_attributes)
+            if index is None:
+                raise StorageError(
+                    f"no index on attributes {list(name_or_attributes)!r} "
+                    f"on table {self.name!r}"
+                )
+            doomed_name = index.name
+        with self._wal_lock():
+            self._log("drop_index", name=doomed_name)
+            del self.indexes[doomed_name]
             self.ddl_epoch += 1
-            return
-        index = self.find_index(name_or_attributes)
-        if index is None:
-            raise StorageError(
-                f"no index on attributes {list(name_or_attributes)!r} "
-                f"on table {self.name!r}"
-            )
-        del self.indexes[index.name]
-        self.ddl_epoch += 1
 
     def find_index(self, attributes: Sequence[str]) -> Optional[HashIndex]:
         """The index covering exactly this attribute *set*, if any.
@@ -251,13 +277,15 @@ class Table:
         """Insert one row (generalised union with a singleton relation)."""
         candidate = self.relation._coerce_row(row)
         self._check_insert(candidate)
-        is_new = candidate not in self.relation.tuples()
-        self.relation.add(candidate)
-        self.dominance.add(candidate)
-        for index in self.indexes.values():
-            index.insert(candidate)
-        if is_new:
-            self.statistics.add_row(candidate)
+        with self._wal_lock():
+            self._log("insert", rows=[candidate])
+            is_new = candidate not in self.relation.tuples()
+            self.relation.add(candidate)
+            self.dominance.add(candidate)
+            for index in self.indexes.values():
+                index.insert(candidate)
+            if is_new:
+                self.statistics.add_row(candidate)
         return candidate
 
     def insert_many(self, rows: Iterable[RowLike], *, _coerced: bool = False) -> List[XTuple]:
@@ -278,34 +306,46 @@ class Table:
         candidates = list(rows) if _coerced else self.relation._coerce_rows(rows)
         if not candidates:
             return []
-        if not self._check_bulk_insert(self.relation, candidates):
-            # Some constraint only understands sequential inserts: stage the
-            # rows one at a time and roll back wholesale on failure.
-            stored = self.relation.tuples()
-            staged: List[XTuple] = []
-            try:
-                for candidate in candidates:
-                    self._check_insert(candidate)
-                    if candidate not in stored:
-                        stored.add(candidate)
-                        staged.append(candidate)
-            except Exception:
-                for candidate in staged:
-                    stored.discard(candidate)
-                self.relation._version += 1
-                raise
-            self.relation._version += 1
-            fresh = staged
-        else:
-            stored = self.relation.tuples()
-            fresh = [c for c in dict.fromkeys(candidates) if c not in stored]
-            stored.update(fresh)
-            self.relation._version += 1
+        fresh = self._stage_bulk_insert(self.relation.tuples(), candidates)
+        with self._wal_lock():
+            self._log("insert", rows=fresh)
+            self._apply_bulk_add(fresh)
+        return candidates
+
+    def _stage_bulk_insert(
+        self, stored: set, candidates: Sequence[XTuple]
+    ) -> List[XTuple]:
+        """Check a batch against *stored* without touching live state.
+
+        Returns the de-duplicated genuinely-new rows to apply.  The batch
+        path checks against *stored* in place (read-only).  When some
+        constraint only knows ``check_insert``, the batch is simulated
+        row-at-a-time against a scratch relation seeded with a *copy* of
+        *stored* — the grows-as-you-insert view such a constraint expects
+        — so a failure anywhere leaves the table untouched (and, with a
+        WAL attached, unlogged)."""
+        scratch = Relation(self.schema, validate=False)
+        scratch._rows = stored
+        if self._check_bulk_insert(scratch, candidates):
+            return [c for c in dict.fromkeys(candidates) if c not in stored]
+        grown = scratch._rows = set(stored)
+        fresh: List[XTuple] = []
+        for candidate in candidates:
+            self._check_insert(candidate, scratch)
+            if candidate not in grown:
+                grown.add(candidate)
+                fresh.append(candidate)
+        return fresh
+
+    def _apply_bulk_add(self, fresh: Sequence[XTuple]) -> None:
+        """Add already-checked genuinely-new rows, one bulk update per
+        structure — the inverse of :meth:`_apply_bulk_remove`."""
+        self.relation.tuples().update(fresh)
+        self.relation._version += 1
         self.dominance.bulk_add(fresh)
         for index in self.indexes.values():
             index.bulk_add(fresh)
         self.statistics.add_rows(fresh)
-        return candidates
 
     def delete_many(
         self,
@@ -328,7 +368,9 @@ class Table:
         doomed = self.dominance.bulk_probe_dominated(targets) if _doomed is None else _doomed
         if not doomed:
             return 0
-        self._apply_bulk_remove(doomed)
+        with self._wal_lock():
+            self._log("remove", rows=list(doomed))
+            self._apply_bulk_remove(doomed)
         return len(doomed)
 
     def load(self, rows: Iterable[RowLike]) -> List[XTuple]:
@@ -378,8 +420,12 @@ class Table:
         """
         target = self.relation._coerce_row(row)
         doomed = self.dominance.probe_dominated(target)
-        for victim in doomed:
-            self._remove_row(victim)
+        if not doomed:
+            return 0
+        with self._wal_lock():
+            self._log("remove", rows=list(doomed))
+            for victim in doomed:
+                self._remove_row(victim)
         return len(doomed)
 
     def delete_where(self, predicate: Callable[[XTuple], bool]) -> int:
@@ -392,7 +438,11 @@ class Table:
         doomed = {r for r in self.relation.tuples() if predicate(r)}
         if not doomed:
             return 0
-        self._apply_bulk_remove(doomed)
+        with self._wal_lock():
+            # The matched row *set* is logged, never the predicate — replay
+            # stays closed over plain data even for lambda deletes.
+            self._log("remove", rows=list(doomed))
+            self._apply_bulk_remove(doomed)
         return len(doomed)
 
     def update(self, old_row: RowLike, new_row: RowLike) -> XTuple:
@@ -408,15 +458,19 @@ class Table:
     def update_many(self, pairs: Iterable[tuple], *, _coerced: bool = False) -> List[XTuple]:
         """Apply a batch of ``(old_row, new_row)`` modifications atomically.
 
-        Rides the same bulk entry points as :meth:`insert_many` /
+        Rides the same bulk machinery as :meth:`insert_many` /
         :meth:`delete_many`: both sides are batch-coerced up front, every
-        old row must be present, the (4.8) subsumption closure of the old
-        rows is removed with one bulk update per structure, and the new
-        rows go through the atomic checked bulk insert.  On any failure
-        the removed closure is re-added wholesale, so the table is left
-        exactly as it was.  Returns the inserted rows.  (``_coerced`` as
-        in :meth:`insert_many`: the Database facade passes pairs it
-        already coerced, so the batch is not validated twice.)
+        old row must be present, and the new rows are constraint-checked
+        against the *post-delete* state on a scratch relation — before
+        anything (or any WAL record) is written.  Only a fully-validated
+        modification is then applied: the (4.8) subsumption closure of
+        the old rows comes out and the new rows go in, one bulk update
+        per structure, under a single logical ``update`` log record.  On
+        any check failure the table is left exactly as it was — no
+        rollback pass, because nothing was touched.  Returns the inserted
+        rows.  (``_coerced`` as in :meth:`insert_many`: the Database
+        facade passes pairs it already coerced, so the batch is not
+        validated twice.)
         """
         staged = [(old, new) for old, new in pairs]
         if _coerced:
@@ -432,29 +486,30 @@ class Table:
         if not staged:
             return []
         doomed = self.dominance.bulk_probe_dominated(olds)
-        self._apply_bulk_remove(doomed)
-        try:
-            return self.insert_many(news, _coerced=True)
-        except Exception:
-            # Post-state restore: the deletion removed the whole (4.8)
-            # closure, so the whole closure comes back — one bulk update
-            # per structure, mirroring _apply_bulk_remove.
-            stored.update(doomed)
-            self.relation._version += 1
-            self.dominance.bulk_add(doomed)
-            for index in self.indexes.values():
-                index.bulk_add(doomed)
-            self.statistics.add_rows(doomed)
-            raise
+        survivors = stored - doomed
+        fresh = self._stage_bulk_insert(survivors, news)
+        with self._wal_lock():
+            self._log("update", removed=list(doomed), rows=fresh)
+            if doomed:
+                self._apply_bulk_remove(doomed)
+            self._apply_bulk_add(fresh)
+        return news
 
     def truncate(self) -> None:
-        self.relation.clear()
-        self.dominance.clear()
-        for index in self.indexes.values():
-            index.clear()
-        self.statistics.clear()
+        with self._wal_lock():
+            self._log("truncate")
+            self.relation.clear()
+            self.dominance.clear()
+            for index in self.indexes.values():
+                index.clear()
+            self.statistics.clear()
 
-    def reset_rows(self, rows: Iterable[XTuple]) -> None:
+    def reset_rows(
+        self,
+        rows: Iterable[XTuple],
+        *,
+        statistics: Optional[TableStatistics] = None,
+    ) -> None:
         """Replace the stored rows wholesale and rebuild every index.
 
         The supported path for snapshot restore — it keeps the hash
@@ -463,14 +518,27 @@ class Table:
         pass per structure).  Constraints are *not* re-checked: the rows
         are trusted, coming from a snapshot of this very table.  For a
         checked bulk load from external rows use :meth:`load`.
+
+        When *statistics* is given (a saved :class:`TableStatistics`,
+        from a snapshot or checkpoint), the table's live statistics are
+        restored from it — planner estimates and the staleness tracker
+        round-trip exactly; otherwise they are re-derived from the rows.
+        Logged as one logical ``load`` record, which is also how the
+        compensating restores of a rolled-back transaction reach the log.
         """
-        self.relation._rows = set(rows)
-        self.relation._version += 1
-        self.relation._dominance = None
-        self.dominance.rebuild(self.relation._rows)
-        for index in self.indexes.values():
-            index.rebuild(self.relation._rows)
-        self.statistics.analyze(self.relation._rows)
+        fresh = set(rows)
+        with self._wal_lock():
+            self._log("load", rows=list(fresh))
+            self.relation._rows = fresh
+            self.relation._version += 1
+            self.relation._dominance = None
+            self.dominance.rebuild(fresh)
+            for index in self.indexes.values():
+                index.rebuild(fresh)
+            if statistics is not None:
+                self.statistics.restore_from(statistics)
+            else:
+                self.statistics.analyze(fresh)
 
     # -- statistics --------------------------------------------------------------------------
     def analyze(self) -> TableStatistics:
@@ -481,8 +549,10 @@ class Table:
         it resets the staleness tracker and repairs the statistics after
         any out-of-band mutation of the underlying relation.
         """
-        self.ddl_epoch += 1
-        return self.statistics.analyze(self.relation.tuples())
+        with self._wal_lock():
+            self._log("analyze")
+            self.ddl_epoch += 1
+            return self.statistics.analyze(self.relation.tuples())
 
     # -- x-membership ------------------------------------------------------------------------
     def x_contains(self, row: RowLike) -> bool:

@@ -1,0 +1,590 @@
+"""Write-ahead logging and checkpoint recovery for the storage layer.
+
+Everything in the engine so far lives and dies in process memory.  This
+module adds the durability layer underneath the atomic bulk-mutation
+funnel: every bulk entry point (``insert_many`` / ``delete_many`` /
+``update_many`` / ``load`` / ``truncate`` / ``reset_rows`` and all DDL —
+create/drop/rename table, create/drop index, foreign keys, ANALYZE)
+appends one **logical, replayable record** to the log *before* applying
+its state change, and :meth:`Session.transaction` brackets statement
+groups with begin/commit/abort markers.
+
+Design notes
+------------
+
+* **Logical logging off the bulk funnel.**  The bulk entry points already
+  compute the exact row deltas — coerced candidate rows on insert, the
+  (4.8) dominated closure on delete — so a record is just ``(op kind,
+  table, row sets)`` and replay never re-runs constraints, predicates or
+  foreign-key checks (they passed when the record was written).  Notably,
+  ``delete_where`` logs its matched row set, so arbitrary Python
+  predicates never need to be serialised.
+
+* **Frames.**  Each record is one length-prefixed, CRC32-checksummed
+  frame (``<u32 length><u32 crc32><pickle payload>``).  The reader stops
+  at the first short or corrupt frame — a torn trailing record from a
+  crash mid-append is discarded, never half-applied.
+
+* **Transactions.**  Replay applies autocommitted records immediately and
+  buffers records between ``begin`` and the matching ``commit``/``abort``;
+  a log that *ends* inside an open transaction has that suffix discarded,
+  so recovery is all-or-nothing per statement group.  (Aborted groups are
+  replayed in full: the rollback's compensating ``load`` records are part
+  of the group, so the replay converges to the same state.)
+
+* **Checkpoints.**  :meth:`WriteAheadLog.checkpoint` serialises the
+  :meth:`Database.snapshot` surface — rows, index definitions *and* table
+  statistics — plus schemas, constraints and foreign keys, atomically
+  (tmp file + fsync + rename), then truncates the log.  Recovery =
+  load the last checkpoint + replay the log tail.
+
+* **Background compaction.**  :class:`CheckpointWorker` is a daemon
+  thread that periodically checkpoints once the log has grown, in the
+  style of byoda's pod maintenance workers (``backup_datastore.py`` /
+  ``sync_datastore.py``): a quiet loop with an interval, a stop event and
+  per-cycle error latching — the engine never blocks on it.
+
+* **Sync modes.**  ``sync="commit"`` (default) flushes and fsyncs the log
+  at every autocommit boundary and transaction commit — a completed
+  statement survives a crash.  ``sync="none"`` leaves flushing to the OS
+  (and to checkpoints): faster bulk loads, a bounded window of recent
+  statements at risk.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import threading
+import zlib
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.errors import WalError
+from ..core.tuples import XTuple
+
+#: Frame header: payload byte length, CRC32 of the payload.
+_HEADER = struct.Struct("<II")
+
+#: The log and checkpoint file names inside a WAL directory.
+LOG_NAME = "wal.log"
+CHECKPOINT_NAME = "checkpoint.bin"
+
+#: Record kinds that only mark transaction structure (no state change).
+_MARKERS = frozenset({"begin", "commit", "abort"})
+
+#: Supported durability modes.
+SYNC_MODES = ("none", "commit")
+
+
+# ---------------------------------------------------------------------------
+# Frame encoding / tolerant decoding
+# ---------------------------------------------------------------------------
+
+#: Record fields holding row sets, stored in frames as bare item-tuples.
+_ROW_KEYS = ("rows", "removed")
+
+
+def _pack_record(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Strip row payloads down to their canonical ``(attr, value)`` pair
+    tuples.  Pickling 10k bare tuples is ~5x cheaper (and ~40% smaller)
+    than 10k :class:`XTuple` reduce calls, and the append path is the hot
+    one — every bulk mutation pays it while holding the WAL lock; the
+    matching rebuild in :func:`_unpack_record` only runs during recovery.
+    """
+    packed = None
+    for key in _ROW_KEYS:
+        rows = record.get(key)
+        if rows:
+            if packed is None:
+                packed = dict(record)
+            packed[key] = [row.items() for row in rows]
+    return record if packed is None else packed
+
+
+def _unpack_record(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Rebuild the row payloads packed by :func:`_pack_record` (the pairs
+    are already canonical — sorted, ni-free — so the validating
+    constructor is skipped)."""
+    for key in _ROW_KEYS:
+        rows = record.get(key)
+        if rows:
+            record[key] = [XTuple._restore(pairs) for pairs in rows]
+    return record
+
+
+def encode_frame(record: Dict[str, Any]) -> bytes:
+    """One length-prefixed, checksummed frame for *record*."""
+    payload = pickle.dumps(_pack_record(record), protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def read_frames(path: str) -> Tuple[List[Dict[str, Any]], List[int], int]:
+    """Decode every complete frame of the log at *path*.
+
+    Returns ``(records, end_offsets, valid_length)``: the decoded records,
+    the byte offset just past each one, and the total length of the valid
+    prefix.  Reading stops at the first torn frame — a short header, a
+    short payload, a checksum mismatch or an unpicklable payload — so a
+    record half-written by a crash is discarded rather than half-applied.
+    A missing file is an empty log.
+    """
+    records: List[Dict[str, Any]] = []
+    ends: List[int] = []
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return records, ends, 0
+    offset = 0
+    total = len(data)
+    while offset + _HEADER.size <= total:
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if end > total:
+            break  # torn tail: the payload never finished writing
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            break  # corrupt record: everything after it is suspect
+        try:
+            record = pickle.loads(payload)
+        except Exception:
+            break
+        if not isinstance(record, dict) or "op" not in record:
+            break
+        records.append(_unpack_record(record))
+        ends.append(end)
+        offset = end
+    return records, ends, offset
+
+
+def committed_prefix(
+    records: Sequence[Dict[str, Any]], ends: Sequence[int]
+) -> Tuple[List[Dict[str, Any]], int]:
+    """Drop an unfinished trailing transaction from a decoded log.
+
+    Records outside any ``begin``/``commit`` bracket autocommit; records
+    inside a bracket become durable only when the (outermost) group
+    closes — with ``commit`` *or* ``abort``, since an aborted group's
+    compensating restore records are part of the group.  A log ending
+    mid-group therefore loses exactly that group's suffix.  Returns the
+    replayable records plus the byte length of the kept prefix (what the
+    recovered log should be truncated to before appending continues).
+    """
+    applied: List[Dict[str, Any]] = []
+    keep_length = 0
+    buffer: List[Dict[str, Any]] = []
+    depth = 0
+    for record, end in zip(records, ends):
+        op = record.get("op")
+        if op == "begin":
+            depth += 1
+            buffer.append(record)
+        elif op in ("commit", "abort"):
+            buffer.append(record)
+            if depth:
+                depth -= 1
+            if depth == 0:
+                applied.extend(buffer)
+                buffer = []
+                keep_length = end
+        elif depth:
+            buffer.append(record)
+        else:
+            applied.append(record)
+            keep_length = end
+    return applied, keep_length
+
+
+# ---------------------------------------------------------------------------
+# Replay: apply one logical record to a database
+# ---------------------------------------------------------------------------
+
+def apply_record(database, record: Dict[str, Any]) -> None:
+    """Apply one replayable record to *database*.
+
+    Row-delta records go through the table's trusted bulk-apply helpers
+    (the same one-update-per-structure paths the live entry points use);
+    constraint and foreign-key checks are *not* re-run — they passed when
+    the record was logged.  Must be called with the database's WAL either
+    unattached or in replay mode, so nothing is re-logged.
+    """
+    op = record["op"]
+    if op in _MARKERS:
+        return
+    catalog = database.catalog
+    if op == "insert":
+        table = catalog.table(record["table"])
+        stored = table.relation.tuples()
+        fresh = [r for r in dict.fromkeys(record["rows"]) if r not in stored]
+        if fresh:
+            table._apply_bulk_add(fresh)
+    elif op == "remove":
+        table = catalog.table(record["table"])
+        stored = table.relation.tuples()
+        doomed = {r for r in record["rows"] if r in stored}
+        if doomed:
+            table._apply_bulk_remove(doomed)
+    elif op == "update":
+        table = catalog.table(record["table"])
+        stored = table.relation.tuples()
+        doomed = {r for r in record["removed"] if r in stored}
+        if doomed:
+            table._apply_bulk_remove(doomed)
+        fresh = [r for r in dict.fromkeys(record["rows"]) if r not in stored]
+        if fresh:
+            table._apply_bulk_add(fresh)
+    elif op == "load":
+        catalog.table(record["table"]).reset_rows(record["rows"])
+    elif op == "truncate":
+        catalog.table(record["table"]).truncate()
+    elif op == "analyze":
+        catalog.table(record["table"]).analyze()
+    elif op == "create_table":
+        catalog.create_table(record["name"], record["schema"], record["constraints"])
+    elif op == "drop_table":
+        catalog.drop_table(record["name"])
+    elif op == "rename_table":
+        catalog.rename_table(record["old"], record["new"])
+    elif op == "create_index":
+        catalog.table(record["table"]).create_index(
+            record["attributes"], name=record["name"]
+        )
+    elif op == "drop_index":
+        catalog.table(record["table"]).drop_index(record["name"])
+    elif op == "add_foreign_key":
+        catalog.add_foreign_key(
+            record["owner"], record["constraint"], validate_existing=False
+        )
+    elif op == "restore_foreign_keys":
+        catalog.restore_foreign_keys(record["entries"])
+    else:
+        raise WalError(f"unknown WAL record kind {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Checkpoints
+# ---------------------------------------------------------------------------
+
+def picklable_constraints(constraints: Iterable[Any]) -> List[Any]:
+    """The subset of *constraints* that survive pickling.
+
+    Key / NOT NULL / FD / FK constraints are plain data and always
+    round-trip; a :class:`RowConstraint` closing over a lambda cannot be
+    serialised — it is dropped from the durable form (its checks already
+    ran on every logged row, so recovered *rows* still satisfy it; only
+    enforcement of post-recovery mutations is lost, which the caller can
+    re-add with :meth:`Table.add_constraint`).
+    """
+    kept: List[Any] = []
+    for constraint in constraints:
+        try:
+            pickle.dumps(constraint, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            continue
+        kept.append(constraint)
+    return kept
+
+
+def build_checkpoint_state(database) -> Dict[str, Any]:
+    """The durable form of a whole database: the ``Database.snapshot``
+    surface (rows + index definitions + statistics) plus schemas,
+    constraints and foreign keys."""
+    tables: Dict[str, Any] = {}
+    for name in database.catalog.table_names():
+        table = database.catalog.table(name)
+        tables[name] = {
+            "schema": table.schema,
+            "constraints": picklable_constraints(table.constraints),
+            "rows": list(table.rows()),
+            "indexes": table.index_specs(),
+            "statistics": table.statistics.copy(),
+        }
+    return {
+        "format": 1,
+        "tables": tables,
+        "foreign_keys": database.catalog.foreign_key_entries(),
+    }
+
+
+def apply_checkpoint_state(database, state: Dict[str, Any]) -> None:
+    """Load a checkpoint state into an *empty* database."""
+    catalog = database.catalog
+    if len(catalog):
+        raise WalError(
+            f"recovery needs an empty database, but {database.name!r} "
+            f"already has tables {catalog.table_names()}"
+        )
+    for name, entry in state["tables"].items():
+        table = catalog.create_table(name, entry["schema"], entry["constraints"])
+        table.reset_rows(entry["rows"], statistics=entry["statistics"])
+        for index_name, attributes in entry["indexes"].items():
+            table.create_index(attributes, name=index_name)
+    catalog.restore_foreign_keys(state["foreign_keys"])
+
+
+# ---------------------------------------------------------------------------
+# The log itself
+# ---------------------------------------------------------------------------
+
+class WriteAheadLog:
+    """A durable logical log plus checkpoint for one database.
+
+    Parameters
+    ----------
+    directory:
+        Where ``wal.log`` and ``checkpoint.bin`` live (created if absent).
+    sync:
+        ``"commit"`` — flush + fsync at every autocommit boundary and
+        transaction commit/abort; ``"none"`` — leave flushing to the OS
+        and to checkpoints.
+
+    The instance owns an :class:`threading.RLock` (:attr:`lock`) that the
+    storage layer holds across *append + apply* of every mutation, so the
+    background checkpoint worker can never capture a state snapshot
+    between a record being written and its state change landing (which
+    would lose the change when the log is truncated).
+    """
+
+    def __init__(self, directory: str, sync: str = "commit"):
+        if sync not in SYNC_MODES:
+            raise WalError(f"unknown sync mode {sync!r}; choose from {SYNC_MODES}")
+        self.directory = os.path.abspath(directory)
+        self.sync = sync
+        os.makedirs(self.directory, exist_ok=True)
+        self.log_path = os.path.join(self.directory, LOG_NAME)
+        self.checkpoint_path = os.path.join(self.directory, CHECKPOINT_NAME)
+        self.lock = threading.RLock()
+        #: True while recovery replays this log into a database — the
+        #: storage-layer hooks skip logging so replay never re-appends.
+        self.replaying = False
+        #: Open ``begin`` markers minus ``commit``/``abort`` markers.
+        self.transaction_depth = 0
+        #: Records appended by this process (markers included).
+        self.records_appended = 0
+        #: Checkpoints taken through this log.
+        self.checkpoints_taken = 0
+        self._file = None
+        self._closed = False
+
+    # -- appending -----------------------------------------------------------
+    def _handle(self):
+        if self._closed:
+            raise WalError(f"write-ahead log {self.log_path!r} is closed")
+        if self._file is None:
+            self._file = open(self.log_path, "ab")
+        return self._file
+
+    def append(self, record: Dict[str, Any]) -> int:
+        """Append one record; returns the log position after the frame.
+
+        Under ``sync="commit"`` the log is flushed and fsynced whenever
+        the record leaves the log at transaction depth zero — i.e. for
+        every autocommitted statement and for every ``commit``/``abort``
+        marker; records inside an open group ride the group's fsync.
+        """
+        with self.lock:
+            if self.replaying:
+                return self.position()
+            handle = self._handle()
+            handle.write(encode_frame(record))
+            op = record.get("op")
+            if op == "begin":
+                self.transaction_depth += 1
+            elif op in ("commit", "abort") and self.transaction_depth:
+                self.transaction_depth -= 1
+            if self.sync == "commit" and self.transaction_depth == 0:
+                handle.flush()
+                os.fsync(handle.fileno())
+            self.records_appended += 1
+            return handle.tell()
+
+    def position(self) -> int:
+        """The current end of the log in bytes (unflushed writes included)."""
+        with self.lock:
+            if self._file is not None:
+                return self._file.tell()
+            try:
+                return os.path.getsize(self.log_path)
+            except OSError:
+                return 0
+
+    @property
+    def in_transaction(self) -> bool:
+        return self.transaction_depth > 0
+
+    def flush(self) -> None:
+        with self.lock:
+            if self._file is not None:
+                self._file.flush()
+                os.fsync(self._file.fileno())
+
+    def truncate(self) -> None:
+        """Reset the log to empty (after a successful checkpoint)."""
+        with self.lock:
+            if self._file is not None:
+                self._file.close()
+            self._file = open(self.log_path, "wb")
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        with self.lock:
+            if self._file is not None:
+                self._file.flush()
+                os.fsync(self._file.fileno())
+                self._file.close()
+                self._file = None
+            self._closed = True
+
+    # -- checkpointing ---------------------------------------------------------
+    def checkpoint(self, database) -> bool:
+        """Serialise the database atomically, then truncate the log.
+
+        Returns False (and does nothing) while a transaction group is
+        open — checkpointing uncommitted state and truncating away its
+        potential rollback would break crash atomicity.  The checkpoint
+        file is written to a temp path, fsynced and renamed into place,
+        so a crash mid-checkpoint leaves the previous checkpoint + full
+        log intact.
+        """
+        with self.lock:
+            if self._closed:
+                raise WalError(f"write-ahead log {self.log_path!r} is closed")
+            if self.transaction_depth:
+                return False
+            state = build_checkpoint_state(database)
+            tmp_path = self.checkpoint_path + ".tmp"
+            with open(tmp_path, "wb") as handle:
+                pickle.dump(state, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.checkpoint_path)
+            self.truncate()
+            self.checkpoints_taken += 1
+            return True
+
+    # -- recovery --------------------------------------------------------------
+    def recover_into(self, database) -> bool:
+        """Recover persisted state into *database* (which must be empty
+        when there is anything to recover).
+
+        Loads the last checkpoint, replays the surviving log tail —
+        complete, checksummed frames up to the first torn record, minus
+        any unfinished trailing transaction — and physically truncates
+        the log back to the replayed prefix so later appends never
+        interleave with discarded garbage.  Returns True when existing
+        state was recovered, False for a fresh directory.
+        """
+        with self.lock:
+            state = None
+            try:
+                with open(self.checkpoint_path, "rb") as handle:
+                    state = pickle.load(handle)
+            except FileNotFoundError:
+                pass
+            except Exception as error:
+                raise WalError(
+                    f"checkpoint {self.checkpoint_path!r} is unreadable: {error}"
+                ) from error
+            records, ends, _valid = read_frames(self.log_path)
+            applied, keep_length = committed_prefix(records, ends)
+            if state is None and not records:
+                return False
+            self.replaying = True
+            try:
+                if state is not None:
+                    apply_checkpoint_state(database, state)
+                elif len(database.catalog):
+                    raise WalError(
+                        f"recovery needs an empty database, but "
+                        f"{database.name!r} already has tables"
+                    )
+                for record in applied:
+                    apply_record(database, record)
+            finally:
+                self.replaying = False
+            # Drop the torn / uncommitted suffix from disk before the log
+            # reopens for appending.
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+            with open(self.log_path, "ab") as handle:
+                pass  # ensure it exists
+            with open(self.log_path, "r+b") as handle:
+                handle.truncate(keep_length)
+                handle.flush()
+                os.fsync(handle.fileno())
+            return True
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteAheadLog({self.directory!r}, sync={self.sync!r}, "
+            f"position={self.position()}, "
+            f"transaction_depth={self.transaction_depth})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Background checkpoint / compaction worker
+# ---------------------------------------------------------------------------
+
+class CheckpointWorker:
+    """Periodically checkpoint a WAL-attached database in the background.
+
+    The shape follows byoda's pod maintenance workers: a daemon thread, a
+    fixed interval, a stop event, and per-cycle error latching — a failed
+    cycle records the exception and the loop keeps going, never taking
+    the engine down with it.  A cycle is skipped while a transaction
+    group is open or while the log is still below *min_log_bytes* (no
+    point compacting an empty log).
+    """
+
+    def __init__(self, database, interval: float = 30.0, min_log_bytes: int = 1):
+        self.database = database
+        self.interval = float(interval)
+        self.min_log_bytes = int(min_log_bytes)
+        self.cycles = 0
+        self.last_error: Optional[BaseException] = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def run_once(self) -> bool:
+        """One checkpoint attempt; True when a checkpoint was taken."""
+        wal = self.database.wal
+        if wal is None or wal.in_transaction:
+            return False
+        if wal.position() < self.min_log_bytes:
+            return False
+        return self.database.checkpoint()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                if self.run_once():
+                    self.cycles += 1
+                self.last_error = None
+            except Exception as error:  # keep the loop alive; surface via attr
+                self.last_error = error
+
+    def start(self) -> "CheckpointWorker":
+        if self.running:
+            raise WalError("checkpoint worker already running")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-checkpoint-worker", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, wait: bool = True) -> None:
+        self._stop.set()
+        thread = self._thread
+        if wait and thread is not None:
+            thread.join(timeout=max(self.interval, 1.0) + 5.0)
+        self._thread = None

@@ -20,7 +20,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 import repro
-from repro.core.errors import QuelSemanticError, StorageError
+from repro.core.errors import QuelSemanticError, StaleResultError, StorageError
 from repro.core.tuples import XTuple
 from repro.quel import run_query
 from repro.storage import Database
@@ -223,6 +223,73 @@ class TestPlanCacheInvalidation:
         epoch = db.epoch
         db.drop_table("TMP")
         assert db.epoch > epoch
+
+
+class TestStaleResults:
+    """Satellite bugfix: an undrained retrieve whose plan probes a live
+    index (index-nested-loop join) fails loudly once the probed table
+    mutates, instead of silently streaming post-statement rows."""
+
+    @pytest.fixture
+    def joined(self, db):
+        db.table("EMP").create_index(["E#"], name="emp_e")
+        dept = db.create_table("DEPT", ["D#", "MGR#"])
+        dept.insert_many([(1, 1), (2, 2)])
+        session = repro.connect(db)
+        text = (
+            'range of d is DEPT range of e is EMP '
+            'retrieve (d.D#, e.NAME) where d.MGR# = e.E#'
+        )
+        return db, session, text
+
+    def test_undrained_result_raises_after_mutation(self, joined):
+        db, session, text = joined
+        result = session.execute(text)
+        assert "index-nested-loop" in result.explain()
+        db.insert("EMP", (9, "NINE", 5))
+        with pytest.raises(StaleResultError):
+            list(result)
+
+    def test_undrained_result_raises_after_index_ddl(self, joined):
+        db, session, text = joined
+        result = session.execute(text)
+        db.table("EMP").drop_index("emp_e")
+        with pytest.raises(StaleResultError):
+            result.rows
+
+    def test_stale_error_latches(self, joined):
+        db, session, text = joined
+        result = session.execute(text)
+        db.insert("EMP", (9, "NINE", 5))
+        with pytest.raises(StaleResultError):
+            result.rows
+        # A partial prefix must never be passed off as the answer later.
+        with pytest.raises(StaleResultError):
+            len(result)
+
+    def test_drained_result_survives_mutation(self, joined):
+        db, session, text = joined
+        result = session.execute(text)
+        before = result.rows  # drains the pipeline
+        db.insert("EMP", (9, "NINE", 5))
+        db.table("EMP").drop_index("emp_e")
+        assert result.rows == before
+        assert list(result) == before
+
+    def test_hash_join_needs_no_guard(self, db):
+        # Without an index the planner builds a hash join, which
+        # snapshots both inputs at execute time: late consumption still
+        # sees the statement-time answer.
+        dept = db.create_table("DEPT", ["D#", "MGR#"])
+        dept.insert_many([(1, 1), (2, 2)])
+        session = repro.connect(db)
+        result = session.execute(
+            'range of d is DEPT range of e is EMP '
+            'retrieve (d.D#, e.NAME) where d.MGR# = e.E#'
+        )
+        assert "index-nested-loop" not in result.explain()
+        db.insert("EMP", (9, "NINE", 5))
+        assert {r["e_NAME"] for r in result.rows} == {"SMITH", "JONES"}
 
 
 class TestDefaults:

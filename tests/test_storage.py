@@ -324,6 +324,49 @@ class TestIndexManagement:
         assert catalog.index_specs() == {"T": {"ba": ("B", "A")}}
 
 
+class TestSnapshotRestore:
+    def test_restore_drops_tables_created_after_snapshot(self):
+        # Regression: restore() itself must reconcile the catalog — a
+        # caller holding only the snapshot has no record of which tables
+        # appeared after it was taken.
+        db = Database("reconcile")
+        db.create_table("T", ["A"])
+        db.insert("T", (1,))
+        snapshot = db.snapshot()
+        db.create_table("LATER", ["X"])
+        db.insert("LATER", (9,))
+        db.restore(snapshot)
+        assert db.catalog.table_names() == ["T"]
+        assert {r["A"] for r in db.table("T").rows()} == {1}
+
+    def test_restore_drops_created_tables_despite_fk_order(self):
+        # Two post-snapshot tables where one references the other: the
+        # reconciliation loop must retry until the dependency order works.
+        db = Database("fkorder")
+        db.create_table("T", ["A"])
+        snapshot = db.snapshot()
+        db.create_table("PARENT", ["P"], constraints=[KeyConstraint(["P"])])
+        db.create_table("CHILD", ["C", "P"])
+        db.add_foreign_key("CHILD", ForeignKeyConstraint(["P"], "PARENT", ["P"]))
+        db.restore(snapshot)
+        assert db.catalog.table_names() == ["T"]
+
+    def test_snapshot_carries_statistics(self):
+        # Regression: restore() used to re-ANALYZE from the restored rows,
+        # silently replacing the snapshot-time statistics profile.
+        db = Database("stats")
+        table = db.create_table("T", ["A", "B"])
+        table.insert_many([(i, i % 3) for i in range(20)])
+        table.analyze()
+        expected = table.statistics.copy()
+        snapshot = db.snapshot()
+        table.insert_many([(i, 7) for i in range(100, 160)])
+        table.analyze()
+        assert table.statistics != expected
+        db.restore(snapshot)
+        assert table.statistics == expected
+
+
 class TestSchemaEvolution:
     def test_add_attribute_is_information_preserving(self):
         table = Table(["E#", "NAME"], name="EMP")
