@@ -127,28 +127,49 @@ class Transaction:
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         if self._active:
-            if exc_type is not None:
-                self._restore()
-                self._mark("abort")
-            else:
-                self._mark("commit")
-            self._close()
+            try:
+                if exc_type is not None:
+                    self._rollback()
+                else:
+                    self._mark("commit")
+            finally:
+                self._close()
         return False  # never swallow the exception
 
     def commit(self) -> None:
         """Keep the group's effects and end the transaction."""
         if not self._active:
             raise StorageError("transaction is not active")
-        self._mark("commit")
-        self._close()
+        try:
+            self._mark("commit")
+        finally:
+            self._close()
 
     def rollback(self) -> None:
         """Undo the group's effects and end the transaction."""
         if not self._active:
             raise StorageError("transaction is not active")
-        self._restore()
-        self._mark("abort")
-        self._close()
+        try:
+            self._rollback()
+        finally:
+            self._close()
+
+    def _rollback(self) -> None:
+        """Restore the snapshot, then *always* log the abort marker.
+
+        The marker must land even when the rollback itself raises (a
+        table dropped inside the group, a created table wedged by a
+        surviving foreign key): it follows whatever compensating records
+        :meth:`_restore` did manage to log, closing the group so the
+        log's transaction depth returns to zero — otherwise every later
+        autocommitted statement would be buffered inside the permanently
+        open group (and discarded at recovery) and every checkpoint would
+        silently skip, a total durability loss after one failed rollback.
+        """
+        try:
+            self._restore()
+        finally:
+            self._mark("abort")
 
     def _close(self) -> None:
         self._active = False

@@ -107,6 +107,7 @@ from .errors import (
     TautologyError,
     UnionCompatibilityError,
     WalError,
+    WalWarning,
 )
 
 __all__ = [
@@ -136,5 +137,5 @@ __all__ = [
     "AlgebraError", "AttributeNotFound", "ConstraintViolation", "DomainError", "KeyViolation",
     "NotJoinableError", "NotNullViolation", "QuelError", "QuelLexError", "QuelParseError",
     "QuelSemanticError", "ReferentialViolation", "ReproError", "SchemaError", "StaleResultError",
-    "StorageError", "TautologyError", "UnionCompatibilityError", "WalError",
+    "StorageError", "TautologyError", "UnionCompatibilityError", "WalError", "WalWarning",
 ]

@@ -129,5 +129,17 @@ class WalError(StorageError):
     """The write-ahead log or a checkpoint file could not be used."""
 
 
+class WalWarning(UserWarning):
+    """Durable state diverges from the live database in a recoverable way.
+
+    Emitted when an unpicklable constraint (e.g. a :class:`RowConstraint`
+    closing over a lambda) has to be dropped from a checkpoint or log
+    record, and again when such a gap is seen at recovery time — the
+    recovered rows all satisfied the constraint when logged, but future
+    mutations will not be checked against it until the caller re-attaches
+    it with :meth:`Table.add_constraint`.
+    """
+
+
 class TautologyError(ReproError):
     """The tautology detector was given an expression it cannot analyse."""

@@ -9,7 +9,7 @@ from ..core.errors import StorageError
 from ..core.relation import RelationSchema
 from ..constraints.referential import ForeignKeyConstraint
 from .table import Table, TableConstraint
-from .wal import picklable_constraints
+from .wal import picklable_constraints, warn_dropped_constraints
 
 
 class Catalog:
@@ -42,6 +42,22 @@ class Catalog:
         if wal is not None and not wal.replaying:
             wal.append(record)
 
+    def _create_record(self, table: Table) -> dict:
+        """The ``create_table`` log record for *table*.  Unpicklable
+        constraints are dropped from it (with a :class:`WalWarning` when
+        a log is actually attached) and their names recorded so recovery
+        can surface the enforcement gap."""
+        constraints, dropped = picklable_constraints(table.constraints)
+        if self._wal is not None and not self._wal.replaying:
+            warn_dropped_constraints(dropped, table.name)
+        return {
+            "op": "create_table",
+            "name": table.name,
+            "schema": table.schema,
+            "constraints": constraints,
+            "dropped_constraints": dropped,
+        }
+
     @property
     def epoch(self) -> int:
         """A monotone counter covering catalog DDL, index and ANALYZE changes.
@@ -68,12 +84,7 @@ class Catalog:
             raise StorageError(f"table {name!r} already exists")
         table = Table(schema, constraints, name=name)
         with self._wal_lock():
-            self._log({
-                "op": "create_table",
-                "name": name,
-                "schema": table.schema,
-                "constraints": picklable_constraints(table.constraints),
-            })
+            self._log(self._create_record(table))
             table._wal = self._wal
             self._tables[name] = table
             self._ddl_epoch += 1
@@ -86,12 +97,7 @@ class Catalog:
             # Logged as a create plus a load: replay rebuilds the table
             # from its schema and current rows (pre-registration history
             # is unknowable here).
-            self._log({
-                "op": "create_table",
-                "name": table.name,
-                "schema": table.schema,
-                "constraints": picklable_constraints(table.constraints),
-            })
+            self._log(self._create_record(table))
             if table.rows():
                 self._log({
                     "op": "load",
@@ -140,13 +146,17 @@ class Catalog:
             table = self._tables.pop(old)
             table.relation.schema.name = new
             self._tables[new] = table
+            # The foreign-key rewrite stays inside the WAL lock: a
+            # background checkpoint serialising between the rename and
+            # the rewrite would capture entries still naming the old
+            # table, which restore_foreign_keys silently drops.
+            self._foreign_keys = [
+                (new if owner == old else owner,
+                 ForeignKeyConstraint(fk.attributes, new if fk.referenced_relation == old else fk.referenced_relation,
+                                      fk.referenced_attributes, name=fk.name))
+                for owner, fk in self._foreign_keys
+            ]
             self._ddl_epoch += 1
-        self._foreign_keys = [
-            (new if owner == old else owner,
-             ForeignKeyConstraint(fk.attributes, new if fk.referenced_relation == old else fk.referenced_relation,
-                                  fk.referenced_attributes, name=fk.name))
-            for owner, fk in self._foreign_keys
-        ]
         return table
 
     # -- lookups --------------------------------------------------------------------

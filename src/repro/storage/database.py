@@ -118,9 +118,10 @@ class Database(Mapping[str, Relation]):
         surviving log tail replayed, discarding any torn trailing record
         and any unfinished trailing transaction.  From then on every
         mutation entry point logs before applying; a checkpoint is taken
-        immediately so the log restarts empty.  With *checkpoint_interval*
+        immediately so the log restarts fresh (holding only the frame
+        that binds it to that checkpoint).  With *checkpoint_interval*
         set, a background :class:`~repro.storage.wal.CheckpointWorker`
-        checkpoints (and thereby truncates the log) every that-many
+        checkpoints (and thereby resets the log) every that-many
         seconds.  ``sync="commit"`` fsyncs per autocommitted statement
         and per transaction commit; ``sync="none"`` defers flushing to
         the OS and to checkpoints.  Returns the attached log.

@@ -523,12 +523,14 @@ class Table:
         from a snapshot or checkpoint), the table's live statistics are
         restored from it — planner estimates and the staleness tracker
         round-trip exactly; otherwise they are re-derived from the rows.
-        Logged as one logical ``load`` record, which is also how the
-        compensating restores of a rolled-back transaction reach the log.
+        Logged as one logical ``load`` record (statistics included, so
+        crash-recovery replay restores the same estimates and staleness
+        the live path does), which is also how the compensating restores
+        of a rolled-back transaction reach the log.
         """
         fresh = set(rows)
         with self._wal_lock():
-            self._log("load", rows=list(fresh))
+            self._log("load", rows=list(fresh), statistics=statistics)
             self.relation._rows = fresh
             self.relation._version += 1
             self.relation._dominance = None

@@ -35,8 +35,16 @@ Design notes
 * **Checkpoints.**  :meth:`WriteAheadLog.checkpoint` serialises the
   :meth:`Database.snapshot` surface — rows, index definitions *and* table
   statistics — plus schemas, constraints and foreign keys, atomically
-  (tmp file + fsync + rename), then truncates the log.  Recovery =
-  load the last checkpoint + replay the log tail.
+  (tmp file + fsync + rename + directory fsync), then resets the log.
+  Recovery = load the last checkpoint + replay the log tail.  Checkpoint
+  and log are bound by a monotonic **checkpoint sequence number**: each
+  checkpoint carries its number and the reset log restarts with a
+  ``checkpoint_mark`` frame naming the checkpoint it follows.  A crash
+  between the checkpoint rename and the log reset leaves the new
+  checkpoint plus the *old* log — its mark names an older checkpoint, so
+  recovery discards it instead of replaying already-covered records over
+  the checkpointed state; the directory fsync guarantees the rename is
+  durable before the covered log is destroyed.
 
 * **Background compaction.**  :class:`CheckpointWorker` is a daemon
   thread that periodically checkpoints once the log has grown, in the
@@ -57,10 +65,11 @@ import os
 import pickle
 import struct
 import threading
+import warnings
 import zlib
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..core.errors import WalError
+from ..core.errors import WalError, WalWarning
 from ..core.tuples import XTuple
 
 #: Frame header: payload byte length, CRC32 of the payload.
@@ -70,8 +79,10 @@ _HEADER = struct.Struct("<II")
 LOG_NAME = "wal.log"
 CHECKPOINT_NAME = "checkpoint.bin"
 
-#: Record kinds that only mark transaction structure (no state change).
-_MARKERS = frozenset({"begin", "commit", "abort"})
+#: Record kinds that carry no state change: transaction structure plus
+#: the ``checkpoint_mark`` frame a reset log starts with (it binds the
+#: log to the checkpoint it follows; see :meth:`WriteAheadLog.truncate`).
+_MARKERS = frozenset({"begin", "commit", "abort", "checkpoint_mark"})
 
 #: Supported durability modes.
 SYNC_MODES = ("none", "commit")
@@ -236,12 +247,15 @@ def apply_record(database, record: Dict[str, Any]) -> None:
         if fresh:
             table._apply_bulk_add(fresh)
     elif op == "load":
-        catalog.table(record["table"]).reset_rows(record["rows"])
+        catalog.table(record["table"]).reset_rows(
+            record["rows"], statistics=record.get("statistics")
+        )
     elif op == "truncate":
         catalog.table(record["table"]).truncate()
     elif op == "analyze":
         catalog.table(record["table"]).analyze()
     elif op == "create_table":
+        warn_dropped_constraints(record.get("dropped_constraints"), record["name"])
         catalog.create_table(record["name"], record["schema"], record["constraints"])
     elif op == "drop_table":
         catalog.drop_table(record["name"])
@@ -267,42 +281,67 @@ def apply_record(database, record: Dict[str, Any]) -> None:
 # Checkpoints
 # ---------------------------------------------------------------------------
 
-def picklable_constraints(constraints: Iterable[Any]) -> List[Any]:
-    """The subset of *constraints* that survive pickling.
+def picklable_constraints(constraints: Iterable[Any]) -> Tuple[List[Any], List[str]]:
+    """Split *constraints* into ``(picklable, dropped_names)``.
 
     Key / NOT NULL / FD / FK constraints are plain data and always
     round-trip; a :class:`RowConstraint` closing over a lambda cannot be
     serialised — it is dropped from the durable form (its checks already
     ran on every logged row, so recovered *rows* still satisfy it; only
     enforcement of post-recovery mutations is lost, which the caller can
-    re-add with :meth:`Table.add_constraint`).
+    re-add with :meth:`Table.add_constraint`).  The dropped constraints'
+    names travel in the checkpoint / ``create_table`` record so the gap
+    is surfaced again — as a :class:`WalWarning` — at recovery time.
     """
     kept: List[Any] = []
+    dropped: List[str] = []
     for constraint in constraints:
         try:
             pickle.dumps(constraint, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception:
+            dropped.append(
+                getattr(constraint, "name", None) or type(constraint).__name__
+            )
             continue
         kept.append(constraint)
-    return kept
+    return kept, dropped
+
+
+def warn_dropped_constraints(dropped: Optional[Sequence[str]], table: str) -> None:
+    """Emit the :class:`WalWarning` for constraints missing from durable
+    state — once when they are dropped (logging / checkpointing), once
+    when the gap is replayed (recovery)."""
+    if dropped:
+        warnings.warn(
+            f"constraint(s) {sorted(dropped)} on table {table!r} cannot be "
+            f"pickled and are not part of the durable state; a recovered "
+            f"database will not enforce them until they are re-attached "
+            f"with Table.add_constraint",
+            WalWarning,
+            stacklevel=3,
+        )
 
 
 def build_checkpoint_state(database) -> Dict[str, Any]:
     """The durable form of a whole database: the ``Database.snapshot``
     surface (rows + index definitions + statistics) plus schemas,
-    constraints and foreign keys."""
+    constraints and foreign keys.  (The checkpoint sequence number is
+    stamped in by :meth:`WriteAheadLog.checkpoint`.)"""
     tables: Dict[str, Any] = {}
     for name in database.catalog.table_names():
         table = database.catalog.table(name)
+        constraints, dropped = picklable_constraints(table.constraints)
+        warn_dropped_constraints(dropped, name)
         tables[name] = {
             "schema": table.schema,
-            "constraints": picklable_constraints(table.constraints),
+            "constraints": constraints,
+            "dropped_constraints": dropped,
             "rows": list(table.rows()),
             "indexes": table.index_specs(),
             "statistics": table.statistics.copy(),
         }
     return {
-        "format": 1,
+        "format": 2,
         "tables": tables,
         "foreign_keys": database.catalog.foreign_key_entries(),
     }
@@ -317,6 +356,7 @@ def apply_checkpoint_state(database, state: Dict[str, Any]) -> None:
             f"already has tables {catalog.table_names()}"
         )
     for name, entry in state["tables"].items():
+        warn_dropped_constraints(entry.get("dropped_constraints"), name)
         table = catalog.create_table(name, entry["schema"], entry["constraints"])
         table.reset_rows(entry["rows"], statistics=entry["statistics"])
         for index_name, attributes in entry["indexes"].items():
@@ -365,6 +405,17 @@ class WriteAheadLog:
         self.records_appended = 0
         #: Checkpoints taken through this log.
         self.checkpoints_taken = 0
+        #: Sequence number of the checkpoint currently on disk (0 when
+        #: none was ever taken).  Stamped into every checkpoint file and
+        #: into the ``checkpoint_mark`` frame the reset log restarts
+        #: with, so recovery can tell a log that *follows* the checkpoint
+        #: from a stale pre-checkpoint log that survived a crash between
+        #: the checkpoint rename and the log reset.
+        self.checkpoint_seq = 0
+        #: Byte length of the leading ``checkpoint_mark`` frame (0 for a
+        #: log that was never reset); :meth:`tail_bytes` measures the
+        #: records appended since the last checkpoint relative to it.
+        self._header_length = 0
         self._file = None
         self._closed = False
 
@@ -410,6 +461,13 @@ class WriteAheadLog:
             except OSError:
                 return 0
 
+    def tail_bytes(self) -> int:
+        """Bytes of records appended since the last checkpoint — the log
+        length minus the leading ``checkpoint_mark`` frame.  What the
+        background worker compares against ``min_log_bytes``."""
+        with self.lock:
+            return max(0, self.position() - self._header_length)
+
     @property
     def in_transaction(self) -> bool:
         return self.transaction_depth > 0
@@ -420,14 +478,35 @@ class WriteAheadLog:
                 self._file.flush()
                 os.fsync(self._file.fileno())
 
+    def _fsync_directory(self) -> None:
+        """Make a rename inside the WAL directory durable (best-effort on
+        platforms whose directories cannot be opened or fsynced)."""
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
     def truncate(self) -> None:
-        """Reset the log to empty (after a successful checkpoint)."""
+        """Reset the log (after a successful checkpoint): drop every
+        record and restart with a ``checkpoint_mark`` frame naming the
+        checkpoint now on disk, so recovery can tell this log belongs
+        *after* that checkpoint rather than before it."""
         with self.lock:
             if self._file is not None:
                 self._file.close()
             self._file = open(self.log_path, "wb")
+            self._file.write(
+                encode_frame({"op": "checkpoint_mark", "seq": self.checkpoint_seq})
+            )
             self._file.flush()
             os.fsync(self._file.fileno())
+            self._header_length = self._file.tell()
 
     def close(self) -> None:
         with self.lock:
@@ -440,14 +519,16 @@ class WriteAheadLog:
 
     # -- checkpointing ---------------------------------------------------------
     def checkpoint(self, database) -> bool:
-        """Serialise the database atomically, then truncate the log.
+        """Serialise the database atomically, then reset the log.
 
         Returns False (and does nothing) while a transaction group is
         open — checkpointing uncommitted state and truncating away its
         potential rollback would break crash atomicity.  The checkpoint
         file is written to a temp path, fsynced and renamed into place,
-        so a crash mid-checkpoint leaves the previous checkpoint + full
-        log intact.
+        and the directory is fsynced so the rename is durable *before*
+        the covered log is destroyed; a crash at any point leaves either
+        the previous checkpoint + full log, or the new checkpoint + a log
+        whose ``checkpoint_mark`` recovery recognises as stale.
         """
         with self.lock:
             if self._closed:
@@ -455,12 +536,15 @@ class WriteAheadLog:
             if self.transaction_depth:
                 return False
             state = build_checkpoint_state(database)
+            state["seq"] = self.checkpoint_seq + 1
             tmp_path = self.checkpoint_path + ".tmp"
             with open(tmp_path, "wb") as handle:
                 pickle.dump(state, handle, protocol=pickle.HIGHEST_PROTOCOL)
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(tmp_path, self.checkpoint_path)
+            self._fsync_directory()
+            self.checkpoint_seq += 1
             self.truncate()
             self.checkpoints_taken += 1
             return True
@@ -474,8 +558,14 @@ class WriteAheadLog:
         complete, checksummed frames up to the first torn record, minus
         any unfinished trailing transaction — and physically truncates
         the log back to the replayed prefix so later appends never
-        interleave with discarded garbage.  Returns True when existing
-        state was recovered, False for a fresh directory.
+        interleave with discarded garbage.  A log whose leading
+        ``checkpoint_mark`` names an *older* checkpoint than the one on
+        disk is a pre-checkpoint log that survived a crash between the
+        checkpoint rename and the log reset: every record in it is
+        already covered by the checkpoint, so it is discarded wholesale
+        instead of being replayed over the checkpointed state.  Returns
+        True when existing state was recovered, False for a fresh
+        directory.
         """
         with self.lock:
             state = None
@@ -488,10 +578,26 @@ class WriteAheadLog:
                 raise WalError(
                     f"checkpoint {self.checkpoint_path!r} is unreadable: {error}"
                 ) from error
+            checkpoint_seq = state.get("seq", 0) if state is not None else 0
             records, ends, _valid = read_frames(self.log_path)
-            applied, keep_length = committed_prefix(records, ends)
             if state is None and not records:
                 return False
+            has_mark = bool(records) and records[0].get("op") == "checkpoint_mark"
+            log_seq = records[0].get("seq", 0) if has_mark else 0
+            if log_seq > checkpoint_seq:
+                raise WalError(
+                    f"log {self.log_path!r} follows checkpoint #{log_seq} but "
+                    f"{self.checkpoint_path!r} holds checkpoint "
+                    f"#{checkpoint_seq}: the checkpoint the log depends on "
+                    f"is missing"
+                )
+            stale_log = log_seq < checkpoint_seq
+            if stale_log:
+                # Everything in the log predates (and is covered by) the
+                # checkpoint — replay nothing.
+                records, ends = [], []
+            applied, keep_length = committed_prefix(records, ends)
+            self.checkpoint_seq = checkpoint_seq
             self.replaying = True
             try:
                 if state is not None:
@@ -510,12 +616,24 @@ class WriteAheadLog:
             if self._file is not None:
                 self._file.close()
                 self._file = None
-            with open(self.log_path, "ab") as handle:
-                pass  # ensure it exists
-            with open(self.log_path, "r+b") as handle:
-                handle.truncate(keep_length)
-                handle.flush()
-                os.fsync(handle.fileno())
+            if has_mark and not stale_log:
+                with open(self.log_path, "r+b") as handle:
+                    handle.truncate(keep_length)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                self._header_length = ends[0]
+            elif checkpoint_seq:
+                # Stale log, or a checkpointed log whose mark itself was
+                # torn away: restart it bound to the checkpoint on disk.
+                self.truncate()
+            else:
+                with open(self.log_path, "ab") as handle:
+                    pass  # ensure it exists
+                with open(self.log_path, "r+b") as handle:
+                    handle.truncate(keep_length)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                self._header_length = 0
             return True
 
     def __repr__(self) -> str:
@@ -559,7 +677,7 @@ class CheckpointWorker:
         wal = self.database.wal
         if wal is None or wal.in_transaction:
             return False
-        if wal.position() < self.min_log_bytes:
+        if wal.tail_bytes() < self.min_log_bytes:
             return False
         return self.database.checkpoint()
 

@@ -33,7 +33,9 @@ from hypothesis import given, settings, strategies as st
 
 from repro.api.session import connect
 from repro.constraints.keys import KeyConstraint
-from repro.core.errors import StorageError, WalError
+from repro.constraints.referential import ForeignKeyConstraint
+from repro.constraints.schema_constraints import RowConstraint
+from repro.core.errors import StorageError, WalError, WalWarning
 from repro.core.tuples import XTuple
 from repro.storage.database import Database
 from repro.storage.wal import (
@@ -266,9 +268,9 @@ class TestRecovery:
         database.create_table("T", ["K"])
         database.insert_many("T", [{"K": i} for i in range(50)])
         assert database.checkpoint() is True
-        # The log restarts empty after a checkpoint; pre-checkpoint state
-        # now lives in checkpoint.bin.
-        assert database.wal.position() == 0
+        # The log restarts with just the checkpoint mark; pre-checkpoint
+        # state now lives in checkpoint.bin.
+        assert database.wal.tail_bytes() == 0
         database.insert_many("T", [{"K": i} for i in range(50, 80)])
         expected = canonical_state(database)
         recovered = recover_copy(source, str(tmp_path / "copy"))
@@ -353,11 +355,175 @@ class TestRecovery:
         database.create_table("T", ["K"])
         database.insert_many("T", [{"K": i} for i in range(5)])
         expected = canonical_state(database)
-        database.close()  # final checkpoint: the log is empty on disk
-        assert os.path.getsize(os.path.join(source, "wal.log")) == 0
+        database.close()  # final checkpoint: only the mark is left on disk
+        records, _, _ = read_frames(os.path.join(source, "wal.log"))
+        assert [record["op"] for record in records] == ["checkpoint_mark"]
         reopened = Database.open(source)
         assert canonical_state(reopened) == expected
         reopened.close()
+
+
+# ---------------------------------------------------------------------------
+# Crash windows around the checkpoint itself, and other recovery edges
+# ---------------------------------------------------------------------------
+
+class TestCheckpointCrashAtomicity:
+    def test_crash_between_checkpoint_rename_and_log_reset(self, tmp_path):
+        """A crash after os.replace(checkpoint) but before the log reset
+        leaves the *new* checkpoint plus the *old* log.  The stale log's
+        checkpoint_mark names an older checkpoint, so recovery must
+        discard it — replaying it used to re-run the DDL over the
+        checkpointed state ('table users already exists') and silently
+        corrupt DML-only histories."""
+        source = str(tmp_path / "db")
+        database = Database.open(source)
+        database.create_table("users", ["K"], constraints=[KeyConstraint(["K"])])
+        database.insert_many("users", [{"K": i} for i in range(20)])
+        database.delete_many("users", [{"K": 3}])
+        database.wal.flush()
+        with open(os.path.join(source, "wal.log"), "rb") as handle:
+            stale_log = handle.read()
+        assert database.checkpoint() is True
+        expected = canonical_state(database)
+        crash = str(tmp_path / "crash")
+        copy_wal_dir(source, crash)
+        with open(os.path.join(crash, "wal.log"), "wb") as handle:
+            handle.write(stale_log)  # the pre-checkpoint log survived
+        recovered = Database.open(crash, name="recovered")
+        assert canonical_state(recovered) == expected
+        recovered.close()
+        database.close()
+
+    def test_stale_dml_only_log_is_not_replayed(self, tmp_path):
+        """The silent variant: a stale log holding only remove records
+        would subtract checkpointed rows again."""
+        source = str(tmp_path / "db")
+        database = Database.open(source)
+        database.create_table("T", ["K"])
+        database.insert_many("T", [{"K": i} for i in range(10)])
+        assert database.checkpoint() is True
+        database.delete_many("T", [{"K": k} for k in (1, 2)])
+        database.wal.flush()
+        with open(os.path.join(source, "wal.log"), "rb") as handle:
+            stale_log = handle.read()
+        assert database.checkpoint() is True
+        expected = canonical_state(database)
+        crash = str(tmp_path / "crash")
+        copy_wal_dir(source, crash)
+        with open(os.path.join(crash, "wal.log"), "wb") as handle:
+            handle.write(stale_log)
+        recovered = Database.open(crash, name="recovered")
+        assert canonical_state(recovered) == expected
+        assert len(recovered["T"]) == 8
+        recovered.close()
+        database.close()
+
+    def test_log_requiring_a_missing_checkpoint_fails_loudly(self, tmp_path):
+        """A log whose mark names a newer checkpoint than the file on
+        disk means the checkpoint it depends on is gone — recovery must
+        refuse rather than replay a tail over the wrong base state."""
+        source = str(tmp_path / "db")
+        database = Database.open(source)
+        database.create_table("T", ["K"])
+        with open(os.path.join(source, "checkpoint.bin"), "rb") as handle:
+            old_checkpoint = handle.read()  # the baseline checkpoint
+        database.insert("T", {"K": 1})
+        database.close()  # final checkpoint; the log mark now names it
+        with open(os.path.join(source, "checkpoint.bin"), "wb") as handle:
+            handle.write(old_checkpoint)  # roll the checkpoint back
+        with pytest.raises(WalError):
+            Database.open(source, name="recovered")
+
+    def test_failed_rollback_still_closes_the_group(self, tmp_path):
+        """When Transaction._restore raises (table dropped inside the
+        group), the abort marker must still land: otherwise the log's
+        transaction depth stays open forever, every later autocommitted
+        statement is buffered into the dead group (discarded at
+        recovery) and every checkpoint silently returns False."""
+        source = str(tmp_path / "db")
+        database = Database.open(source)
+        session = connect(database)
+        database.create_table("T", ["K"])
+        database.create_table("DOOMED", ["X"])
+        with pytest.raises(StorageError):
+            with session.transaction():
+                database.drop_table("DOOMED")
+                raise RuntimeError("trigger the rollback")
+        assert database.wal.transaction_depth == 0
+        assert not session.in_transaction
+        # Durability continues: later statements autocommit and survive,
+        # and checkpoints are taken again.
+        database.insert("T", {"K": 42})
+        recovered = recover_copy(source, str(tmp_path / "copy"))
+        assert XTuple({"K": 42}) in recovered.table("T").rows()
+        assert database.checkpoint() is True
+        recovered.close()
+        database.close()
+
+    def test_replayed_load_restores_statistics(self, tmp_path):
+        """A logged 'load' carries the statistics handed to reset_rows,
+        so crash recovery reproduces the same planner estimates and
+        staleness tracker as the live restore path — not a re-analysis."""
+        source = str(tmp_path / "db")
+        database = Database.open(source)
+        database.create_table("T", ["A", "B"])
+        database.insert_many("T", [{"A": i, "B": i % 2} for i in range(6)])
+        database.table("T").analyze()
+        database.insert_many("T", [{"A": 10, "B": 0}])  # churn since analyze
+        snapshot = database.snapshot()
+        database.insert_many("T", [{"A": 11, "B": 1}])
+        database.restore(snapshot)  # logs one load record, statistics included
+        stats = database.table("T").statistics
+        assert stats.mutations_since_analyze > 0
+        recovered = recover_copy(source, str(tmp_path / "copy"))
+        replayed = recovered.table("T").statistics
+        assert replayed == stats
+        assert replayed.mutations_since_analyze == stats.mutations_since_analyze
+        assert replayed.staleness_threshold == stats.staleness_threshold
+        recovered.close()
+        database.close()
+
+    def test_rename_table_rewrites_foreign_keys_durably(self, tmp_path):
+        source = str(tmp_path / "db")
+        database = Database.open(source)
+        database.create_table("DEPT", ["D#"], constraints=[KeyConstraint(["D#"])])
+        database.create_table("EMP", ["E#", "D#"])
+        database.insert("DEPT", {"D#": 1})
+        database.insert("EMP", {"E#": 1, "D#": 1})
+        database.add_foreign_key(
+            "EMP", ForeignKeyConstraint(["D#"], "DEPT", ["D#"], name="emp_dept")
+        )
+        database.catalog.rename_table("DEPT", "DIVISION")
+        expected = canonical_state(database)
+        recovered = recover_copy(source, str(tmp_path / "copy"))
+        assert canonical_state(recovered) == expected
+        entries = recovered.catalog.foreign_key_entries()
+        assert [(owner, fk.referenced_relation) for owner, fk in entries] == [
+            ("EMP", "DIVISION")
+        ]
+        recovered.close()
+        database.close()
+
+    def test_unpicklable_constraint_warns_when_dropped_and_at_recovery(self, tmp_path):
+        source = str(tmp_path / "db")
+        database = Database.open(source)
+        constraint = RowConstraint(
+            "T", lambda row: row["K"] is None or row["K"] < 100, name="k_small"
+        )
+        with pytest.warns(WalWarning, match="k_small"):
+            database.create_table("T", ["K"], constraints=[constraint])
+        database.insert("T", {"K": 1})
+        with pytest.warns(WalWarning, match="k_small"):
+            assert database.checkpoint() is True
+        with pytest.warns(WalWarning, match="k_small"):
+            recovered = recover_copy(source, str(tmp_path / "copy"))
+        assert XTuple({"K": 1}) in recovered.table("T").rows()
+        assert all(
+            getattr(c, "name", "") != "k_small"
+            for c in recovered.table("T").constraints
+        )
+        recovered.close()
+        database.close()
 
 
 # ---------------------------------------------------------------------------
@@ -467,9 +633,9 @@ class TestCheckpointWorker:
         database.create_table("T", ["K"])
         database.insert_many("T", [{"K": i} for i in range(10)])
         worker = CheckpointWorker(database, interval=3600.0)
-        assert database.wal.position() > 0
+        assert database.wal.tail_bytes() > 0
         assert worker.run_once() is True
-        assert database.wal.position() == 0
+        assert database.wal.tail_bytes() == 0
         # Nothing new in the log: the next cycle is a no-op.
         assert worker.run_once() is False
         database.close()
