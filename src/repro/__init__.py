@@ -39,6 +39,11 @@ Subpackages:
 ``repro.storage``
     An in-memory database substrate (catalog, tables, indexes, updates
     defined through the extended algebra).
+``repro.obs``
+    The observability layer: a dependency-free metrics registry
+    (counters, gauges, log-bucketed histograms, a Prometheus text
+    renderer) and the structured query traces every ``Session.execute``
+    records.
 ``repro.datagen``
     Synthetic relation and workload generators used by the benchmarks.
 ``repro.io``
@@ -48,10 +53,11 @@ Subpackages:
 from .core import *  # noqa: F401,F403 — the core API is the package API
 from .core import __all__ as _core_all
 from .api import PreparedStatement, ResultSet, Session, Transaction, connect
+from . import obs
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = list(_core_all) + [
     "PreparedStatement", "ResultSet", "Session", "Transaction", "connect",
-    "__version__",
+    "obs", "__version__",
 ]

@@ -22,6 +22,7 @@ tree on demand.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.errors import QuelSemanticError, StorageError
@@ -176,6 +177,7 @@ class _PlanRetrieve(CompiledStatement):
     def execute(
         self, params: Mapping[str, Any], parallelism=None
     ) -> ResultSet:
+        started = time.perf_counter()
         query = self.analyzed.bind(params)
         plan = Plan(query, self.database, parallelism=parallelism)
         if self.into:
@@ -186,7 +188,12 @@ class _PlanRetrieve(CompiledStatement):
                 f"materialize {rows_affected} row(s) into new table {self.into}"
             )
             return ResultSet(answer, rows_affected=rows_affected, steps=plan.steps)
-        return ResultSet(pipeline=plan.compile())
+        pipeline = plan.compile()
+        # Wall time of binding + planning + compilation, read by the
+        # session's query trace to split the "plan" phase out of
+        # "execute" (overwritten on every execution).
+        self.last_plan_seconds = time.perf_counter() - started
+        return ResultSet(pipeline=pipeline)
 
     def describe(self, params: Optional[Mapping[str, Any]] = None) -> str:
         # Unbound placeholders are described with null stand-ins (an

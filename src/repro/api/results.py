@@ -177,13 +177,19 @@ class ResultSet:
 
         Without *analyze*: the logical step trace, one numbered step per
         line (actual row counts appear once the pipeline has drained).
-        With ``analyze=True``: drains the pipeline (EXPLAIN ANALYZE runs
-        the query) and renders the physical operator tree — one indented
-        line per node with ``est=… rows=… actual=… time=…``.  Falls back
-        to the step trace for statements executed without a tree.
+        With ``analyze=True``: drains the pipeline *first* (EXPLAIN
+        ANALYZE runs the query — a partially-streamed result set is
+        drained to completion, never reported with partial actuals) and
+        renders the physical operator tree — one indented line per node
+        with ``est=… rows=… actual=… time=…``.  Falls back to the step
+        trace for statements executed without a tree.
         """
         if analyze:
             if self._pipeline is not None:
+                # Materialise through the result-set layer so the drain
+                # also caches the canonical answer (and the trace hook
+                # fires), then render the fully-finished tree.
+                self._materialize()
                 return self._pipeline.explain(analyze=True)
             if self._tree is not None:
                 return render_tree(self._tree, analyze=True)

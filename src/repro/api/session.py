@@ -26,14 +26,58 @@ statement autocommits.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Any, Iterable, List, Mapping, Optional, Tuple
+import time
+from collections import OrderedDict, deque
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
-from ..core.errors import StorageError
-from ..quel.ast_nodes import Statement, normalize_statement
+from ..core.errors import StaleResultError, StorageError
+from ..obs import ERROR_RATIO_BUCKETS, QueryTrace, registry_for, slow_query_logger
+from ..quel.ast_nodes import (
+    AppendStatement,
+    DeleteStatement,
+    ReplaceStatement,
+    RetrieveStatement,
+    Statement,
+    normalize_statement,
+)
 from ..quel.parser import parse_statement
 from .compiled import CompiledStatement, compile_statement
 from .results import ResultSet
+
+
+def _statement_kind(statement: Statement) -> str:
+    """The metric label for a parsed statement ("retrieve", "append", …)."""
+    if isinstance(statement, RetrieveStatement):
+        return "retrieve"
+    if isinstance(statement, AppendStatement):
+        return "append"
+    if isinstance(statement, DeleteStatement):
+        return "delete"
+    if isinstance(statement, ReplaceStatement):
+        return "replace"
+    return type(statement).__name__.replace("Statement", "").lower() or "unknown"
+
+
+def _collect_operators(root) -> List[Dict[str, Any]]:
+    """Flatten a physical tree into per-operator actuals (depth-first,
+    root first) — what a trace's ``operators`` list holds."""
+    out: List[Dict[str, Any]] = []
+
+    def visit(node, depth: int) -> None:
+        out.append({
+            "operator": type(node).__name__,
+            "label": node.label,
+            "depth": depth,
+            "est": node.est,
+            "rows": node.actual_rows,
+            "blocks": node.actual_blocks,
+            "seconds": node.seconds,
+        })
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(root, 0)
+    return out
 
 
 class PreparedStatement:
@@ -60,6 +104,9 @@ class PreparedStatement:
         database = self.session.database
         epoch = getattr(database, "epoch", None)
         if self._compiled is None or epoch != self._epoch:
+            if self._compiled is not None:
+                # A cached plan invalidated by DDL / index / ANALYZE.
+                self.session._plan_cache_metric.labels(event="stale_epoch").inc()
             self._compiled = compile_statement(database, self.statement)
             self._epoch = epoch
             self.compile_count += 1
@@ -184,6 +231,9 @@ class Transaction:
         same (pre-group) state it left in memory.  Under ``sync="commit"``
         the close markers are the fsync points — the group's records ride
         one flush."""
+        self.session._txn_metric.labels(
+            op="rollback" if op == "abort" else op
+        ).inc()
         wal = getattr(self.session.database, "wal", None)
         if wal is not None:
             wal.append({"op": op})
@@ -217,9 +267,24 @@ class Session:
         The database to speak to (``repro.storage.Database``).
     cache_size:
         Capacity of the prepared-statement LRU (0 disables caching).
+    trace_capacity:
+        How many recent :class:`~repro.obs.QueryTrace` spans the session
+        retains (see :meth:`recent_traces`).
+
+    Every :meth:`execute` call opens a query trace — phase wall times
+    (parse → analyze → plan → execute), statement kind, plan shape and
+    rows in/out — and reports into the database's metrics registry
+    (``repro.obs``): statements by kind and outcome, latency histograms,
+    plan-cache hit/miss/stale-epoch counters, transaction markers, and —
+    once a lazy pipeline drains — the per-operator actuals, exchange
+    shard statistics and the planner's estimate-vs-actual error.
+    Setting :attr:`slow_query_threshold` (seconds) additionally routes
+    statements slower than the threshold to the slow-query log
+    (``repro.obs.slow_query_logger``) and the
+    ``repro_slow_queries_total`` counter.
     """
 
-    def __init__(self, database, cache_size: int = 128):
+    def __init__(self, database, cache_size: int = 128, trace_capacity: int = 64):
         if not hasattr(database, "catalog"):
             raise TypeError(
                 f"connect() needs a repro.storage.Database, got {database!r}"
@@ -228,6 +293,83 @@ class Session:
         self.cache_size = cache_size
         self._statements: "OrderedDict[Any, PreparedStatement]" = OrderedDict()
         self._transactions: List[Transaction] = []
+        #: Statements slower than this many wall seconds go to the
+        #: slow-query log (None disables it).
+        self.slow_query_threshold: Optional[float] = None
+        self._traces: "deque[QueryTrace]" = deque(maxlen=max(1, trace_capacity))
+        registry = registry_for(database)
+        #: The metrics registry this session reports into (resolved once:
+        #: the database's own registry, or the process-global default).
+        self.metrics = registry
+        self._statements_metric = registry.counter(
+            "repro_statements_total",
+            "Statements executed through Session.execute, by kind and outcome.",
+            ("kind", "outcome"),
+        )
+        self._latency_metric = registry.histogram(
+            "repro_statement_seconds",
+            "Wall time of successful statements (result-set construction; "
+            "a lazy retrieve's drain time lands in the exec series).",
+            ("kind",),
+        )
+        self._plan_cache_metric = registry.counter(
+            "repro_plan_cache_total",
+            "Prepared-statement cache events: hit, miss, stale_epoch "
+            "(cached plan invalidated by DDL / index / ANALYZE).",
+            ("event",),
+        )
+        self._txn_metric = registry.counter(
+            "repro_transactions_total",
+            "Transaction markers: begin, commit, rollback.",
+            ("op",),
+        )
+        self._slow_metric = registry.counter(
+            "repro_slow_queries_total",
+            "Statements that crossed Session.slow_query_threshold.",
+        )
+        self._exec_rows_metric = registry.counter(
+            "repro_exec_rows_total",
+            "Rows emitted by completed operator trees (root output).",
+        )
+        self._exec_blocks_metric = registry.counter(
+            "repro_exec_blocks_total",
+            "Blocks pulled across all operators of completed trees.",
+        )
+        self._operator_rows_metric = registry.counter(
+            "repro_exec_operator_rows_total",
+            "Rows produced per physical operator type.",
+            ("operator",),
+        )
+        self._operator_seconds_metric = registry.counter(
+            "repro_exec_operator_seconds_total",
+            "Wall seconds spent per physical operator type (children included).",
+            ("operator",),
+        )
+        self._stale_metric = registry.counter(
+            "repro_exec_stale_results_total",
+            "Drains aborted by StaleResultError (undrained result set "
+            "whose live-probed table mutated).",
+        )
+        self._est_error_metric = registry.histogram(
+            "repro_plan_estimate_error_ratio",
+            "Actual/estimated row ratio per estimated plan step "
+            "(1.0 = perfect estimate), recorded when the plan drains.",
+            buckets=ERROR_RATIO_BUCKETS,
+        )
+        self._shard_rows_metric = registry.counter(
+            "repro_exchange_shard_rows_total",
+            "Rows reduced per parallel worker shard.",
+            ("partition",),
+        )
+        self._shard_seconds_metric = registry.counter(
+            "repro_exchange_shard_seconds_total",
+            "Wall seconds per parallel worker shard.",
+            ("partition",),
+        )
+        self._skew_metric = registry.gauge(
+            "repro_exchange_skew",
+            "Shard skew (max/mean rows) of the most recent parallel drain.",
+        )
 
     # -- statements -----------------------------------------------------------
     def prepare(self, text: str) -> PreparedStatement:
@@ -242,8 +384,10 @@ class Session:
         key = normalize_statement(statement)
         cached = self._statements.get(key)
         if cached is not None:
+            self._plan_cache_metric.labels(event="hit").inc()
             self._statements.move_to_end(key)
             return cached
+        self._plan_cache_metric.labels(event="miss").inc()
         prepared = PreparedStatement(self, text, statement)
         if self.cache_size > 0:
             self._statements[key] = prepared
@@ -265,7 +409,16 @@ class Session:
         ``None``/``1`` (default) runs the plain serial pipeline.  DML
         statements accept and ignore it.
         """
-        return self.prepare(text).execute(params, parallelism=parallelism)
+        trace = QueryTrace(text)
+        started = time.perf_counter()
+        try:
+            prepared = self.prepare(text)
+        except Exception as error:
+            trace.phase("parse", time.perf_counter() - started)
+            self._fail_trace(trace, error, started)
+            raise
+        trace.phase("parse", time.perf_counter() - started)
+        return self._traced_execute(prepared, trace, started, params, parallelism)
 
     def executemany(
         self,
@@ -274,12 +427,171 @@ class Session:
         parallelism: Optional[Any] = None,
     ) -> int:
         """Execute one prepared statement per parameter set; the total
-        ``rows_affected``.  The statement compiles once."""
+        ``rows_affected``.  The statement compiles once (each execution
+        still traces and counts individually)."""
         prepared = self.prepare(text)
         total = 0
         for params in param_sequence:
-            total += prepared.execute(params, parallelism=parallelism).rows_affected
+            trace = QueryTrace(text)
+            started = time.perf_counter()
+            result = self._traced_execute(
+                prepared, trace, started, params, parallelism
+            )
+            total += result.rows_affected
         return total
+
+    # -- tracing / metrics -----------------------------------------------------
+    def _traced_execute(
+        self,
+        prepared: PreparedStatement,
+        trace: QueryTrace,
+        started: float,
+        params: Optional[Mapping[str, Any]],
+        parallelism: Optional[Any],
+    ) -> ResultSet:
+        """Run *prepared* inside *trace*: time the analyze/plan/execute
+        phases, count the statement, and — for a lazy retrieve — arm the
+        pipeline-completion hook that folds the drain-side actuals in."""
+        kind = _statement_kind(prepared.statement)
+        trace.kind = kind
+        try:
+            t_analyze = time.perf_counter()
+            compiled = prepared._ensure_compiled()
+            t_execute = time.perf_counter()
+            trace.phase("analyze", t_execute - t_analyze)
+            result = compiled.execute(params or {}, parallelism=parallelism)
+            t_done = time.perf_counter()
+        except Exception as error:
+            self._fail_trace(trace, error, started, kind)
+            raise
+        execute_seconds = t_done - t_execute
+        plan_seconds = float(getattr(compiled, "last_plan_seconds", 0.0) or 0.0)
+        if 0.0 < plan_seconds <= execute_seconds:
+            trace.phase("plan", plan_seconds)
+            execute_seconds -= plan_seconds
+        trace.phase("execute", execute_seconds)
+        trace.seconds = t_done - started
+        trace.rows_affected = result.rows_affected
+        self._statements_metric.labels(kind=kind, outcome="ok").inc()
+        self._latency_metric.labels(kind=kind).observe(trace.seconds)
+        pipeline = result.pipeline
+        if pipeline is not None:
+            # Lazy retrieve: the trace finishes when the tree drains.
+            pipeline.on_complete = (
+                lambda p, error, _trace=trace: self._pipeline_completed(
+                    _trace, p, error
+                )
+            )
+        else:
+            trace.plan = list(result.steps)
+            tree = getattr(result, "_tree", None)
+            if tree is not None:
+                trace.operators = _collect_operators(tree)
+                self._record_tree_metrics(tree)
+            relation = getattr(result, "_relation", None)
+            if relation is not None:
+                trace.rows_out = len(relation)
+            trace.finished = True
+        self._traces.append(trace)
+        self._check_slow(trace)
+        return result
+
+    def _fail_trace(
+        self,
+        trace: QueryTrace,
+        error: BaseException,
+        started: float,
+        kind: str = "unknown",
+    ) -> None:
+        trace.kind = kind
+        trace.outcome = "error"
+        trace.error = f"{type(error).__name__}: {error}"
+        trace.seconds = time.perf_counter() - started
+        trace.finished = True
+        self._statements_metric.labels(kind=kind, outcome="error").inc()
+        self._traces.append(trace)
+        self._check_slow(trace)
+
+    def _check_slow(self, trace: QueryTrace) -> None:
+        threshold = self.slow_query_threshold
+        if threshold is None or trace.slow or trace.seconds < threshold:
+            return
+        trace.slow = True
+        self._slow_metric.inc()
+        slow_query_logger.warning(
+            "slow query (%.3fs >= %.3fs threshold, kind=%s): %s",
+            trace.seconds,
+            threshold,
+            trace.kind,
+            trace.text.strip(),
+        )
+
+    def _record_tree_metrics(self, root) -> None:
+        """Fold one completed physical tree into the exec counters."""
+        total_blocks = 0
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            operator = type(node).__name__
+            self._operator_rows_metric.labels(operator=operator).inc(
+                node.actual_rows
+            )
+            self._operator_seconds_metric.labels(operator=operator).inc(
+                node.seconds
+            )
+            total_blocks += node.actual_blocks
+            partition_stats = getattr(node, "partition_stats", None)
+            if partition_stats:
+                for index, stats in enumerate(partition_stats):
+                    self._shard_rows_metric.labels(partition=str(index)).inc(
+                        stats.get("rows_out", 0)
+                    )
+                    self._shard_seconds_metric.labels(partition=str(index)).inc(
+                        stats.get("seconds", 0.0)
+                    )
+                skew = getattr(node, "skew", None)
+                if skew is not None:
+                    self._skew_metric.set(skew)
+            stack.extend(node.children)
+        self._exec_rows_metric.inc(root.actual_rows)
+        self._exec_blocks_metric.inc(total_blocks)
+
+    def _pipeline_completed(self, trace: QueryTrace, pipeline, error) -> None:
+        """The drain-side half of a lazy retrieve's trace (called once by
+        the pipeline when it exhausts or latches a failure)."""
+        if error is not None:
+            trace.outcome = "error"
+            trace.error = f"{type(error).__name__}: {error}"
+            if isinstance(error, StaleResultError):
+                self._stale_metric.inc()
+        root = pipeline.root
+        if root is not None and root.started:
+            # The root's wall time covers the whole drain (children
+            # included) — fold it into the execute phase and the total.
+            trace.phase("execute", root.seconds)
+            trace.seconds += root.seconds
+            trace.rows_out = root.actual_rows
+            trace.operators = _collect_operators(root)
+            self._record_tree_metrics(root)
+            for step in pipeline.trace:
+                node = step.node
+                if step.est is not None and node is not None and node.started:
+                    self._est_error_metric.observe(
+                        (node.actual_rows + 1.0) / (step.est + 1.0)
+                    )
+        trace.plan = pipeline.step_lines()
+        trace.finished = True
+        self._check_slow(trace)
+
+    def recent_traces(self, limit: Optional[int] = None) -> List[QueryTrace]:
+        """The most recent query traces, oldest first (bounded by the
+        session's ``trace_capacity``).  Traces of undrained lazy
+        retrieves have ``finished=False`` until their pipeline completes;
+        the objects update in place when it does."""
+        traces = list(self._traces)
+        if limit is not None:
+            traces = traces[-int(limit):]
+        return traces
 
     def explain(
         self, text: str, params: Optional[Mapping[str, Any]] = None

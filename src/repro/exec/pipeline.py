@@ -139,6 +139,10 @@ def render_tree(root: PhysicalOperator, analyze: bool = False) -> str:
         if analyze:
             parts.append(f"actual rows={node.actual_rows}")
             parts.append(f"time={node.seconds * 1000.0:.3f}ms")
+            if node.started and not node.finished:
+                # A node still mid-stream would otherwise pass its
+                # partial counts off as finals.
+                parts.append("(partial)")
         annotation = f" [{' '.join(parts)}]" if parts else ""
         lines.append(f"{'  ' * depth}{node.label}{annotation}")
         for child in node.children:
@@ -158,6 +162,7 @@ class Pipeline:
         trace: Sequence[TraceStep] = (),
         guards: Sequence[StalenessGuard] = (),
         database_epoch: Optional[int] = None,
+        on_complete=None,
     ):
         self.root = root
         self.schema = schema
@@ -177,6 +182,23 @@ class Pipeline:
         #: True once :meth:`run` has cached the canonical answer and
         #: dropped the streamed-row buffer.
         self._released = False
+        #: Called exactly once as ``on_complete(pipeline, error)`` when
+        #: the tree exhausts (``error=None``) or latches a failure — the
+        #: observability layer's hook for folding drain-side actuals into
+        #: the statement's trace.  Assignable after construction.
+        self.on_complete = on_complete
+        self._completed = False
+
+    def _notify_complete(self, error: Optional[BaseException]) -> None:
+        if self._completed:
+            return
+        self._completed = True
+        callback = self.on_complete
+        if callback is not None:
+            try:
+                callback(self, error)
+            except Exception:
+                pass  # observability must never break the query path
 
     @property
     def columns(self) -> Tuple[str, ...]:
@@ -204,6 +226,7 @@ class Pipeline:
                 guard.check()
             except BaseException as error:
                 self._error = error
+                self._notify_complete(error)
                 raise
         if self._blocks is None:
             self._blocks = self.root.blocks()
@@ -211,9 +234,11 @@ class Pipeline:
             block = next(self._blocks)
         except StopIteration:
             self._exhausted = True
+            self._notify_complete(None)
             return False
         except BaseException as error:
             self._error = error
+            self._notify_complete(error)
             raise
         self._ordered.extend(block)
         return True

@@ -10,6 +10,7 @@ from a fixed state.
 
 from __future__ import annotations
 
+import weakref
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
 from ..core.errors import StorageError
@@ -18,6 +19,7 @@ from ..core.relation import Relation, RelationSchema, RowLike
 from ..core.tuples import XTuple
 from ..core.xrelation import XRelation
 from ..constraints.referential import ForeignKeyConstraint
+from ..obs import MetricsRegistry, get_registry
 from .catalog import Catalog
 from .table import Table, TableConstraint
 
@@ -25,7 +27,7 @@ from .table import Table, TableConstraint
 class Database(Mapping[str, Relation]):
     """An in-memory database of relations with null values."""
 
-    def __init__(self, name: str = "db"):
+    def __init__(self, name: str = "db", metrics: Optional[MetricsRegistry] = None):
         self.name = name
         self.catalog = Catalog()
         # Lazily-created default Session backing the query() delegate, so
@@ -35,6 +37,56 @@ class Database(Mapping[str, Relation]):
         # checkpoint worker (both None for a purely in-memory database).
         self._wal = None
         self._checkpoint_worker = None
+        # Observability: the registry everything acting on this database
+        # reports into.  None resolves to the process-global default at
+        # access time; passing ``metrics=MetricsRegistry()`` isolates
+        # this database's series (the test-suite idiom).
+        self._metrics = metrics
+        self._stats_hooked: set = set()
+
+    # -- observability ---------------------------------------------------------
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The metrics registry for this database — its own when one was
+        passed to the constructor, else the process-global default.  The
+        first access per registry also registers the scrape-time callback
+        that refreshes the per-table stats-staleness gauges."""
+        registry = self._metrics if self._metrics is not None else get_registry()
+        key = id(registry)
+        if key not in self._stats_hooked:
+            self._stats_hooked.add(key)
+            self._register_stats_gauges(registry)
+        return registry
+
+    def _register_stats_gauges(self, registry: MetricsRegistry) -> None:
+        """Export every table's optimizer-statistics staleness as gauges,
+        refreshed at scrape time.  The callback holds only a weakref so a
+        collected database prunes itself from the registry."""
+        delta_gauge = registry.gauge(
+            "repro_stats_mutations_since_analyze",
+            "Mutations applied to the table since its statistics were last "
+            "rebuilt (the staleness delta).",
+            ("database", "table"),
+        )
+        stale_gauge = registry.gauge(
+            "repro_stats_stale",
+            "1 when the table's statistics have drifted past the staleness "
+            "threshold, else 0.",
+            ("database", "table"),
+        )
+        ref = weakref.ref(self)
+
+        def update():
+            database = ref()
+            if database is None:
+                return False  # prune: the database is gone
+            for table_name in database.catalog.table_names():
+                stats = database.catalog.table(table_name).statistics
+                labels = {"database": database.name, "table": table_name}
+                delta_gauge.labels(**labels).set(stats.mutations_since_analyze)
+                stale_gauge.labels(**labels).set(1.0 if stats.stale else 0.0)
+
+        registry.add_callback(update)
 
     # -- Mapping protocol (what the QUEL analyzer consumes) ----------------------------
     def __getitem__(self, name: str) -> Relation:
@@ -131,6 +183,7 @@ class Database(Mapping[str, Relation]):
         if self._wal is not None:
             raise StorageError(f"database {self.name!r} already has a WAL attached")
         wal = WriteAheadLog(path, sync=sync)
+        wal.set_metrics(self.metrics)
         wal.recover_into(self)
         self._wal = wal
         self.catalog._wal = wal

@@ -61,16 +61,21 @@ Design notes
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import struct
 import threading
+import time
 import warnings
 import zlib
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.errors import WalError, WalWarning
 from ..core.tuples import XTuple
+from ..obs import MetricsRegistry, get_registry, registry_for
+
+_logger = logging.getLogger("repro.storage.wal")
 
 #: Frame header: payload byte length, CRC32 of the payload.
 _HEADER = struct.Struct("<II")
@@ -255,7 +260,9 @@ def apply_record(database, record: Dict[str, Any]) -> None:
     elif op == "analyze":
         catalog.table(record["table"]).analyze()
     elif op == "create_table":
-        warn_dropped_constraints(record.get("dropped_constraints"), record["name"])
+        warn_dropped_constraints(
+            record.get("dropped_constraints"), record["name"], registry_for(database)
+        )
         catalog.create_table(record["name"], record["schema"], record["constraints"])
     elif op == "drop_table":
         catalog.drop_table(record["name"])
@@ -307,11 +314,21 @@ def picklable_constraints(constraints: Iterable[Any]) -> Tuple[List[Any], List[s
     return kept, dropped
 
 
-def warn_dropped_constraints(dropped: Optional[Sequence[str]], table: str) -> None:
+def warn_dropped_constraints(
+    dropped: Optional[Sequence[str]],
+    table: str,
+    registry: Optional[MetricsRegistry] = None,
+) -> None:
     """Emit the :class:`WalWarning` for constraints missing from durable
     state — once when they are dropped (logging / checkpointing), once
-    when the gap is replayed (recovery)."""
+    when the gap is replayed (recovery).  Each emission also bumps the
+    ``repro_wal_warnings_total`` counter in *registry* (the process
+    default when none is given)."""
     if dropped:
+        (registry or get_registry()).counter(
+            "repro_wal_warnings_total",
+            "WalWarning emissions (durability gaps surfaced to the user).",
+        ).inc()
         warnings.warn(
             f"constraint(s) {sorted(dropped)} on table {table!r} cannot be "
             f"pickled and are not part of the durable state; a recovered "
@@ -331,7 +348,7 @@ def build_checkpoint_state(database) -> Dict[str, Any]:
     for name in database.catalog.table_names():
         table = database.catalog.table(name)
         constraints, dropped = picklable_constraints(table.constraints)
-        warn_dropped_constraints(dropped, name)
+        warn_dropped_constraints(dropped, name, registry_for(database))
         tables[name] = {
             "schema": table.schema,
             "constraints": constraints,
@@ -356,7 +373,9 @@ def apply_checkpoint_state(database, state: Dict[str, Any]) -> None:
             f"already has tables {catalog.table_names()}"
         )
     for name, entry in state["tables"].items():
-        warn_dropped_constraints(entry.get("dropped_constraints"), name)
+        warn_dropped_constraints(
+            entry.get("dropped_constraints"), name, registry_for(database)
+        )
         table = catalog.create_table(name, entry["schema"], entry["constraints"])
         table.reset_rows(entry["rows"], statistics=entry["statistics"])
         for index_name, attributes in entry["indexes"].items():
@@ -418,6 +437,61 @@ class WriteAheadLog:
         self._header_length = 0
         self._file = None
         self._closed = False
+        #: The metrics registry this log reports into (None → the
+        #: process-global default).  :meth:`Database.attach_wal` points
+        #: it at the database's registry.
+        self.metrics: Optional[MetricsRegistry] = None
+        self._metric_handles: Optional[Dict[str, Any]] = None
+
+    # -- metrics -------------------------------------------------------------
+    def set_metrics(self, registry: Optional[MetricsRegistry]) -> None:
+        """Report into *registry* from now on (rebuilds cached handles)."""
+        self.metrics = registry
+        self._metric_handles = None
+
+    def _m(self) -> Dict[str, Any]:
+        """Cached child handles for the hot append path — steady-state
+        instrumentation cost is one dict lookup + a locked float add."""
+        handles = self._metric_handles
+        if handles is None:
+            registry = self.metrics if self.metrics is not None else get_registry()
+            handles = {
+                "records": registry.counter(
+                    "repro_wal_records_total",
+                    "Records appended to the write-ahead log (markers included).",
+                ).labels(),
+                "bytes": registry.counter(
+                    "repro_wal_bytes_total",
+                    "Bytes appended to the write-ahead log.",
+                ).labels(),
+                "fsyncs": registry.counter(
+                    "repro_wal_fsyncs_total",
+                    "fsync(2) calls issued by the log (commit-sync boundaries, "
+                    "explicit flushes and log resets).",
+                ).labels(),
+                "checkpoints": registry.counter(
+                    "repro_wal_checkpoints_total",
+                    "Checkpoints taken through this process.",
+                ).labels(),
+                "checkpoint_seconds": registry.histogram(
+                    "repro_wal_checkpoint_seconds",
+                    "Wall time of each checkpoint (serialise + rename + log reset).",
+                ).labels(),
+                "checkpoint_bytes": registry.gauge(
+                    "repro_wal_checkpoint_bytes",
+                    "Size of the checkpoint file on disk after the last checkpoint.",
+                ).labels(),
+                "checkpoint_seq": registry.gauge(
+                    "repro_wal_checkpoint_seq",
+                    "Sequence number of the checkpoint currently on disk.",
+                ).labels(),
+                "recovered": registry.counter(
+                    "repro_wal_recovered_records_total",
+                    "Log records replayed during recovery.",
+                ).labels(),
+            }
+            self._metric_handles = handles
+        return handles
 
     # -- appending -----------------------------------------------------------
     def _handle(self):
@@ -438,8 +512,10 @@ class WriteAheadLog:
         with self.lock:
             if self.replaying:
                 return self.position()
+            handles = self._m()
             handle = self._handle()
-            handle.write(encode_frame(record))
+            frame = encode_frame(record)
+            handle.write(frame)
             op = record.get("op")
             if op == "begin":
                 self.transaction_depth += 1
@@ -448,7 +524,10 @@ class WriteAheadLog:
             if self.sync == "commit" and self.transaction_depth == 0:
                 handle.flush()
                 os.fsync(handle.fileno())
+                handles["fsyncs"].inc()
             self.records_appended += 1
+            handles["records"].inc()
+            handles["bytes"].inc(len(frame))
             return handle.tell()
 
     def position(self) -> int:
@@ -477,6 +556,7 @@ class WriteAheadLog:
             if self._file is not None:
                 self._file.flush()
                 os.fsync(self._file.fileno())
+                self._m()["fsyncs"].inc()
 
     def _fsync_directory(self) -> None:
         """Make a rename inside the WAL directory durable (best-effort on
@@ -506,6 +586,7 @@ class WriteAheadLog:
             )
             self._file.flush()
             os.fsync(self._file.fileno())
+            self._m()["fsyncs"].inc()
             self._header_length = self._file.tell()
 
     def close(self) -> None:
@@ -535,6 +616,7 @@ class WriteAheadLog:
                 raise WalError(f"write-ahead log {self.log_path!r} is closed")
             if self.transaction_depth:
                 return False
+            started = time.perf_counter()
             state = build_checkpoint_state(database)
             state["seq"] = self.checkpoint_seq + 1
             tmp_path = self.checkpoint_path + ".tmp"
@@ -547,6 +629,14 @@ class WriteAheadLog:
             self.checkpoint_seq += 1
             self.truncate()
             self.checkpoints_taken += 1
+            handles = self._m()
+            handles["checkpoints"].inc()
+            handles["checkpoint_seconds"].observe(time.perf_counter() - started)
+            handles["checkpoint_seq"].set(self.checkpoint_seq)
+            try:
+                handles["checkpoint_bytes"].set(os.path.getsize(self.checkpoint_path))
+            except OSError:
+                pass
             return True
 
     # -- recovery --------------------------------------------------------------
@@ -598,6 +688,8 @@ class WriteAheadLog:
                 records, ends = [], []
             applied, keep_length = committed_prefix(records, ends)
             self.checkpoint_seq = checkpoint_seq
+            if applied:
+                self._m()["recovered"].inc(len(applied))
             self.replaying = True
             try:
                 if state is not None:
@@ -667,6 +759,47 @@ class CheckpointWorker:
         self.last_error: Optional[BaseException] = None
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        # Failure surfacing (see _record_outcome): the latched error is
+        # also exported through the metrics registry and logged once per
+        # *distinct* error, so a quietly failing background worker shows
+        # up on a dashboard instead of waiting for a manual poll.
+        self._last_warned: Optional[str] = None
+        registry = registry_for(database)
+        self._runs_metric = registry.counter(
+            "repro_checkpoint_worker_runs_total",
+            "Background checkpoint cycles that took a checkpoint.",
+        ).labels()
+        self._errors_metric = registry.counter(
+            "repro_checkpoint_worker_errors_total",
+            "Background checkpoint cycles that raised.",
+        ).labels()
+        self._failing_metric = registry.gauge(
+            "repro_checkpoint_worker_failing",
+            "1 while the most recent background checkpoint cycle failed, else 0.",
+        ).labels()
+
+    def _record_outcome(self, error: Optional[BaseException]) -> None:
+        """Latch *error* (None on success) and surface it: bump the error
+        counter, raise the failing gauge, and log a warning — once per
+        distinct error message, so a persistent failure does not spam the
+        log every interval but a *new* failure is always reported."""
+        self.last_error = error
+        if error is None:
+            self._failing_metric.set(0)
+            self._last_warned = None
+            return
+        self._errors_metric.inc()
+        self._failing_metric.set(1)
+        description = f"{type(error).__name__}: {error}"
+        if description != self._last_warned:
+            self._last_warned = description
+            _logger.warning(
+                "background checkpoint of database %r failed (will retry "
+                "every %.1fs): %s",
+                getattr(self.database, "name", "?"),
+                self.interval,
+                description,
+            )
 
     @property
     def running(self) -> bool:
@@ -686,9 +819,10 @@ class CheckpointWorker:
             try:
                 if self.run_once():
                     self.cycles += 1
-                self.last_error = None
-            except Exception as error:  # keep the loop alive; surface via attr
-                self.last_error = error
+                    self._runs_metric.inc()
+                self._record_outcome(None)
+            except Exception as error:  # keep the loop alive; surface it
+                self._record_outcome(error)
 
     def start(self) -> "CheckpointWorker":
         if self.running:

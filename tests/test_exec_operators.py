@@ -443,3 +443,64 @@ class TestStreamingContract:
         assert Plan(query, database).streaming is True
         baseline = Plan(query, database, streaming=False)
         assert baseline.execute() == Plan(query, database).execute()
+
+
+class TestExplainAnalyzeDrainsFirst:
+    """``ResultSet.explain(analyze=True)`` must never report partial
+    actuals: called on a fresh or partially-streamed result set it drains
+    the pipeline first, so the tree it renders always shows the finished
+    counts (pinned here; the drain also caches the canonical answer)."""
+
+    def make_database(self, n=200) -> Database:
+        database = Database("explaindb")
+        table = database.create_table("T", ["A", "B"])
+        table.insert_many([(i, i % 7) for i in range(n)])
+        return database
+
+    QUERY = "range of t is T retrieve (t.A) where t.B != 99"
+
+    def test_fresh_result_explain_analyze_reports_full_actuals(self):
+        database = self.make_database(n=200)
+        session = database.session()
+        result = session.execute(self.QUERY)
+        tree = result.explain(analyze=True)
+        assert result.pipeline.drained
+        assert "(partial)" not in tree
+        assert "actual rows=200" in tree  # the scan saw every row
+        # and the drain cached the canonical answer as a side effect
+        assert len(result.rows) == 200
+
+    def test_partially_streamed_result_drains_before_reporting(self):
+        database = self.make_database(n=200)
+        session = database.session()
+        result = session.execute(self.QUERY)
+        iterator = iter(result)
+        for _ in range(3):   # pull a prefix only
+            next(iterator)
+        assert not result.pipeline.drained
+        tree = result.explain(analyze=True)
+        assert result.pipeline.drained
+        assert "(partial)" not in tree
+        assert "actual rows=200" in tree
+        # identical to the tree of a result drained the normal way
+        drained = session.execute(self.QUERY)
+        drained.rows
+        strip = lambda text: re.sub(r"time=\d+\.\d+ms", "time=?", text)
+        assert strip(tree) == strip(drained.explain(analyze=True))
+
+    def test_undrained_tree_rendering_is_marked_partial(self):
+        """Rendering an operator tree mid-stream (the low-level
+        render_tree surface, not ResultSet.explain) must flag nodes that
+        are still producing instead of passing partial counts off as
+        finals."""
+        from repro.exec.pipeline import render_tree
+
+        database = self.make_database(n=200)
+        session = database.session()
+        result = session.execute(self.QUERY)
+        iterator = iter(result)
+        next(iterator)
+        tree = render_tree(result.pipeline.root, analyze=True)
+        assert "(partial)" in tree
+        result.rows  # drain
+        assert "(partial)" not in render_tree(result.pipeline.root, analyze=True)
