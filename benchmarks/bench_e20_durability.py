@@ -35,6 +35,7 @@ import random
 import shutil
 import sys
 import tempfile
+import threading
 import time
 from typing import Callable, List, Optional, Tuple
 
@@ -46,6 +47,8 @@ QUICK_SIZES = (200, 500)
 DOMAIN_SIZE = 64
 #: The full sweep enforces the PR's overhead budget for the buffered log.
 MAX_SYNC_NONE_OVERHEAD = 0.30
+FULL_COMMIT_THREADS = (8, 50)   # (threads, commits per thread)
+QUICK_COMMIT_THREADS = (4, 15)
 
 
 # ---------------------------------------------------------------------------
@@ -206,6 +209,99 @@ def run_experiments(sizes=FULL_SIZES, metric=None, line=None,
 
 
 # ---------------------------------------------------------------------------
+# Group commit (concurrent-network-service PR delta)
+# ---------------------------------------------------------------------------
+
+def run_group_commit(shape=FULL_COMMIT_THREADS, metric=None, line=None,
+                     enforce=False):
+    """Concurrent autocommit writers against ``sync="commit"``, with and
+    without group commit.
+
+    Without it every depth-0 commit fsyncs inline under the WAL lock —
+    exactly one fsync per commit.  With it the fsync moves outside the
+    append+apply critical section, so a commit whose records were already
+    covered by a neighbour's fsync coalesces instead of issuing its own.
+    Each variant's log is recovered afterwards and checked against the
+    live row set, so the cheaper fsync schedule is shown to lose nothing.
+    """
+    thread_count, commits_each = shape
+    commits = thread_count * commits_each
+    root = tempfile.mkdtemp(prefix="bench-e20-gc-")
+    try:
+        for variant, group_commit in (("group", True), ("inline", False)):
+            path = os.path.join(root, variant)
+            database = Database.open(
+                path, sync="commit", group_commit=group_commit
+            )
+            database.create_table("GC", ["K", "V"])
+            wal = database.wal
+            base_fsyncs = wal.fsyncs_issued
+            base_coalesced = wal.commits_coalesced
+            barrier = threading.Barrier(thread_count)
+
+            def worker(tid: int) -> None:
+                barrier.wait()
+                for n in range(commits_each):
+                    database.insert_many(
+                        "GC", [(tid * commits_each + n, tid)]
+                    )
+
+            threads = [
+                threading.Thread(target=worker, args=(tid,))
+                for tid in range(thread_count)
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - start
+
+            fsyncs = wal.fsyncs_issued - base_fsyncs
+            coalesced = wal.commits_coalesced - base_coalesced
+            live_rows = frozenset(database.table("GC").rows())
+            database.close()
+
+            # every commit either issued an fsync or rode a neighbour's
+            assert fsyncs + coalesced == commits, (variant, fsyncs, coalesced)
+            target = os.path.join(root, f"recover-{variant}")
+            crash_copy(path, target)
+            recovered = Database.open(target, name="recovered")
+            assert frozenset(recovered.table("GC").rows()) == live_rows
+            assert len(live_rows) == commits
+            recovered.close()
+
+            per_commit = fsyncs / commits
+            if metric is not None:
+                metric(
+                    "group_commit", elapsed, variant=variant, rows=commits,
+                    threads=thread_count, fsyncs=fsyncs,
+                    coalesced=coalesced,
+                    fsync_per_commit=round(per_commit, 3),
+                )
+            if line is not None:
+                line(
+                    f"{commits} commits on {thread_count} threads "
+                    f"[{variant}]: {fsyncs} fsyncs "
+                    f"({per_commit:.2f}/commit, {coalesced} coalesced) "
+                    f"in {elapsed * 1000:.1f}ms; recovery verified"
+                )
+            if enforce:
+                if group_commit:
+                    assert coalesced > 0 and per_commit < 1.0, (
+                        f"group commit coalesced nothing across "
+                        f"{commits} concurrent commits"
+                    )
+                else:
+                    assert fsyncs == commits, (
+                        f"inline mode issued {fsyncs} fsyncs "
+                        f"for {commits} commits"
+                    )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+# ---------------------------------------------------------------------------
 # pytest entry point (quick smoke + recovery verification)
 # ---------------------------------------------------------------------------
 
@@ -215,6 +311,15 @@ def test_durability_quick(record):
     Timing budgets are only enforced on the standalone full sweep — CI
     shared runners are too noisy to gate on a 30% ratio."""
     run_experiments(sizes=QUICK_SIZES, metric=record.metric, line=record.line)
+
+
+def test_group_commit_quick(record):
+    """Quick concurrent-commit sweep; the coalescing floor is only
+    enforced on the full sweep (4 threads × 15 commits may legitimately
+    never overlap on a fast fsync)."""
+    run_group_commit(
+        shape=QUICK_COMMIT_THREADS, metric=record.metric, line=record.line
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -236,6 +341,12 @@ def main(argv: List[str]) -> int:
         line=recorder.line,
         enforce_overhead=not quick,
     )
+    run_group_commit(
+        shape=QUICK_COMMIT_THREADS if quick else FULL_COMMIT_THREADS,
+        metric=recorder.metric,
+        line=recorder.line,
+        enforce=not quick,
+    )
 
     results_path = os.path.join(here, "results.json")
     conftest.write_results_json(results_path)
@@ -255,6 +366,14 @@ def main(argv: List[str]) -> int:
                     f"{op:<16} {variant:<11} {size:>6} "
                     f"{entry['seconds']:>10.4f} {suffix}"
                 )
+    for entry in metrics:
+        if entry["op"] != "group_commit":
+            continue
+        print(
+            f"{'group_commit':<16} {entry['variant']:<11} {entry['rows']:>6} "
+            f"{entry['seconds']:>10.4f} "
+            f"{entry['fsync_per_commit']:>6.2f}fs/c"
+        )
     print(f"\nwrote {results_path}")
     return 0
 

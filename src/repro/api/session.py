@@ -27,10 +27,11 @@ statement autocommits.
 from __future__ import annotations
 
 import time
+import weakref
 from collections import OrderedDict, deque
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
-from ..core.errors import StaleResultError, StorageError
+from ..core.errors import SessionClosedError, StaleResultError, StorageError
 from ..obs import ERROR_RATIO_BUCKETS, QueryTrace, registry_for, slow_query_logger
 from ..quel.ast_nodes import (
     AppendStatement,
@@ -101,6 +102,7 @@ class PreparedStatement:
         self.compile_count = 0
 
     def _ensure_compiled(self) -> CompiledStatement:
+        self.session._check_open()
         database = self.session.database
         epoch = getattr(database, "epoch", None)
         if self._compiled is None or epoch != self._epoch:
@@ -126,7 +128,10 @@ class PreparedStatement:
         ``"auto"``) selects partitioned parallel execution for retrieves
         — see :class:`repro.quel.planner.Plan`; DML and the fast path
         ignore it."""
-        return self._ensure_compiled().execute(params or {}, parallelism=parallelism)
+        self.session._check_open()
+        result = self._ensure_compiled().execute(params or {}, parallelism=parallelism)
+        self.session._track_result(result)
+        return result
 
     def explain(self, params: Optional[Mapping[str, Any]] = None) -> str:
         """The currently chosen strategy (re-planned if the epoch moved)."""
@@ -160,9 +165,13 @@ class Transaction:
     def active(self) -> bool:
         return self._active
 
-    def __enter__(self) -> "Transaction":
+    def begin(self) -> "Transaction":
+        """Start the group explicitly (what ``__enter__`` does) — for
+        callers whose begin and commit/rollback live in different scopes,
+        like the server mapping them onto separate HTTP requests."""
         if self._active:
             raise StorageError("transaction already entered")
+        self.session._check_open()
         database = self.session.database
         self._snapshot = database.snapshot()
         self._tables = tuple(database.catalog.table_names())
@@ -171,6 +180,9 @@ class Transaction:
         self.session._transactions.append(self)
         self._mark("begin")
         return self
+
+    def __enter__(self) -> "Transaction":
+        return self.begin()
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         if self._active:
@@ -293,6 +305,15 @@ class Session:
         self.cache_size = cache_size
         self._statements: "OrderedDict[Any, PreparedStatement]" = OrderedDict()
         self._transactions: List[Transaction] = []
+        self._closed = False
+        #: Undrained lazy pipelines this session handed out — close()
+        #: invalidates them so a released connection cannot keep
+        #: streaming.  Weak: a garbage-collected result set needs no
+        #: invalidation.
+        self._pipelines: "weakref.WeakSet" = weakref.WeakSet()
+        #: Context stamped onto every new trace's ``tags`` (the server
+        #: sets client/request ids here before dispatching a statement).
+        self.trace_tags: Dict[str, Any] = {}
         #: Statements slower than this many wall seconds go to the
         #: slow-query log (None disables it).
         self.slow_query_threshold: Optional[float] = None
@@ -371,7 +392,68 @@ class Session:
             "Shard skew (max/mean rows) of the most recent parallel drain.",
         )
 
+    # -- lifecycle ------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionClosedError(
+                "this session is closed; its prepared statements and "
+                "undrained result sets were invalidated by Session.close()"
+            )
+
+    def _track_result(self, result: ResultSet) -> None:
+        """Remember *result*'s lazy pipeline so close() can invalidate it."""
+        pipeline = result.pipeline
+        if pipeline is not None:
+            self._pipelines.add(pipeline)
+
+    def close(self) -> None:
+        """Release the session: roll back any open transaction, invalidate
+        every prepared handle and undrained lazy result set, and make all
+        later statement entry points raise :class:`SessionClosedError`.
+
+        Idempotent — a second close is a no-op.  The underlying database
+        is shared (other sessions may still speak to it) and is *not*
+        closed here.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        # Open groups roll back: a connection that vanished mid-group
+        # must not leave its half-applied statements behind.
+        for transaction in list(self._transactions):
+            if transaction.active:
+                try:
+                    transaction.rollback()
+                except Exception:
+                    pass  # close() must always complete
+        error = SessionClosedError(
+            "the session owning this result set was closed before the "
+            "result was drained; re-execute the statement on a live session"
+        )
+        for pipeline in list(self._pipelines):
+            pipeline.invalidate(error)
+        self._pipelines.clear()
+        self._statements.clear()
+
+    def __enter__(self) -> "Session":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
     # -- statements -----------------------------------------------------------
+    def _new_trace(self, text: str) -> QueryTrace:
+        trace = QueryTrace(text)
+        if self.trace_tags:
+            trace.tags.update(self.trace_tags)
+        return trace
+
     def prepare(self, text: str) -> PreparedStatement:
         """Parse *text* once and return its (cached) prepared statement.
 
@@ -380,6 +462,7 @@ class Session:
         one compiled plan; ``$name`` placeholders normalize by name, so
         one template serves every binding.
         """
+        self._check_open()
         statement = parse_statement(text)
         key = normalize_statement(statement)
         cached = self._statements.get(key)
@@ -409,7 +492,8 @@ class Session:
         ``None``/``1`` (default) runs the plain serial pipeline.  DML
         statements accept and ignore it.
         """
-        trace = QueryTrace(text)
+        self._check_open()
+        trace = self._new_trace(text)
         started = time.perf_counter()
         try:
             prepared = self.prepare(text)
@@ -418,6 +502,27 @@ class Session:
             self._fail_trace(trace, error, started)
             raise
         trace.phase("parse", time.perf_counter() - started)
+        return self._traced_execute(prepared, trace, started, params, parallelism)
+
+    def execute_prepared(
+        self,
+        prepared: PreparedStatement,
+        params: Optional[Mapping[str, Any]] = None,
+        parallelism: Optional[Any] = None,
+    ) -> ResultSet:
+        """Run an already-prepared statement with full session tracing —
+        the same trace/metric surface as :meth:`execute`, minus the parse
+        phase the handle already paid.  (What the server's
+        ``/prepared/{id}/execute`` endpoint dispatches through, so a
+        prepared round-trip still lands in ``recent_traces`` with its
+        request tags.)"""
+        self._check_open()
+        if prepared.session is not self:
+            raise StorageError(
+                "prepared statement belongs to a different session"
+            )
+        trace = self._new_trace(prepared.text)
+        started = time.perf_counter()
         return self._traced_execute(prepared, trace, started, params, parallelism)
 
     def executemany(
@@ -432,7 +537,7 @@ class Session:
         prepared = self.prepare(text)
         total = 0
         for params in param_sequence:
-            trace = QueryTrace(text)
+            trace = self._new_trace(text)
             started = time.perf_counter()
             result = self._traced_execute(
                 prepared, trace, started, params, parallelism
@@ -474,6 +579,7 @@ class Session:
         trace.rows_affected = result.rows_affected
         self._statements_metric.labels(kind=kind, outcome="ok").inc()
         self._latency_metric.labels(kind=kind).observe(trace.seconds)
+        self._track_result(result)
         pipeline = result.pipeline
         if pipeline is not None:
             # Lazy retrieve: the trace finishes when the tree drains.
@@ -603,7 +709,10 @@ class Session:
 
     # -- transactions ---------------------------------------------------------
     def transaction(self) -> Transaction:
-        """A new all-or-nothing statement group (use as a context manager)."""
+        """A new all-or-nothing statement group (use as a context manager,
+        or drive :meth:`Transaction.begin` / ``commit`` / ``rollback``
+        explicitly)."""
+        self._check_open()
         return Transaction(self)
 
     @property

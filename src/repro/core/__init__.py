@@ -102,6 +102,7 @@ from .errors import (
     ReferentialViolation,
     ReproError,
     SchemaError,
+    SessionClosedError,
     StaleResultError,
     StorageError,
     TautologyError,
@@ -136,6 +137,7 @@ __all__ = [
     # errors
     "AlgebraError", "AttributeNotFound", "ConstraintViolation", "DomainError", "KeyViolation",
     "NotJoinableError", "NotNullViolation", "QuelError", "QuelLexError", "QuelParseError",
-    "QuelSemanticError", "ReferentialViolation", "ReproError", "SchemaError", "StaleResultError",
+    "QuelSemanticError", "ReferentialViolation", "ReproError", "SchemaError",
+    "SessionClosedError", "StaleResultError",
     "StorageError", "TautologyError", "UnionCompatibilityError", "WalError", "WalWarning",
 ]

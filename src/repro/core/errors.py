@@ -125,6 +125,14 @@ class StaleResultError(StorageError):
     """
 
 
+class SessionClosedError(StorageError):
+    """An operation reached a :class:`~repro.api.session.Session` (or a
+    prepared statement / result set belonging to one) after
+    ``Session.close()``.  Close is deliberate and final: prepared handles
+    and undrained lazy result sets are invalidated rather than left to
+    read through a connection their owner already released."""
+
+
 class WalError(StorageError):
     """The write-ahead log or a checkpoint file could not be used."""
 

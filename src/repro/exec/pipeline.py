@@ -270,6 +270,18 @@ class Pipeline:
             yield ordered[i]
             i += 1
 
+    def invalidate(self, error: BaseException) -> None:
+        """Latch *error* onto an undrained pipeline so every later pull
+        raises it (the session-close path: an open lazy result set whose
+        session went away fails loudly instead of streaming on).  A
+        pipeline that already finished — drained, released, or already
+        latched — is left untouched: its cached answer stays readable.
+        """
+        if self._exhausted or self._released or self._error is not None:
+            return
+        self._error = error
+        self._notify_complete(error)
+
     def run(self) -> XRelation:
         """Drain the tree and return the canonical minimal answer.
 

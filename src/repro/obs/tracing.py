@@ -44,6 +44,7 @@ class QueryTrace:
         "seconds",
         "slow",
         "finished",
+        "tags",
     )
 
     def __init__(self, text: str):
@@ -67,6 +68,9 @@ class QueryTrace:
         self.seconds: float = 0.0
         self.slow: bool = False
         self.finished: bool = False
+        #: caller-attached context (the server stamps client/request
+        #: ids here, see ``Session.trace_tags``); empty for local use.
+        self.tags: Dict[str, Any] = {}
 
     def phase(self, name: str, seconds: float) -> None:
         self.phases[name] = self.phases.get(name, 0.0) + seconds
@@ -86,6 +90,7 @@ class QueryTrace:
             "seconds": self.seconds,
             "slow": self.slow,
             "finished": self.finished,
+            "tags": dict(self.tags),
         }
 
     def __repr__(self) -> str:

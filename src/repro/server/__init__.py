@@ -1,0 +1,34 @@
+"""The concurrent network service: an asyncio HTTP front end that serves
+per-connection :class:`repro.Session`\\ s over one shared
+:class:`repro.storage.Database`.
+
+Quick start::
+
+    from repro.server import ServerClient, serve
+
+    handle = serve(database)                     # background thread
+    with ServerClient.for_handle(handle) as client:
+        client.execute("append to EMP (E# = $e)", {"e": 1})
+        page = client.open_cursor("range of e is EMP retrieve (e.E#)")
+    handle.stop()
+
+See :mod:`repro.server.app` for the endpoint table and the concurrency
+model (single-writer / concurrent-reader statement gate, per-connection
+ownership of sessions, prepared handles, cursors and transactions).
+"""
+
+from .app import ReproServer, ServerHandle, serve, status_for
+from .client import CursorPage, PreparedHandle, ServerClient, ServerError
+from .gate import StatementGate
+
+__all__ = [
+    "CursorPage",
+    "PreparedHandle",
+    "ReproServer",
+    "ServerClient",
+    "ServerError",
+    "ServerHandle",
+    "StatementGate",
+    "serve",
+    "status_for",
+]

@@ -1,0 +1,49 @@
+"""JSON encoding/decoding between the wire and the engine's row model.
+
+Rows cross the wire as plain JSON objects.  The engine's "no
+information" null (``NI``) maps to JSON ``null`` in both directions —
+an x-tuple never *stores* NI (absent attributes simply aren't bound),
+so encoding asks the tuple for every output column and nulls the
+unbound ones, and decoding turns ``null`` parameter values back into
+``NI`` before they reach the executor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..core.nulls import NI, is_ni
+from ..core.tuples import XTuple
+
+__all__ = ["row_to_json", "rows_to_json", "decode_params"]
+
+
+def _value_to_json(value: Any) -> Any:
+    if is_ni(value):
+        return None
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)  # exotic domain values degrade to their repr
+
+
+def row_to_json(row: XTuple, columns: Sequence[str]) -> Dict[str, Any]:
+    """One row as a JSON object over *columns* (unbound → ``null``)."""
+    return {column: _value_to_json(row[column]) for column in columns}
+
+
+def rows_to_json(
+    rows: Iterable[XTuple], columns: Sequence[str]
+) -> List[Dict[str, Any]]:
+    return [row_to_json(row, columns) for row in rows]
+
+
+def decode_params(raw: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Wire parameters → engine parameters (``null`` → ``NI``)."""
+    if not raw:
+        return {}
+    if not isinstance(raw, Mapping):
+        raise ValueError(f"params must be a JSON object, got {type(raw).__name__}")
+    return {
+        str(name): (NI if value is None else value)
+        for name, value in raw.items()
+    }

@@ -35,7 +35,7 @@ class Catalog:
     # -- write-ahead logging -------------------------------------------------------
     def _wal_lock(self):
         wal = self._wal
-        return wal.lock if wal is not None else nullcontext()
+        return wal.commit_scope() if wal is not None else nullcontext()
 
     def _log(self, record: dict) -> None:
         wal = self._wal

@@ -159,6 +159,7 @@ class Database(Mapping[str, Relation]):
         path: str,
         *,
         sync: str = "commit",
+        group_commit: bool = True,
         checkpoint_interval: Optional[float] = None,
         checkpoint_min_log_bytes: int = 1,
     ):
@@ -182,7 +183,7 @@ class Database(Mapping[str, Relation]):
 
         if self._wal is not None:
             raise StorageError(f"database {self.name!r} already has a WAL attached")
-        wal = WriteAheadLog(path, sync=sync)
+        wal = WriteAheadLog(path, sync=sync, group_commit=group_commit)
         wal.set_metrics(self.metrics)
         wal.recover_into(self)
         self._wal = wal
@@ -207,6 +208,7 @@ class Database(Mapping[str, Relation]):
         name: str = "db",
         *,
         sync: str = "commit",
+        group_commit: bool = True,
         checkpoint_interval: Optional[float] = None,
     ) -> "Database":
         """Open (or create) a durable database at *path*.
@@ -216,7 +218,12 @@ class Database(Mapping[str, Relation]):
         is exactly the last durable state.
         """
         database = cls(name)
-        database.attach_wal(path, sync=sync, checkpoint_interval=checkpoint_interval)
+        database.attach_wal(
+            path,
+            sync=sync,
+            group_commit=group_commit,
+            checkpoint_interval=checkpoint_interval,
+        )
         return database
 
     def checkpoint(self) -> bool:

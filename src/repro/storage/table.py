@@ -83,9 +83,12 @@ class Table:
 
     # -- write-ahead logging ------------------------------------------------------
     def _wal_lock(self):
-        """The WAL's lock when one is attached, else a no-op context."""
+        """The WAL's append-and-apply scope when one is attached, else a
+        no-op context.  The scope holds the WAL lock (so the checkpoint
+        worker never snapshots between a record and its state change) and
+        issues any deferred group-commit fsync on the way out."""
         wal = self._wal
-        return wal.lock if wal is not None else nullcontext()
+        return wal.commit_scope() if wal is not None else nullcontext()
 
     def _log(self, op: str, **fields) -> None:
         """Append one logical record for this table (no-op without a WAL,

@@ -688,3 +688,101 @@ class TestCheckpointWorker:
         recovered = Database.open(source, name="recovered")
         assert canonical_state(recovered) == expected
         recovered.close()
+
+
+class TestGroupCommit:
+    """PR 9 satellite: concurrent depth-0 commit boundaries coalesce into
+    shared fsyncs (one fsync serves all writers queued behind it) without
+    weakening the statement-returns-after-durable guarantee."""
+
+    def test_single_threaded_fsync_per_commit_unchanged(self, tmp_path):
+        database = Database.open(str(tmp_path / "db"))
+        database.create_table("T", ["K"])
+        wal = database.wal
+        base = wal.fsyncs_issued
+        for i in range(7):
+            database.insert("T", {"K": i})
+        # No concurrency → nothing to coalesce: one fsync per boundary.
+        assert wal.fsyncs_issued - base == 7
+        assert wal.commits_coalesced == 0
+        database.close()
+
+    def test_explicit_scope_defers_to_one_fsync(self, tmp_path):
+        database = Database.open(str(tmp_path / "db"))
+        database.create_table("T", ["K"])
+        wal = database.wal
+        base = wal.fsyncs_issued
+        with wal.commit_scope():
+            database.insert("T", {"K": 1})
+            database.insert("T", {"K": 2})
+        # Both appends deferred to the outer scope's single exit sync.
+        assert wal.fsyncs_issued - base == 1
+        database.close()
+
+    def test_concurrent_commits_coalesce_and_recover(self, tmp_path):
+        source = str(tmp_path / "db")
+        database = Database.open(source)
+        database.create_table("T", ["A", "B"])
+        wal = database.wal
+        base = wal.fsyncs_issued
+        threads, per_thread = 6, 40
+
+        def work(worker: int) -> None:
+            for i in range(per_thread):
+                database.insert("T", {"A": worker, "B": i})
+
+        pool = [
+            threading.Thread(target=work, args=(worker,))
+            for worker in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        commits = threads * per_thread
+        # Every commit boundary was made durable exactly once: by its own
+        # fsync or by a later writer's covering fsync.
+        assert wal.fsyncs_issued - base + wal.commits_coalesced == commits
+        assert len(database.catalog.table("T").relation.tuples()) == commits
+        expected = canonical_state(database)
+        database.close()
+        recovered = Database.open(source, name="recovered")
+        assert canonical_state(recovered) == expected
+        recovered.close()
+
+    def test_group_commit_off_restores_inline_fsync(self, tmp_path):
+        database = Database.open(str(tmp_path / "db"), group_commit=False)
+        database.create_table("T", ["K"])
+        wal = database.wal
+        assert wal.group_commit is False
+        base = wal.fsyncs_issued
+        with wal.commit_scope():
+            database.insert("T", {"K": 1})
+            database.insert("T", {"K": 2})
+        # Inline mode fsyncs inside the critical section, scope or not.
+        assert wal.fsyncs_issued - base == 2
+        database.close()
+
+    def test_sync_none_never_fsyncs_on_append(self, tmp_path):
+        database = Database.open(str(tmp_path / "db2"), sync="none")
+        database.create_table("T", ["K"])
+        wal = database.wal
+        base = wal.fsyncs_issued
+        for i in range(5):
+            database.insert("T", {"K": i})
+        assert wal.fsyncs_issued == base
+        database.close()
+
+    def test_transaction_markers_still_fsync_at_close(self, tmp_path):
+        database = Database.open(str(tmp_path / "db"))
+        database.create_table("T", ["K"])
+        session = connect(database)
+        wal = database.wal
+        base = wal.fsyncs_issued
+        with session.transaction():
+            session.execute("append to T (K = 1)")
+            session.execute("append to T (K = 2)")
+        # Inside the group nothing syncs; the commit marker is the one
+        # durability point the group rides out on.
+        assert wal.fsyncs_issued - base == 1
+        database.close()
