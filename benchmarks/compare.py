@@ -5,6 +5,11 @@ Usage::
     python benchmarks/compare.py BASELINE.json CURRENT.json \
         [--threshold 0.2] [--experiments e17_streaming_executor,e15_cost_optimizer]
 
+``--experiments`` also accepts short ids: a name that matches no
+experiment exactly selects every experiment it prefixes, so
+``--experiments e13,e22`` tracks ``e13_wal_durability`` and
+``e22_optimizer_v2`` without spelling the full ids.
+
 Every structured metric is keyed by ``(experiment, op, variant, rows)``;
 for each key present in *both* files the wall-time ratio
 ``current / baseline`` is computed, and any tracked metric slower by
@@ -70,14 +75,29 @@ def compare(
 
     A regression is a shared key whose current wall time exceeds the
     baseline by more than *threshold* (0.2 = 20% slower).
+
+    *experiments* entries match an experiment id exactly, or — when no
+    id equals the entry — by prefix (``e22`` selects
+    ``e22_optimizer_v2``), so the CLI accepts the short ids the bench
+    modules print.
     """
     wanted = set(experiments) if experiments else None
     report: List[str] = []
     regressions: List[str] = []
     shared = sorted(set(baseline) & set(current))
+    known = {experiment for experiment, _, _, _ in set(baseline) | set(current)}
+
+    def tracked(experiment: str) -> bool:
+        if wanted is None or experiment in wanted:
+            return True
+        return any(
+            name not in known and experiment.startswith(name)
+            for name in wanted
+        )
+
     for key in shared:
         experiment, op, variant, rows = key
-        if wanted is not None and experiment not in wanted:
+        if not tracked(experiment):
             continue
         old, new = baseline[key], current[key]
         ratio = (new / old) if old > 0 else float("inf")

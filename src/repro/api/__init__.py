@@ -8,7 +8,17 @@ normalized AST + catalog epoch, and groups statements atomically through
 :meth:`Session.transaction`.  See :mod:`repro.api.session`.
 """
 
+from .result_cache import CACHED_STEP, DEFAULT_RESULT_CACHE_SIZE, ResultCache
 from .results import ResultSet
 from .session import PreparedStatement, Session, Transaction, connect
 
-__all__ = ["ResultSet", "PreparedStatement", "Session", "Transaction", "connect"]
+__all__ = [
+    "CACHED_STEP",
+    "DEFAULT_RESULT_CACHE_SIZE",
+    "PreparedStatement",
+    "ResultCache",
+    "ResultSet",
+    "Session",
+    "Transaction",
+    "connect",
+]

@@ -159,6 +159,12 @@ class CompiledStatement:
         """A human-readable account of the chosen strategy."""
         raise NotImplementedError
 
+    def referenced_tables(self) -> Optional[Tuple[Any, ...]]:
+        """The stored tables this statement's answer is a pure function
+        of, or ``None`` when the statement is not result-cacheable
+        (mutations, RETRIEVE INTO, ranges over ad-hoc relations)."""
+        return None
+
 
 # ---------------------------------------------------------------------------
 # RETRIEVE
@@ -173,6 +179,20 @@ class _PlanRetrieve(CompiledStatement):
         self.analyzed = analyzed
         self.parameters = analyzed.parameters
         self.into = analyzed.into
+        finder = getattr(database, "table_for_relation", None)
+        tables = None
+        if finder is not None and not self.into:
+            tables = []
+            for relation in analyzed.query.ranges.values():
+                table = finder(relation)
+                if table is None:
+                    tables = None  # an ad-hoc range: not result-cacheable
+                    break
+                tables.append(table)
+        self._tables = tuple(tables) if tables is not None else None
+
+    def referenced_tables(self) -> Optional[Tuple[Any, ...]]:
+        return self._tables
 
     def execute(
         self, params: Mapping[str, Any], parallelism=None
@@ -396,6 +416,9 @@ class _FastRetrieve(CompiledStatement):
 
     def describe(self, params: Optional[Mapping[str, Any]] = None) -> str:
         return "\n".join(self._step_texts())
+
+    def referenced_tables(self) -> Optional[Tuple[Any, ...]]:
+        return (self.table,)
 
 
 _FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "==": "==", "!=": "!="}

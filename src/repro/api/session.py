@@ -43,6 +43,7 @@ from ..quel.ast_nodes import (
 )
 from ..quel.parser import parse_statement
 from .compiled import CompiledStatement, compile_statement
+from .result_cache import CACHED_STEP, DEFAULT_RESULT_CACHE_SIZE, ResultCache
 from .results import ResultSet
 
 
@@ -91,10 +92,22 @@ class PreparedStatement:
     miss a new one.
     """
 
-    def __init__(self, session: "Session", text: str, statement: Statement):
+    def __init__(
+        self,
+        session: "Session",
+        text: str,
+        statement: Statement,
+        statement_key: Any = None,
+    ):
         self.session = session
         self.text = text
         self.statement = statement
+        #: The normalized-AST cache key (shared with the plan cache and
+        #: the semantic result cache, so equivalent texts share entries).
+        self.statement_key = (
+            statement_key if statement_key is not None
+            else normalize_statement(statement)
+        )
         self._compiled: Optional[CompiledStatement] = None
         self._epoch: Optional[int] = None
         #: How many times this statement was (re)compiled — observable
@@ -282,6 +295,17 @@ class Session:
     trace_capacity:
         How many recent :class:`~repro.obs.QueryTrace` spans the session
         retains (see :meth:`recent_traces`).
+    result_cache_size:
+        Capacity of the semantic result cache (materialized answers keyed
+        by normalized statement + bound parameters + table versions; see
+        :mod:`repro.api.result_cache`).  ``0`` disables result caching —
+        every retrieve then re-executes.
+    adaptive_feedback:
+        When True (default), every drained plan folds its per-step
+        actual/estimated row ratios back into the scanned tables'
+        statistics as bounded correction factors the optimizer consults
+        on the next plan (see
+        :meth:`repro.stats.TableStatistics.observe_estimate`).
 
     Every :meth:`execute` call opens a query trace — phase wall times
     (parse → analyze → plan → execute), statement kind, plan shape and
@@ -296,13 +320,28 @@ class Session:
     ``repro_slow_queries_total`` counter.
     """
 
-    def __init__(self, database, cache_size: int = 128, trace_capacity: int = 64):
+    def __init__(
+        self,
+        database,
+        cache_size: int = 128,
+        trace_capacity: int = 64,
+        result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+        adaptive_feedback: bool = True,
+    ):
         if not hasattr(database, "catalog"):
             raise TypeError(
                 f"connect() needs a repro.storage.Database, got {database!r}"
             )
         self.database = database
         self.cache_size = cache_size
+        #: The semantic result cache (None when disabled).
+        self.result_cache: Optional[ResultCache] = (
+            ResultCache(database, result_cache_size)
+            if result_cache_size > 0 else None
+        )
+        #: Whether drained plans feed estimate errors back into table
+        #: statistics (the optimizer's adaptive correction loop).
+        self.adaptive_feedback = adaptive_feedback
         self._statements: "OrderedDict[Any, PreparedStatement]" = OrderedDict()
         self._transactions: List[Transaction] = []
         self._closed = False
@@ -471,7 +510,7 @@ class Session:
             self._statements.move_to_end(key)
             return cached
         self._plan_cache_metric.labels(event="miss").inc()
-        prepared = PreparedStatement(self, text, statement)
+        prepared = PreparedStatement(self, text, statement, statement_key=key)
         if self.cache_size > 0:
             self._statements[key] = prepared
             while len(self._statements) > self.cache_size:
@@ -559,11 +598,53 @@ class Session:
         pipeline-completion hook that folds the drain-side actuals in."""
         kind = _statement_kind(prepared.statement)
         trace.kind = kind
+        cache_key = None
         try:
             t_analyze = time.perf_counter()
             compiled = prepared._ensure_compiled()
             t_execute = time.perf_counter()
             trace.phase("analyze", t_execute - t_analyze)
+            cache = self.result_cache
+            if cache is not None and parallelism is None:
+                # The key is computed *before* execution: versions are
+                # monotone, so a hit under this key is provably an answer
+                # for the tables' current states (see result_cache docs).
+                tables = compiled.referenced_tables()
+                if tables is not None:
+                    cache_key = cache.key_for(
+                        prepared.statement_key,
+                        params or {},
+                        compiled.parameters,
+                        tables,
+                    )
+                if cache_key is not None:
+                    hit = cache.lookup(cache_key)
+                    if hit is not None:
+                        relation, steps, sorted_rows = hit
+                        result = ResultSet(
+                            relation, steps=(CACHED_STEP,) + steps
+                        )
+                        if sorted_rows is None:
+                            # First hit sorts once; the entry memoizes it.
+                            sorted_rows = relation.representation.sorted_rows()
+                            hit[2] = sorted_rows
+                        result._sorted_rows = list(sorted_rows)
+                        t_done = time.perf_counter()
+                        trace.phase("execute", t_done - t_execute)
+                        trace.seconds = t_done - started
+                        trace.rows_out = len(relation)
+                        trace.plan = list(result.steps)
+                        trace.tags["result_cache"] = "hit"
+                        trace.finished = True
+                        self._statements_metric.labels(
+                            kind=kind, outcome="ok"
+                        ).inc()
+                        self._latency_metric.labels(kind=kind).observe(
+                            trace.seconds
+                        )
+                        self._traces.append(trace)
+                        self._check_slow(trace)
+                        return result
             result = compiled.execute(params or {}, parallelism=parallelism)
             t_done = time.perf_counter()
         except Exception as error:
@@ -582,10 +663,11 @@ class Session:
         self._track_result(result)
         pipeline = result.pipeline
         if pipeline is not None:
-            # Lazy retrieve: the trace finishes when the tree drains.
+            # Lazy retrieve: the trace finishes when the tree drains (and
+            # the drained answer, if cacheable, lands in the result cache).
             pipeline.on_complete = (
-                lambda p, error, _trace=trace: self._pipeline_completed(
-                    _trace, p, error
+                lambda p, error, _trace=trace, _key=cache_key: (
+                    self._pipeline_completed(_trace, p, error, _key)
                 )
             )
         else:
@@ -597,6 +679,11 @@ class Session:
             relation = getattr(result, "_relation", None)
             if relation is not None:
                 trace.rows_out = len(relation)
+                if cache_key is not None and self.result_cache is not None:
+                    # Fast-path retrieve: already materialized, cache now.
+                    self.result_cache.store(
+                        cache_key, relation, result.steps
+                    )
             trace.finished = True
         self._traces.append(trace)
         self._check_slow(trace)
@@ -662,9 +749,14 @@ class Session:
         self._exec_rows_metric.inc(root.actual_rows)
         self._exec_blocks_metric.inc(total_blocks)
 
-    def _pipeline_completed(self, trace: QueryTrace, pipeline, error) -> None:
+    def _pipeline_completed(
+        self, trace: QueryTrace, pipeline, error, cache_key=None
+    ) -> None:
         """The drain-side half of a lazy retrieve's trace (called once by
-        the pipeline when it exhausts or latches a failure)."""
+        the pipeline when it exhausts or latches a failure).  On a clean
+        drain this is also where the answer enters the result cache and
+        where per-step actual/estimated ratios feed the adaptive
+        correction loop."""
         if error is not None:
             trace.outcome = "error"
             trace.error = f"{type(error).__name__}: {error}"
@@ -685,7 +777,21 @@ class Session:
                     self._est_error_metric.observe(
                         (node.actual_rows + 1.0) / (step.est + 1.0)
                     )
+                    if self.adaptive_feedback and step.table is not None:
+                        step.table.statistics.observe_estimate(
+                            node.actual_rows, step.est
+                        )
         trace.plan = pipeline.step_lines()
+        if (
+            error is None
+            and cache_key is not None
+            and self.result_cache is not None
+        ):
+            relation = pipeline.completed_relation()
+            if relation is not None:
+                self.result_cache.store(
+                    cache_key, relation, pipeline.step_lines()
+                )
         trace.finished = True
         self._check_slow(trace)
 
@@ -735,14 +841,24 @@ class Session:
         )
 
 
-def connect(database=None, name: str = "db", cache_size: int = 128) -> Session:
+def connect(
+    database=None,
+    name: str = "db",
+    cache_size: int = 128,
+    result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+) -> Session:
     """Open a :class:`Session` — the single client entry point.
 
     ``repro.connect(db)`` wraps an existing
     :class:`~repro.storage.database.Database`; ``repro.connect()``
     creates a fresh in-memory one (reachable as ``session.database``).
+    ``result_cache_size=0`` disables the semantic result cache.
     """
     if database is None:
         from ..storage.database import Database
         database = Database(name)
-    return Session(database, cache_size=cache_size)
+    return Session(
+        database,
+        cache_size=cache_size,
+        result_cache_size=result_cache_size,
+    )

@@ -81,10 +81,13 @@ class TraceStep:
     from ``fixed_rows`` (the materializing executor records it at step
     time) or live from ``node.actual_rows`` (the streaming executor's
     physical operator).  ``show_est`` lets the projection step keep its
-    historical ``[rows=…]``-only annotation.
+    historical ``[rows=…]``-only annotation.  ``table`` optionally names
+    the stored table a selection step's estimate was derived from — the
+    adaptive-feedback loop folds that step's actual/estimated ratio back
+    into the table's statistics when the pipeline drains.
     """
 
-    __slots__ = ("text", "est", "node", "fixed_rows", "show_est")
+    __slots__ = ("text", "est", "node", "fixed_rows", "show_est", "table")
 
     def __init__(
         self,
@@ -93,12 +96,14 @@ class TraceStep:
         node: Optional[PhysicalOperator] = None,
         fixed_rows: Optional[int] = None,
         show_est: bool = True,
+        table=None,
     ):
         self.text = text
         self.est = est
         self.node = node
         self.fixed_rows = fixed_rows
         self.show_est = show_est
+        self.table = table
 
     def rows(self) -> Optional[int]:
         if self.node is not None:
@@ -292,11 +297,40 @@ class Pipeline:
         if self._result is None:
             while self._pull():
                 pass
-            relation = Relation(self.schema, validate=False)
-            relation._rows = set(self._ordered)
-            self._result = XRelation(relation)
-            self._ordered = []
-            self._released = True
+            # The on_complete hook (which fires during the final pull)
+            # may already have installed the canonical answer via
+            # completed_relation() — never rebuild over it: the streamed
+            # buffer was released with it.
+            if self._result is None:
+                relation = Relation(self.schema, validate=False)
+                relation._rows = set(self._ordered)
+                self._result = XRelation(relation)
+                self._ordered = []
+                self._released = True
+        return self._result
+
+    def completed_relation(self) -> Optional[XRelation]:
+        """The canonical answer of an already-exhausted pipeline, or
+        ``None`` while anything is still in flight (or after a failure).
+
+        Unlike :meth:`run` this never pulls: it is safe to call from
+        inside the ``on_complete`` hook, which fires *during* the final
+        pull — ``_ordered`` holds the full streamed output at that point
+        but ``run`` has not yet cached (and must not be re-entered).  The
+        answer built here is installed as the pipeline's canonical result
+        (with the streamed buffer released, exactly as :meth:`run` does),
+        so the result cache and a later ``run()`` share one
+        :class:`XRelation` rather than materialising twice.
+        """
+        if self._result is not None:
+            return self._result
+        if not self._exhausted or self._error is not None:
+            return None
+        relation = Relation(self.schema, validate=False)
+        relation._rows = set(self._ordered)
+        self._result = XRelation(relation)
+        self._ordered = []
+        self._released = True
         return self._result
 
     # -- provenance ------------------------------------------------------------

@@ -85,6 +85,10 @@ from ..stats import (
     suggest_parallelism,
 )
 
+#: Above this many ranges the Selinger-style DP join enumeration (2^n
+#: subset states) yields to the PR 3 greedy order.
+DP_JOIN_THRESHOLD = 10
+
 
 class _RangeContext:
     """Per-range state: statistics and estimates for planning, lazily
@@ -200,6 +204,11 @@ class _RangeContext:
     def null_fraction(self, attribute: str) -> float:
         return self.stats().null_fraction(attribute)
 
+    def correction(self) -> float:
+        """The table's adaptive estimate-correction factor (1.0 when the
+        range is ad hoc, carries no feedback, or the factor is reset)."""
+        return getattr(self.stats(), "correction", 1.0)
+
 
 # ---------------------------------------------------------------------------
 # Logical plan operations — what planning produces, what both executors run
@@ -271,6 +280,14 @@ class Plan:
         fragment code sequentially in this process (the automatic
         fallback on platforms without multiprocessing, and the cheap
         mode for correctness testing).
+    join_enumeration:
+        ``"dp"`` (default) finds the cheapest left-deep combination
+        order by Selinger-style dynamic programming over connected
+        subgraphs — Cartesian products considered only for subsets with
+        no linked extension — minimising the *total* estimated
+        intermediate rows; above :data:`DP_JOIN_THRESHOLD` ranges it
+        falls back automatically.  ``"greedy"`` keeps the PR 3
+        per-step-minimal order unconditionally.
     """
 
     def __init__(
@@ -285,6 +302,7 @@ class Plan:
         block_size: int = BLOCK_SIZE,
         parallelism: Optional[Union[int, str]] = None,
         parallel_mode: str = "process",
+        join_enumeration: str = "dp",
     ):
         self.query = query
         self.database = database
@@ -295,6 +313,11 @@ class Plan:
         self.block_size = block_size
         self.parallelism = parallelism
         self.parallel_mode = parallel_mode
+        if join_enumeration not in ("dp", "greedy"):
+            raise ValueError(
+                f"join_enumeration must be 'dp' or 'greedy', got {join_enumeration!r}"
+            )
+        self.join_enumeration = join_enumeration
         self.steps: List[str] = []
         #: The last compiled streaming pipeline (set by :meth:`execute`).
         self.pipeline: Optional[Pipeline] = None
@@ -386,9 +409,13 @@ class Plan:
             conjuncts = self._plan_index_selection(ops, context, conjuncts)
             for conjunct in conjuncts:
                 attribute, op, constant = _constant_parts(conjunct)
+                # The constant's value lets a fresh ANALYZE-built
+                # histogram replace the 1/3 range guess; the table's
+                # adaptive correction folds observed misestimates in.
                 estimate = model.estimate_selection(
-                    context.stats(), attribute, op, cardinality=context.est
-                )
+                    context.stats(), attribute, op, cardinality=context.est,
+                    value=constant,
+                ) * context.correction()
                 context.est = estimate
                 context.filtered = True
                 ops.append(_LogicalOp(
@@ -398,7 +425,10 @@ class Plan:
         for variable, conjuncts in single_variable.items():
             context = contexts[variable]
             for conjunct in conjuncts:
-                estimate = context.est * self._residual_factor(conjunct)
+                estimate = (
+                    context.est * self._residual_factor(conjunct)
+                    * context.correction()
+                )
                 context.est = estimate
                 context.filtered = True
                 ops.append(_LogicalOp(
@@ -406,12 +436,20 @@ class Plan:
                     conjunct=conjunct, est=estimate,
                 ))
 
-        # Step 3: greedy cost-ordered combination.  Start from the
-        # estimated-smallest range; at each step join the linked range
-        # with the smallest estimated output, falling back to the
-        # estimated-smallest remaining range as a product when nothing is
-        # linked.
-        start = min(variables, key=lambda v: (contexts[v].est, declaration[v]))
+        # Step 3: cost-ordered combination.  The DP enumerator finds the
+        # left-deep order minimising the *total* estimated intermediate
+        # rows (Selinger-style over connected subgraphs, products
+        # deferred); when it declines — greedy mode, a single range, or
+        # more than DP_JOIN_THRESHOLD ranges — the PR 3 greedy order is
+        # used: estimated-smallest start, then at each step the linked
+        # range with the smallest estimated join output, products
+        # (smallest first) only when nothing is linked.
+        order = self._dp_join_order(variables, declaration, contexts,
+                                    equijoins, deferred)
+        if order is not None:
+            start = order[0]
+        else:
+            start = min(variables, key=lambda v: (contexts[v].est, declaration[v]))
         self._start = start
         included: Set[str] = {start}
         remaining = [v for v in variables if v != start]
@@ -422,21 +460,36 @@ class Plan:
 
         while remaining:
             best = None
-            for variable in remaining:
-                links = _pick_equijoins(equijoins, included, variable)
-                if not links:
-                    continue
-                pairs = _orient_links(links, included)
-                estimate = self._join_estimate(
-                    current, distincts, contexts, contexts[variable], pairs
-                )
-                key = (estimate, declaration[variable])
-                if best is None or key < best[0]:
-                    best = (key, variable, links, pairs, estimate)
+            if order is not None:
+                # Follow the DP-chosen order; whether the next range
+                # joins or products falls out of its links as usual.
+                candidate = order[len(included)]
+                links = _pick_equijoins(equijoins, included, candidate)
+                if links:
+                    pairs = _orient_links(links, included)
+                    estimate = self._join_estimate(
+                        current, distincts, contexts, contexts[candidate], pairs
+                    )
+                    best = (None, candidate, links, pairs, estimate)
+            else:
+                for variable in remaining:
+                    links = _pick_equijoins(equijoins, included, variable)
+                    if not links:
+                        continue
+                    pairs = _orient_links(links, included)
+                    estimate = self._join_estimate(
+                        current, distincts, contexts, contexts[variable], pairs
+                    )
+                    key = (estimate, declaration[variable])
+                    if best is None or key < best[0]:
+                        best = (key, variable, links, pairs, estimate)
             if best is None:
-                variable = min(
-                    remaining, key=lambda v: (contexts[v].est, declaration[v])
-                )
+                if order is not None:
+                    variable = order[len(included)]
+                else:
+                    variable = min(
+                        remaining, key=lambda v: (contexts[v].est, declaration[v])
+                    )
                 context = contexts[variable]
                 estimate = model.product_cardinality(current, context.est)
                 ops.append(_LogicalOp("product", variable=variable, est=estimate))
@@ -454,19 +507,7 @@ class Plan:
                     "join", variable=variable, pairs=pairs, est=estimate,
                     index=index,
                 ))
-                for old_ref, new_ref in pairs:
-                    old_key = self._qualify(old_ref.variable, old_ref.attribute)
-                    new_key = self._qualify(new_ref.variable, new_ref.attribute)
-                    old_distinct = distincts.get(old_key) or contexts[
-                        old_ref.variable
-                    ].distinct(old_ref.attribute)
-                    new_distinct = contexts[new_ref.variable].distinct(new_ref.attribute)
-                    shared = max(
-                        1.0,
-                        min(old_distinct or estimate, new_distinct or estimate,
-                            max(estimate, 1.0)),
-                    )
-                    distincts[old_key] = distincts[new_key] = shared
+                _fold_join_distincts(distincts, contexts, pairs, estimate)
             included.add(variable)
             remaining.remove(variable)
             current = estimate
@@ -509,6 +550,7 @@ class Plan:
             estimate = self.cost_model.estimate_selection(
                 context.stats(), attribute, op, cardinality=estimate
             )
+        estimate *= context.correction()
         probe = [by_attr[a][1] for a in index.attributes]
         described = " and ".join(
             f"{context.variable}.{a} = {by_attr[a][1]!r}" for a in index.attributes
@@ -585,6 +627,102 @@ class Plan:
         return self.cost_model.join_cardinality(
             current, context.est, key_distincts, null_fractions
         )
+
+    def _dp_join_order(
+        self,
+        variables: Sequence[str],
+        declaration: Dict[str, int],
+        contexts: Dict[str, _RangeContext],
+        equijoins: List[Comparison],
+        deferred: List[Predicate],
+    ) -> Optional[List[str]]:
+        """The cheapest left-deep combination order, by dynamic
+        programming over subsets — or ``None`` for the greedy fallback.
+
+        Selinger-style: one state per subset of ranges, extended only by
+        ranges *connected* to it through an unused equality link;
+        Cartesian products enter the enumeration only for subsets with no
+        linked extension at all ("products deferred").  A state's cost is
+        the sum of the estimated rows of every intermediate it built —
+        the same per-step estimates the emission loop will recompute
+        (``_join_estimate`` plus the deferred-conjunct selectivity folds
+        of ``_plan_deferred``), so the order handed back replays to
+        exactly the costs that selected it.  Ties break toward
+        declaration order, keeping plans deterministic.
+        """
+        if self.join_enumeration != "dp":
+            return None
+        count = len(variables)
+        if count < 2 or count > DP_JOIN_THRESHOLD:
+            return None
+        model = self.cost_model
+
+        deferred_refs = [
+            (conjunct, frozenset(conjunct.references())) for conjunct in deferred
+        ]
+
+        def fold_deferred(estimate, before, after):
+            # Mirror _plan_deferred: a deferred conjunct's selectivity
+            # applies the moment its variables are all combined.
+            for conjunct, refs in deferred_refs:
+                if refs and refs <= after and not refs <= before:
+                    estimate *= self._residual_factor(conjunct)
+            return estimate
+
+        linked: Dict[str, Set[str]] = {v: set() for v in variables}
+        for conjunct in equijoins:
+            left, right = conjunct.left.variable, conjunct.right.variable
+            linked[left].add(right)
+            linked[right].add(left)
+
+        def order_rank(order):
+            return tuple(declaration[v] for v in order)
+
+        # subset -> (cost, order, current estimate, shared-key distincts)
+        states: Dict[frozenset, Tuple[float, Tuple[str, ...], float, Dict[str, float]]] = {}
+        for variable in variables:
+            subset = frozenset((variable,))
+            estimate = fold_deferred(contexts[variable].est, frozenset(), subset)
+            states[subset] = (estimate, (variable,), estimate, {})
+
+        for size in range(1, count):
+            for subset in [s for s in states if len(s) == size]:
+                cost, order, current, distincts = states[subset]
+                connected = [
+                    v for v in variables if v not in subset and linked[v] & subset
+                ]
+                candidates = connected or [
+                    v for v in variables if v not in subset
+                ]
+                for variable in candidates:
+                    links = _pick_equijoins(equijoins, set(subset), variable)
+                    branch_distincts = dict(distincts)
+                    if links:
+                        pairs = _orient_links(links, set(subset))
+                        estimate = self._join_estimate(
+                            current, branch_distincts, contexts,
+                            contexts[variable], pairs,
+                        )
+                        _fold_join_distincts(
+                            branch_distincts, contexts, pairs, estimate
+                        )
+                    else:
+                        estimate = model.product_cardinality(
+                            current, contexts[variable].est
+                        )
+                    extended = subset | frozenset((variable,))
+                    estimate = fold_deferred(estimate, subset, extended)
+                    branch = (
+                        cost + estimate, order + (variable,),
+                        estimate, branch_distincts,
+                    )
+                    existing = states.get(extended)
+                    if existing is None or (
+                        (branch[0], order_rank(branch[1]))
+                        < (existing[0], order_rank(existing[1]))
+                    ):
+                        states[extended] = branch
+        return list(states[frozenset(variables)][1])
 
     def _qualified_targets(self) -> List[Tuple[str, str]]:
         return [
@@ -786,7 +924,10 @@ class Plan:
                     est=op.est, block_size=block_size,
                 )
                 chains[op.variable] = node
-                trace.append(TraceStep(text, est=op.est, node=node))
+                trace.append(TraceStep(
+                    text, est=op.est, node=node,
+                    table=contexts[op.variable].table,
+                ))
             elif op.kind == "select":
                 node = Filter(
                     scan(op.variable),
@@ -795,7 +936,10 @@ class Plan:
                     est=op.est, block_size=block_size,
                 )
                 chains[op.variable] = node
-                trace.append(TraceStep(text, est=op.est, node=node))
+                trace.append(TraceStep(
+                    text, est=op.est, node=node,
+                    table=contexts[op.variable].table,
+                ))
             elif op.kind == "select-var-residual":
                 node = Filter(
                     scan(op.variable),
@@ -804,7 +948,10 @@ class Plan:
                     est=op.est, block_size=block_size,
                 )
                 chains[op.variable] = node
-                trace.append(TraceStep(text, est=op.est, node=node))
+                trace.append(TraceStep(
+                    text, est=op.est, node=node,
+                    table=contexts[op.variable].table,
+                ))
             elif op.kind == "join":
                 left = combined_node()
                 on = self._join_on_text(op.pairs)
@@ -1435,6 +1582,32 @@ def _conjoin(predicates: List[Predicate]) -> Optional[Predicate]:
     if len(predicates) == 1:
         return predicates[0]
     return And(*predicates)
+
+
+def _fold_join_distincts(
+    distincts: Dict[str, float],
+    contexts: Dict[str, _RangeContext],
+    pairs: Sequence[Tuple[AttributeRef, AttributeRef]],
+    estimate: float,
+) -> None:
+    """After a join, both sides of each fused key share one distinct-value
+    count (containment of value sets), capped by the join's output
+    estimate — recorded under each qualified attribute for the next
+    join's estimate.  Shared between the emission loop and the DP
+    enumerator so simulated orders replay to identical costs."""
+    for old_ref, new_ref in pairs:
+        old_key = f"{old_ref.variable}.{old_ref.attribute}"
+        new_key = f"{new_ref.variable}.{new_ref.attribute}"
+        old_distinct = distincts.get(old_key) or contexts[
+            old_ref.variable
+        ].distinct(old_ref.attribute)
+        new_distinct = contexts[new_ref.variable].distinct(new_ref.attribute)
+        shared = max(
+            1.0,
+            min(old_distinct or estimate, new_distinct or estimate,
+                max(estimate, 1.0)),
+        )
+        distincts[old_key] = distincts[new_key] = shared
 
 
 def _pick_equijoins(joins: List[Comparison], included: Set[str], variable: str) -> List[Comparison]:

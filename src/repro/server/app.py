@@ -47,7 +47,12 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..api.session import PreparedStatement, Session, Transaction
+from ..api.session import (
+    DEFAULT_RESULT_CACHE_SIZE,
+    PreparedStatement,
+    Session,
+    Transaction,
+)
 from ..core.errors import (
     ConstraintViolation,
     QuelError,
@@ -230,6 +235,11 @@ class ReproServer:
         Thread-pool width for engine work (readers overlap up to this).
     default_page_rows:
         Page size for cursor fetches that don't pass ``max_rows``.
+    result_cache_size:
+        Per-connection semantic result cache capacity (materialized
+        answers keyed by statement + params + table versions; see
+        :mod:`repro.api.result_cache`).  ``0`` disables result caching
+        for every connection the server accepts.
     """
 
     def __init__(
@@ -241,12 +251,14 @@ class ReproServer:
         max_in_flight: Optional[int] = 64,
         executor_threads: int = 8,
         default_page_rows: int = 256,
+        result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
     ):
         self.database = database
         self.host = host
         self.port = port
         self.max_in_flight = max_in_flight
         self.default_page_rows = default_page_rows
+        self.result_cache_size = result_cache_size
         self.gate = StatementGate()
         self.registry = registry_for(database)
         self._executor = ThreadPoolExecutor(
@@ -363,7 +375,8 @@ class ReproServer:
     # -- connection loop -------------------------------------------------------
     async def _handle_connection(self, reader, writer) -> None:
         connection = _Connection(
-            f"c{next(self._connection_ids)}", Session(self.database)
+            f"c{next(self._connection_ids)}",
+            Session(self.database, result_cache_size=self.result_cache_size),
         )
         entry = (connection, writer)
         self._connections.add(entry)

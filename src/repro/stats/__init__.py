@@ -17,6 +17,12 @@ This package supplies the choosing machinery, System-R style:
     discipline a comparison touching ``ni`` is never TRUE, so null
     partitions are discounted from every estimate.
 
+``repro.stats.histogram``
+    :class:`EquiDepthHistogram` — ANALYZE-built per-attribute equi-depth
+    histograms over the non-null partition; the cost model reads range
+    and ``!=`` selectivities off them instead of the 1/3 constant while
+    the owning statistics stay fresh.
+
 ``repro.stats.parallel``
     :func:`suggest_parallelism` — the auto heuristic behind
     ``Plan.compile(parallelism="auto")``: parallelise only above a
@@ -28,8 +34,9 @@ joins by estimated cardinality and to decide when probing a persistent
 :class:`~repro.storage.index.HashIndex` beats rebuilding hash buckets.
 """
 
-from .statistics import TableStatistics
+from .statistics import CORRECTION_BOUND, TableStatistics
 from .cost import CostModel, DEFAULT_COST_MODEL
+from .histogram import DEFAULT_BUCKETS, EquiDepthHistogram
 from .parallel import (
     DEFAULT_MAX_WORKERS,
     PARALLEL_ROW_THRESHOLD,
@@ -41,6 +48,9 @@ __all__ = [
     "TableStatistics",
     "CostModel",
     "DEFAULT_COST_MODEL",
+    "EquiDepthHistogram",
+    "DEFAULT_BUCKETS",
+    "CORRECTION_BOUND",
     "DEFAULT_MAX_WORKERS",
     "PARALLEL_ROW_THRESHOLD",
     "multiprocessing_available",

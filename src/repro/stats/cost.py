@@ -36,6 +36,10 @@ THETA_SELECTIVITY = 1.0 / 3.0
 #: Fallback equality selectivity when no distinct count is available.
 DEFAULT_EQ_SELECTIVITY = 0.1
 
+#: Sentinel for "no constant supplied" — ``None`` is a real constant (the
+#: null literal), so absence needs its own marker.
+_NO_VALUE = object()
+
 
 class CostModel:
     """Selectivity and cardinality estimation for the QUEL optimizer."""
@@ -49,33 +53,57 @@ class CostModel:
         self.default_eq_selectivity = default_eq_selectivity
 
     # -- selections -----------------------------------------------------------
-    def selection_selectivity(self, stats: TableStatistics, attribute: str, op: str) -> float:
+    def selection_selectivity(
+        self,
+        stats: TableStatistics,
+        attribute: str,
+        op: str,
+        value=_NO_VALUE,
+    ) -> float:
         """Estimated fraction of rows a ``A op constant`` selection keeps.
 
         The null partition of *attribute* is discounted first: a null is
         never TRUE under any comparison, equality and inequality alike.
+        When the actual *value* of the constant is supplied and an
+        ANALYZE-built equi-depth histogram covers the attribute, range and
+        ``!=`` fractions come from the histogram instead of the constant
+        fallbacks (:data:`THETA_SELECTIVITY` / uniformity); without a
+        value — or without a fresh histogram — behaviour is unchanged.
+        Every path clamps to [0, 1].
         """
         if stats.row_count == 0:
             return 0.0
         visible = stats.non_null_count(attribute) / stats.row_count
+        visible = min(1.0, max(0.0, visible))
         if visible == 0.0:
             return 0.0
+        if value is not _NO_VALUE and op in ("!=", "<", "<=", ">", ">="):
+            histogram = stats.histogram(attribute)
+            if histogram is not None:
+                fraction = histogram.selectivity(op, value)
+                if fraction is not None:
+                    return min(1.0, visible * fraction)
         distinct = stats.distinct_count(attribute)
         if op in ("=", "=="):
             eq = (1.0 / distinct) if distinct else self.default_eq_selectivity
-            return visible * eq
+            return min(1.0, visible * min(1.0, eq))
         if op == "!=":
             eq = (1.0 / distinct) if distinct else self.default_eq_selectivity
-            return visible * max(0.0, 1.0 - eq)
-        return visible * self.theta_selectivity
+            return min(1.0, visible * max(0.0, 1.0 - eq))
+        return min(1.0, visible * self.theta_selectivity)
 
     def estimate_selection(
-        self, stats: TableStatistics, attribute: str, op: str, cardinality: float = None
+        self,
+        stats: TableStatistics,
+        attribute: str,
+        op: str,
+        cardinality: float = None,
+        value=_NO_VALUE,
     ) -> float:
         """Estimated output rows of a constant selection over *cardinality*
         rows (default: the table's own row count)."""
         base = stats.row_count if cardinality is None else cardinality
-        return base * self.selection_selectivity(stats, attribute, op)
+        return base * self.selection_selectivity(stats, attribute, op, value)
 
     # -- joins ----------------------------------------------------------------
     def join_cardinality(

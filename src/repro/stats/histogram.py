@@ -1,0 +1,211 @@
+"""Equi-depth histograms over the non-null partition of one attribute.
+
+PR 3's cost model estimated every range predicate (``<``, ``<=``, ``>``,
+``>=``) with the textbook constant 1/3 and ``!=`` with a uniformity
+guess.  An :class:`EquiDepthHistogram` replaces both guesses with data:
+``ANALYZE`` slices the attribute's sorted non-null multiset into ``B``
+buckets of (near-)equal depth and records, per bucket, the upper
+boundary, the row count, and the distinct-value count.  Selectivity of
+``A op constant`` within the non-null partition is then a walk over the
+buckets with linear interpolation inside the boundary bucket (half a
+bucket when the values don't interpolate, e.g. strings).
+
+Histograms describe the **non-null** partition only — the Section 5
+lower-bound discipline makes a comparison touching ``ni`` never TRUE, so
+the cost model multiplies every histogram fraction by the attribute's
+visible (non-null) fraction, exactly as it does for the constant
+fallbacks.
+
+A histogram is immutable once built.  Freshness is delegated to the
+owning :class:`~repro.stats.statistics.TableStatistics` staleness
+counter: the statistics object stops handing out its histograms once
+incremental churn since the last ``ANALYZE`` crosses the threshold, and
+the cost model falls back to the constants.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Tuple
+
+#: Default number of buckets an ``ANALYZE`` builds per attribute.
+DEFAULT_BUCKETS = 32
+
+_NUMERIC = (int, float)
+
+
+def _is_numeric(value: Any) -> bool:
+    return isinstance(value, _NUMERIC) and not isinstance(value, bool)
+
+
+class EquiDepthHistogram:
+    """An immutable equi-depth histogram of one attribute's non-null values.
+
+    ``buckets`` is a tuple of ``(upper, count, distinct)`` triples with
+    non-decreasing ``upper`` boundaries; bucket *i* spans
+    ``(upper[i-1], upper[i]]`` (the first bucket starts at
+    :attr:`minimum`, inclusively).  Depths are within one row of each
+    other by construction: bucket edges are positions ``⌊i·n/B⌋`` in the
+    sorted value sequence, so a heavily-duplicated value is *split*
+    across buckets positionally rather than bloating one bucket.
+    """
+
+    __slots__ = ("minimum", "total", "buckets")
+
+    def __init__(
+        self,
+        minimum: Any,
+        total: int,
+        buckets: Tuple[Tuple[Any, int, int], ...],
+    ):
+        self.minimum = minimum
+        self.total = total
+        self.buckets = buckets
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def build(
+        cls, counter: Mapping[Any, int], buckets: int = DEFAULT_BUCKETS
+    ) -> Optional["EquiDepthHistogram"]:
+        """Build from a ``value -> multiplicity`` counter of non-null values.
+
+        Returns ``None`` when the attribute has no values or the values
+        do not admit a total order (mixed incomparable types) — the cost
+        model then keeps its constant fallbacks.
+        """
+        try:
+            items = sorted(counter.items())
+        except TypeError:
+            return None
+        total = sum(multiplicity for _, multiplicity in items)
+        if total <= 0:
+            return None
+        depth_count = min(max(1, buckets), total)
+        edges = [(i * total) // depth_count for i in range(1, depth_count + 1)]
+        built = []
+        position = 0
+        edge_index = 0
+        bucket_count = 0
+        bucket_distinct = 0
+        for value, multiplicity in items:
+            remaining = multiplicity
+            bucket_distinct += 1
+            while remaining:
+                room = edges[edge_index] - position
+                take = remaining if remaining < room else room
+                bucket_count += take
+                position += take
+                remaining -= take
+                if position == edges[edge_index]:
+                    built.append((value, bucket_count, bucket_distinct))
+                    edge_index += 1
+                    bucket_count = 0
+                    # A value whose multiplicity spans the edge continues
+                    # into the next bucket and stays distinct there too.
+                    bucket_distinct = 1 if remaining else 0
+        return cls(items[0][0], total, tuple(built))
+
+    # -- invariants (exposed for the property tests) --------------------------
+    def depths(self) -> Tuple[int, ...]:
+        return tuple(count for _, count, _ in self.buckets)
+
+    def upper_bounds(self) -> Tuple[Any, ...]:
+        return tuple(upper for upper, _, _ in self.buckets)
+
+    # -- estimation -----------------------------------------------------------
+    def _fraction_le(self, value: Any) -> float:
+        """Estimated fraction of values ``<= value`` (within non-nulls)."""
+        if value < self.minimum:
+            return 0.0
+        cumulative = 0.0
+        lower = self.minimum
+        interpolate = _is_numeric(value)
+        for upper, count, _ in self.buckets:
+            if value >= upper:
+                cumulative += count
+                lower = upper
+                continue
+            # value falls strictly inside (lower, upper)
+            if interpolate and _is_numeric(upper) and _is_numeric(lower) and upper > lower:
+                fraction = (value - lower) / (upper - lower)
+            else:
+                fraction = 0.5
+            cumulative += count * fraction
+            return cumulative / self.total
+        return 1.0
+
+    def _fraction_eq(self, value: Any) -> float:
+        """Estimated fraction of values ``== value`` (within non-nulls).
+
+        A heavily-duplicated value is split positionally across several
+        consecutive buckets, each closing exactly at the value — its
+        frequency is the summed uniform share over that whole run, not
+        one bucket's.  (The run's spilled tail in the following bucket
+        is ignored: the resulting undercount is bounded by one bucket's
+        depth.)  A value strictly inside a bucket gets that bucket's
+        uniform ``count / distinct`` share as before.
+        """
+        if value < self.minimum or value > self.buckets[-1][0]:
+            return 0.0
+        exact = 0.0
+        matched = False
+        for upper, count, distinct in self.buckets:
+            if upper == value:
+                matched = True
+                if distinct > 0:
+                    exact += count / distinct
+            elif matched:
+                break
+        if matched:
+            return exact / self.total
+        for upper, count, distinct in self.buckets:
+            if value <= upper:
+                if distinct <= 0:
+                    return 0.0
+                return (count / distinct) / self.total
+        return 0.0
+
+    def selectivity(self, op: str, value: Any) -> Optional[float]:
+        """Fraction of the *non-null* partition satisfying ``A op value``.
+
+        Returns ``None`` when the constant is null or not comparable with
+        the stored values — the caller falls back to its constants.
+        """
+        if value is None:
+            return None
+        try:
+            if op in ("=", "=="):
+                estimate = self._fraction_eq(value)
+            elif op == "!=":
+                estimate = 1.0 - self._fraction_eq(value)
+            elif op == "<=":
+                estimate = self._fraction_le(value)
+            elif op == "<":
+                estimate = self._fraction_le(value) - self._fraction_eq(value)
+            elif op == ">":
+                estimate = 1.0 - self._fraction_le(value)
+            elif op == ">=":
+                estimate = 1.0 - self._fraction_le(value) + self._fraction_eq(value)
+            else:
+                return None
+        except TypeError:
+            return None
+        return min(1.0, max(0.0, estimate))
+
+    # -- identity --------------------------------------------------------------
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, EquiDepthHistogram):
+            return NotImplemented
+        return (
+            self.minimum == other.minimum
+            and self.total == other.total
+            and self.buckets == other.buckets
+        )
+
+    __hash__ = None  # compared structurally in round-trip tests
+
+    def __repr__(self) -> str:
+        return (
+            f"EquiDepthHistogram(buckets={len(self.buckets)}, "
+            f"rows={self.total}, min={self.minimum!r}, "
+            f"max={self.buckets[-1][0]!r})"
+        )

@@ -35,9 +35,14 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, Mapping, Tuple
 
 from ..core.tuples import XTuple
+from .histogram import EquiDepthHistogram
 
 #: A signature: the sorted attribute tuple a row binds (``XTuple.attributes``).
 Signature = Tuple[str, ...]
+
+#: Bounds on the adaptive correction factor — one observed execution can
+#: never swing the estimate by more than this factor in either direction.
+CORRECTION_BOUND = 16.0
 
 #: Incremental deltas tolerated before :attr:`TableStatistics.stale` trips.
 DEFAULT_STALENESS_THRESHOLD = 256
@@ -59,6 +64,8 @@ class TableStatistics:
         "_signatures",
         "staleness_threshold",
         "mutations_since_analyze",
+        "_histograms",
+        "correction",
     )
 
     def __init__(
@@ -75,6 +82,14 @@ class TableStatistics:
         self._signatures: Dict[Signature, int] = {}
         self.staleness_threshold = staleness_threshold
         self.mutations_since_analyze = 0
+        # attribute -> equi-depth histogram of its non-null values, built
+        # by analyze() and trusted only while the staleness counter holds.
+        self._histograms: Dict[str, EquiDepthHistogram] = {}
+        #: Adaptive correction factor: actual/estimated row ratios observed
+        #: by drained executions fold in here (bounded, see
+        #: :meth:`observe_estimate`) and scale the next plan's selection
+        #: estimates for this table.  1.0 = no observed bias.
+        self.correction = 1.0
         if rows:
             self.analyze(rows)
 
@@ -113,14 +128,25 @@ class TableStatistics:
         self._values.clear()
         self._non_null.clear()
         self._signatures.clear()
+        self._histograms.clear()
+        self.correction = 1.0
         self.mutations_since_analyze = 0
 
     def analyze(self, rows: Iterable[XTuple]) -> "TableStatistics":
-        """Full refresh: recount everything from *rows*, resetting staleness."""
+        """Full refresh: recount everything from *rows*, resetting staleness.
+
+        A full scan also (re)builds the per-attribute equi-depth
+        histograms and forgets any adaptive correction — fresh exact
+        statistics supersede feedback accumulated against stale ones.
+        """
         self.clear()
         for row in rows:
             self._count(row)
         self.mutations_since_analyze = 0
+        for attribute, counter in self._values.items():
+            histogram = EquiDepthHistogram.build(counter)
+            if histogram is not None:
+                self._histograms[attribute] = histogram
         return self
 
     # -- counting plumbing ---------------------------------------------------
@@ -177,6 +203,9 @@ class TableStatistics:
         dup._non_null = dict(self._non_null)
         dup._signatures = dict(self._signatures)
         dup.mutations_since_analyze = self.mutations_since_analyze
+        # Histograms are immutable once built; sharing them is safe.
+        dup._histograms = dict(self._histograms)
+        dup.correction = self.correction
         return dup
 
     def restore_from(self, other: "TableStatistics") -> None:
@@ -193,6 +222,8 @@ class TableStatistics:
         self._signatures = dict(other._signatures)
         self.staleness_threshold = other.staleness_threshold
         self.mutations_since_analyze = other.mutations_since_analyze
+        self._histograms = dict(other._histograms)
+        self.correction = other.correction
 
     # -- read surface ---------------------------------------------------------
     def distinct_count(self, attribute: str) -> int:
@@ -217,6 +248,38 @@ class TableStatistics:
     def signature_histogram(self) -> Dict[Signature, int]:
         """Null-pattern histogram: signature → number of rows carrying it."""
         return dict(self._signatures)
+
+    def histogram(self, attribute: str) -> "EquiDepthHistogram | None":
+        """The attribute's ANALYZE-built equi-depth histogram, or ``None``.
+
+        ``None`` both when no ANALYZE has run since the attribute gained
+        values and once incremental churn trips :attr:`stale` — the
+        histogram is *approximately* maintained (the exact counters drift
+        around it), so past the staleness threshold the cost model falls
+        back to its constants rather than trust a shape the data may
+        have left behind.
+        """
+        if self.stale:
+            return None
+        return self._histograms.get(attribute)
+
+    def observe_estimate(self, actual: float, estimated: float) -> float:
+        """Fold one observed actual/estimated row ratio into the bounded
+        adaptive correction factor, returning the new factor.
+
+        The half-power step (``correction *= ratio**0.5``) converges
+        geometrically onto a persistent bias without oscillating on
+        one-off outliers; the factor is clamped to
+        ``[1/CORRECTION_BOUND, CORRECTION_BOUND]``.  The ratio is
+        computed with +1 smoothing so empty actuals/estimates stay
+        finite.  Because recorded estimates already *include* the current
+        correction, a corrected-to-truth model observes ratio ≈ 1 and the
+        factor stops moving.
+        """
+        ratio = (float(actual) + 1.0) / (float(estimated) + 1.0)
+        corrected = self.correction * (ratio ** 0.5)
+        self.correction = min(CORRECTION_BOUND, max(1.0 / CORRECTION_BOUND, corrected))
+        return self.correction
 
     @property
     def stale(self) -> bool:

@@ -391,3 +391,137 @@ def test_streaming_step_counts_match_materializing_on_total_rows(database, text)
             assert materialized.startswith(prefix)
         else:
             assert streamed == materialized
+
+
+# ---------------------------------------------------------------------------
+# Optimizer v2: DP join enumeration ≡ greedy ≡ oracle; adaptive feedback
+# and the semantic result cache never change answers
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(indexed_databases(), quel_texts(), st.booleans())
+def test_dp_and_greedy_join_enumeration_agree_with_oracle(
+    database, text, analyzed
+):
+    """Selinger-style DP enumeration is a pure strategy change: whatever
+    order it picks over random schemas, indexes and ANALYZE states, the
+    answer stays information-wise identical to the greedy enumerator's
+    and to the tuple oracle."""
+    if analyzed:
+        database.analyze()
+    try:
+        tuple_answer = run_query(text, database, strategy="tuple").answer
+    except QuelSemanticError:
+        assume(False)
+    query = compile_text(text, database)
+    assert Plan(query, database, join_enumeration="dp").execute() == tuple_answer
+    assert Plan(query, database, join_enumeration="greedy").execute() == tuple_answer
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(
+    indexed_databases(),
+    quel_texts(),
+    st.lists(
+        st.floats(min_value=1.0 / 16.0, max_value=16.0, allow_nan=False),
+        min_size=2, max_size=2,
+    ),
+)
+def test_feedback_corrected_plans_agree_with_oracle(database, text, factors):
+    """Adaptive correction factors scale estimates — they may flip join
+    orders and access paths, but never the answer."""
+    for factor, name in zip(factors, ("R1", "R2")):
+        database.catalog.table(name).statistics.correction = factor
+    try:
+        tuple_answer = run_query(text, database, strategy="tuple").answer
+    except QuelSemanticError:
+        assume(False)
+    query = compile_text(text, database)
+    assert Plan(query, database).execute() == tuple_answer
+    assert Plan(query, database, join_enumeration="greedy").execute() == tuple_answer
+
+
+@settings(max_examples=30, deadline=None, derandomize=True)
+@given(indexed_databases(), quel_texts())
+def test_session_feedback_loop_preserves_answers(database, text):
+    """Executing through a session folds real actual/estimated ratios
+    into the tables' corrections after every drain; forced re-planning
+    under those live corrections keeps every repeat identical to the
+    oracle."""
+    from repro.api.session import Session
+
+    try:
+        tuple_answer = run_query(text, database, strategy="tuple").answer
+    except QuelSemanticError:
+        assume(False)
+    session = Session(database, result_cache_size=0)
+    for _ in range(3):
+        assert session.execute(text).to_relation() == tuple_answer
+        session.clear_statement_cache()  # re-plan under folded corrections
+
+
+@st.composite
+def interleaved_mutations(draw):
+    """A short program of DML statements and DDL/ANALYZE calls."""
+    ops = []
+    for _ in range(draw(st.integers(min_value=1, max_value=5))):
+        kind = draw(st.sampled_from(
+            ["append", "append", "delete", "replace", "analyze", "index"]
+        ))
+        table = draw(st.sampled_from(("R1", "R2")))
+        attribute = draw(st.sampled_from(ATTRIBUTES))
+        value = draw(st.integers(min_value=0, max_value=3))
+        if kind == "append":
+            a, b, c = (draw(st.integers(0, 3)) for _ in range(3))
+            ops.append(("quel", f"append to {table} (A = {a}, B = {b}, C = {c})"))
+        elif kind == "delete":
+            ops.append((
+                "quel",
+                f"range of m is {table} delete m where m.{attribute} = {value}",
+            ))
+        elif kind == "replace":
+            ops.append((
+                "quel",
+                f"range of m is {table} replace m ({attribute} = {value}) "
+                f"where m.{attribute} != {value}",
+            ))
+        elif kind == "analyze":
+            ops.append(("analyze",))
+        else:
+            ops.append(("index", table, draw(st.sampled_from(INDEX_CHOICES))))
+    return ops
+
+
+@settings(max_examples=30, deadline=None, derandomize=True)
+@given(indexed_databases(), quel_texts(), interleaved_mutations())
+def test_cache_enabled_session_never_serves_stale_answers(
+    database, text, mutations
+):
+    """The stale-hit property: under arbitrary DML / index-DDL / ANALYZE
+    interleavings, a cache-enabled session's answer equals a fresh
+    oracle evaluation of the *current* table states at every step — a
+    repeat (the likely cache hit) included."""
+    from repro.api.session import Session
+
+    session = Session(database)
+    def check():
+        try:
+            expected = run_query(text, database, strategy="tuple").answer
+        except QuelSemanticError:
+            assume(False)
+        assert session.execute(text).to_relation() == expected
+        assert session.execute(text).to_relation() == expected
+
+    check()
+    for op in mutations:
+        if op[0] == "quel":
+            session.execute(op[1])
+        elif op[0] == "analyze":
+            database.analyze()
+        else:
+            _, name, attributes = op
+            table = database.catalog.table(name)
+            existing = set(map(tuple, table.index_specs().values()))
+            if tuple(attributes) not in existing:
+                table.create_index(attributes)
+        check()

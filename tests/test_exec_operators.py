@@ -471,8 +471,12 @@ class TestExplainAnalyzeDrainsFirst:
         assert len(result.rows) == 200
 
     def test_partially_streamed_result_drains_before_reporting(self):
+        from repro.api.session import Session
+
         database = self.make_database(n=200)
-        session = database.session()
+        # Result caching off: this test compares the physical trees of
+        # two genuine executions of the same text.
+        session = Session(database, result_cache_size=0)
         result = session.execute(self.QUERY)
         iterator = iter(result)
         for _ in range(3):   # pull a prefix only

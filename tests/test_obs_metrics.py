@@ -196,7 +196,8 @@ class TestEngineSeries:
 
     def test_recent_traces_ring_buffer_and_phases(self):
         database = fresh_database(MetricsRegistry())
-        session = database.session()
+        from repro.api.session import Session
+        session = Session(database, result_cache_size=0)
         session._traces = type(session._traces)(maxlen=3)
         for _ in range(5):
             session.execute("range of t is T retrieve (t.A)").rows
@@ -211,6 +212,17 @@ class TestEngineSeries:
         assert any(step["operator"] == "TableScan" for step in trace.operators)
         as_dict = trace.as_dict()
         assert as_dict["kind"] == "retrieve" and as_dict["rows_out"] == 5
+
+    def test_repeated_retrieve_traces_mark_result_cache_hits(self):
+        database = fresh_database(MetricsRegistry())
+        session = database.session()
+        for _ in range(3):
+            session.execute("range of t is T retrieve (t.A)").rows
+        trace = session.recent_traces()[-1]
+        assert trace.kind == "retrieve"
+        assert trace.outcome == "ok"
+        assert trace.tags.get("result_cache") == "hit"
+        assert trace.rows_out == 5
 
     def test_slow_query_threshold_marks_and_counts(self, caplog):
         registry = MetricsRegistry()
